@@ -1,0 +1,61 @@
+"""Benchmark + reproduction of the baseline comparison (Section 1 shortcomings).
+
+Prints the method x scenario coverage table for the conventional generators
+[1]-[6] versus the proposed algorithm, and times each runnable method on the
+friendly case (equal power, positive definite Eq. 22 covariance) so the
+generality of the proposed method is shown to cost nothing at generation time.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BeaulieuMeraniGenerator,
+    NatarajanGenerator,
+    SalzWintersGenerator,
+    SorooshyariDautGenerator,
+)
+from repro.core import RayleighFadingGenerator
+from repro.experiments import paper_values as pv
+from repro.experiments import run_experiment
+
+SAMPLES_PER_CALL = 20_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def reproduce_table(print_report):
+    print_report(run_experiment("baseline-comparison"))
+
+
+def test_bench_proposed_generator(benchmark):
+    """Time: proposed algorithm, Eq. (22) covariance, 20k samples."""
+    generator = RayleighFadingGenerator(pv.EQ22_COVARIANCE, rng=0)
+    samples = benchmark(generator.generate, SAMPLES_PER_CALL)
+    assert samples.shape == (3, SAMPLES_PER_CALL)
+
+
+def test_bench_salz_winters(benchmark):
+    """Time: Salz-Winters [1] real-composite coloring, same workload."""
+    generator = SalzWintersGenerator(pv.EQ22_COVARIANCE, rng=0)
+    samples = benchmark(generator.generate, SAMPLES_PER_CALL)
+    assert samples.shape == (3, SAMPLES_PER_CALL)
+
+
+def test_bench_beaulieu_merani(benchmark):
+    """Time: Beaulieu-Merani [3,4] Cholesky coloring, same workload."""
+    generator = BeaulieuMeraniGenerator(pv.EQ22_COVARIANCE, rng=0)
+    samples = benchmark(generator.generate, SAMPLES_PER_CALL)
+    assert samples.shape == (3, SAMPLES_PER_CALL)
+
+
+def test_bench_natarajan(benchmark):
+    """Time: Natarajan [5] real-forced Cholesky coloring, same workload."""
+    generator = NatarajanGenerator(pv.EQ22_COVARIANCE, rng=0)
+    samples = benchmark(generator.generate, SAMPLES_PER_CALL)
+    assert samples.shape == (3, SAMPLES_PER_CALL)
+
+
+def test_bench_sorooshyari_daut(benchmark):
+    """Time: Sorooshyari-Daut [6] epsilon + Cholesky coloring, same workload."""
+    generator = SorooshyariDautGenerator(pv.EQ22_COVARIANCE, rng=0)
+    samples = benchmark(generator.generate, SAMPLES_PER_CALL)
+    assert samples.shape == (3, SAMPLES_PER_CALL)

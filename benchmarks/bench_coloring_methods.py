@@ -1,0 +1,28 @@
+"""Benchmark + reproduction of the coloring-method comparison (Section 4.3).
+
+Prints the eigen / SVD / Cholesky comparison table across covariance classes
+and times each strategy on positive definite matrices of growing size (the
+only class where all three are applicable).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compute_coloring
+from repro.experiments import run_experiment
+from repro.experiments.scaling import exponential_correlation_covariance
+
+
+@pytest.fixture(scope="module", autouse=True)
+def reproduce_table(print_report):
+    print_report(run_experiment("coloring-methods"))
+
+
+@pytest.mark.parametrize("size", [8, 32, 128])
+@pytest.mark.parametrize("method", ["eigen", "svd", "cholesky"])
+def test_bench_coloring_strategy(benchmark, method, size):
+    """Time: coloring an N x N positive definite covariance with each strategy."""
+    covariance = exponential_correlation_covariance(size)
+
+    decomposition = benchmark(compute_coloring, covariance, method)
+    assert decomposition.reconstruction_error() < 1e-8 * np.linalg.norm(covariance)

@@ -1,0 +1,45 @@
+"""Benchmark + reproduction of the Doppler-shaping accuracy experiment (Eq. 16-21).
+
+Prints the autocorrelation / variance accuracy table of the Young-Beaulieu
+IDFT generator and times its two kernels: the filter design of Eq. (21) and
+the per-block synthesis (noise generation, filtering, M-point IDFT).
+"""
+
+import pytest
+
+from repro.channels import IDFTRayleighGenerator, young_beaulieu_filter
+from repro.experiments import paper_values as pv
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module", autouse=True)
+def reproduce_table(print_report):
+    print_report(run_experiment("doppler-autocorrelation"))
+
+
+def test_bench_filter_design(benchmark):
+    """Time: Eq. (21) filter design for M = 4096, fm = 0.05."""
+    coefficients = benchmark(young_beaulieu_filter, pv.IDFT_POINTS, pv.NORMALIZED_DOPPLER)
+    assert coefficients.shape == (pv.IDFT_POINTS,)
+
+
+def test_bench_single_branch_block(benchmark):
+    """Time: one M = 4096 Doppler-shaped complex Gaussian block (one branch)."""
+    generator = IDFTRayleighGenerator(
+        n_points=pv.IDFT_POINTS,
+        normalized_doppler=pv.NORMALIZED_DOPPLER,
+        input_variance_per_dim=pv.INPUT_VARIANCE_PER_DIM,
+        rng=0,
+    )
+    block = benchmark(generator.generate_block)
+    assert block.shape == (pv.IDFT_POINTS,)
+
+
+@pytest.mark.parametrize("n_points", [1024, 4096, 16384])
+def test_bench_block_size_scaling(benchmark, n_points):
+    """Time: block synthesis cost vs. the IDFT length M."""
+    generator = IDFTRayleighGenerator(
+        n_points=n_points, normalized_doppler=pv.NORMALIZED_DOPPLER, rng=1
+    )
+    block = benchmark(generator.generate_block)
+    assert block.shape == (n_points,)

@@ -1,0 +1,42 @@
+"""Benchmark + ablation of the Doppler substrate: IDFT vs. sum-of-sinusoids.
+
+Prints the accuracy comparison (autocorrelation and Rayleigh-ness) and times
+both single-branch substrates so the speed/accuracy trade-off is on record:
+the IDFT block costs one FFT, the sum-of-sinusoids block costs ``O(Ns * M)``.
+"""
+
+import pytest
+
+from repro.channels import IDFTRayleighGenerator, SumOfSinusoidsGenerator
+from repro.experiments import paper_values as pv
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module", autouse=True)
+def reproduce_table(print_report):
+    print_report(run_experiment("doppler-substrate", n_blocks=8))
+
+
+def test_bench_idft_substrate_block(benchmark):
+    """Time: one 4096-sample block from the IDFT substrate (paper's choice)."""
+    generator = IDFTRayleighGenerator(
+        n_points=pv.IDFT_POINTS,
+        normalized_doppler=pv.NORMALIZED_DOPPLER,
+        input_variance_per_dim=pv.INPUT_VARIANCE_PER_DIM,
+        rng=0,
+    )
+    block = benchmark(generator.generate_block)
+    assert block.shape == (pv.IDFT_POINTS,)
+
+
+@pytest.mark.parametrize("n_sinusoids", [16, 64, 256])
+def test_bench_sum_of_sinusoids_block(benchmark, n_sinusoids):
+    """Time: one 4096-sample block from the sum-of-sinusoids substrate."""
+    generator = SumOfSinusoidsGenerator(
+        n_points=pv.IDFT_POINTS,
+        normalized_doppler=pv.NORMALIZED_DOPPLER,
+        n_sinusoids=n_sinusoids,
+        rng=1,
+    )
+    block = benchmark(generator.generate_block)
+    assert block.shape == (pv.IDFT_POINTS,)

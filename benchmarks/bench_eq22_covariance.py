@@ -1,0 +1,43 @@
+"""Benchmark + reproduction of Eq. (22): the spectral-correlation covariance matrix.
+
+Regenerates the covariance table of Eq. (22) from the Jakes model and times
+the covariance-assembly kernel (model evaluation + Eq. 12-13 assembly), which
+is the per-scenario setup cost of the proposed algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import paper_values as pv
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module", autouse=True)
+def reproduce_table(print_report):
+    print_report(run_experiment("eq22-spectral-covariance"))
+
+
+def test_bench_eq22_covariance_assembly(benchmark):
+    """Time: spectral covariance model evaluation + matrix assembly (N = 3)."""
+    scenario = pv.paper_ofdm_scenario()
+    powers = np.ones(pv.N_BRANCHES)
+
+    result = benchmark(lambda: scenario.covariance_spec(powers).matrix)
+    assert np.allclose(result, pv.EQ22_COVARIANCE, atol=5e-4)
+
+
+def test_bench_eq22_larger_carrier_count(benchmark):
+    """Time: the same assembly for a 64-carrier OFDM-style scenario."""
+    n = 64
+    frequencies = 900e6 + 200e3 * np.arange(n)[::-1]
+    arrival_times = np.linspace(0.0, 4e-3, n)
+    scenario = pv.OFDMScenario(
+        carrier_frequencies_hz=frequencies,
+        delays_s=arrival_times,
+        rms_delay_spread_s=pv.RMS_DELAY_SPREAD_S,
+        doppler=pv.paper_doppler_settings(),
+    )
+    powers = np.ones(n)
+
+    matrix = benchmark(lambda: scenario.covariance_spec(powers).matrix)
+    assert matrix.shape == (n, n)

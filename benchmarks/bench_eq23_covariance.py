@@ -1,0 +1,41 @@
+"""Benchmark + reproduction of Eq. (23): the spatial-correlation covariance matrix.
+
+Regenerates the covariance table of Eq. (23) from the Salz-Winters Bessel
+series and times the series evaluation, whose cost grows with the number of
+antennas and with the series truncation length.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channels import MIMOArrayScenario
+from repro.experiments import paper_values as pv
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module", autouse=True)
+def reproduce_table(print_report):
+    print_report(run_experiment("eq23-spatial-covariance"))
+
+
+def test_bench_eq23_covariance_assembly(benchmark):
+    """Time: spatial covariance model evaluation + matrix assembly (N = 3)."""
+    scenario = pv.paper_mimo_scenario()
+    powers = np.ones(pv.N_BRANCHES)
+
+    result = benchmark(lambda: scenario.covariance_spec(powers).matrix)
+    assert np.allclose(result, pv.EQ23_COVARIANCE, atol=2e-4)
+
+
+def test_bench_eq23_sixteen_antenna_array(benchmark):
+    """Time: the Bessel-series assembly for a 16-element array."""
+    scenario = MIMOArrayScenario(
+        n_antennas=16,
+        spacing_wavelengths=pv.ANTENNA_SPACING_WAVELENGTHS,
+        mean_angle_rad=pv.MEAN_ANGLE_RAD,
+        angular_spread_rad=pv.ANGULAR_SPREAD_RAD,
+    )
+    powers = np.ones(16)
+
+    matrix = benchmark(lambda: scenario.covariance_spec(powers).matrix)
+    assert matrix.shape == (16, 16)

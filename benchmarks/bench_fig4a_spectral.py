@@ -1,0 +1,47 @@
+"""Benchmark + reproduction of Fig. 4(a): spectrally correlated real-time envelopes.
+
+Prints the statistical validation of the regenerated Fig. 4(a) traces and
+times the real-time generation kernel (three Doppler-shaped IDFT branches of
+M = 4096 samples plus the coloring step), i.e. the cost of producing one
+figure's worth of fading.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.fig4a import build_generator
+from repro.experiments import paper_values as pv
+
+
+@pytest.fixture(scope="module", autouse=True)
+def reproduce_figure(print_report):
+    print_report(run_experiment("fig4a-spectral-envelopes"))
+
+
+def test_bench_fig4a_block_generation(benchmark):
+    """Time: one M = 4096 block of 3 correlated Doppler-shaped branches."""
+    generator = build_generator(seed=1)
+
+    block = benchmark(generator.generate, 1)
+    assert block.shape == (pv.N_BRANCHES, pv.IDFT_POINTS)
+
+
+def test_bench_fig4a_generator_setup(benchmark):
+    """Time: generator construction (covariance, PSD forcing, coloring, filter design)."""
+    generator = benchmark(build_generator, 2)
+    assert generator.n_branches == pv.N_BRANCHES
+
+
+def test_bench_fig4a_plotted_trace(benchmark):
+    """Time: regenerate exactly the 200 plotted dB samples of the figure."""
+    from repro.signal import envelope_db_around_rms
+
+    generator = build_generator(seed=3)
+
+    def trace():
+        samples = generator.generate(1)
+        return envelope_db_around_rms(np.abs(samples[:, : pv.PLOTTED_SAMPLES]))
+
+    db = benchmark(trace)
+    assert db.shape == (pv.N_BRANCHES, pv.PLOTTED_SAMPLES)

@@ -1,0 +1,33 @@
+"""Benchmark + reproduction of Fig. 4(b): spatially correlated real-time envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.fig4b import build_generator
+from repro.experiments import paper_values as pv
+
+
+@pytest.fixture(scope="module", autouse=True)
+def reproduce_figure(print_report):
+    print_report(run_experiment("fig4b-spatial-envelopes"))
+
+
+def test_bench_fig4b_block_generation(benchmark):
+    """Time: one M = 4096 block of 3 spatially correlated Doppler-shaped branches."""
+    generator = build_generator(seed=1)
+
+    block = benchmark(generator.generate, 1)
+    assert block.shape == (pv.N_BRANCHES, pv.IDFT_POINTS)
+
+
+def test_bench_fig4b_envelope_statistics(benchmark):
+    """Time: generation + envelope extraction + per-branch power estimate."""
+    generator = build_generator(seed=2)
+
+    def kernel():
+        envelopes = np.abs(generator.generate(1))
+        return np.mean(envelopes**2, axis=1)
+
+    powers = benchmark(kernel)
+    assert powers.shape == (pv.N_BRANCHES,)

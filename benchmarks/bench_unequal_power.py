@@ -1,0 +1,55 @@
+"""Benchmark + reproduction of the unequal-power experiment (Eq. 11, Section 4.4).
+
+Prints the requested-vs-measured power table for four branches with powers
+0.5/1/2/4 and times snapshot generation for equal- and unequal-power requests
+to confirm arbitrary powers carry no extra cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CovarianceSpec, RayleighFadingGenerator
+from repro.experiments import run_experiment
+from repro.experiments.unequal_power import GAUSSIAN_POWERS, _correlation_matrix
+
+
+@pytest.fixture(scope="module", autouse=True)
+def reproduce_table(print_report):
+    print_report(run_experiment("unequal-power", n_samples=200_000, n_blocks=3))
+
+
+SAMPLES_PER_CALL = 10_000
+
+
+def test_bench_unequal_power_snapshot(benchmark):
+    """Time: 10k snapshot samples of 4 branches with powers 0.5/1/2/4."""
+    correlation = _correlation_matrix(GAUSSIAN_POWERS.size)
+    covariance = correlation * np.sqrt(np.outer(GAUSSIAN_POWERS, GAUSSIAN_POWERS))
+    generator = RayleighFadingGenerator(
+        CovarianceSpec.from_covariance_matrix(covariance), rng=0
+    )
+    samples = benchmark(generator.generate, SAMPLES_PER_CALL)
+    assert samples.shape == (4, SAMPLES_PER_CALL)
+
+
+def test_bench_equal_power_snapshot_reference(benchmark):
+    """Time: the same workload with equal powers (reference point)."""
+    correlation = _correlation_matrix(GAUSSIAN_POWERS.size)
+    generator = RayleighFadingGenerator(
+        CovarianceSpec.from_covariance_matrix(correlation), rng=0
+    )
+    samples = benchmark(generator.generate, SAMPLES_PER_CALL)
+    assert samples.shape == (4, SAMPLES_PER_CALL)
+
+
+def test_bench_envelope_power_entry_point(benchmark):
+    """Time: spec construction from envelope powers (Eq. 11) + generation."""
+    envelope_variances = np.array([0.1, 0.25, 0.6, 1.2])
+    correlation = _correlation_matrix(4)
+
+    def kernel():
+        spec = CovarianceSpec.from_envelope_variances(envelope_variances, correlation)
+        return RayleighFadingGenerator(spec, rng=1).generate(SAMPLES_PER_CALL)
+
+    samples = benchmark(kernel)
+    assert samples.shape == (4, SAMPLES_PER_CALL)

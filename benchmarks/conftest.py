@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one paper artifact (table, figure, or
+claimed comparison).  The pattern is:
+
+* a module-scoped fixture runs the corresponding experiment once and prints
+  its report (the "rows/series the paper reports"), so running
+  ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation; and
+* the ``test_bench_*`` functions time the computational kernel behind that
+  experiment with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(result) -> None:
+    """Print an experiment report in a benchmark-friendly framed block."""
+    banner = "=" * 78
+    print(f"\n{banner}\n{result.render()}\n{banner}")
+
+
+@pytest.fixture(scope="session")
+def print_report():
+    """Fixture returning the report printer (kept as a fixture for uniform use)."""
+    return report

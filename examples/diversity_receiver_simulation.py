@@ -1,0 +1,98 @@
+"""Diversity-receiver Monte-Carlo study driven by the correlated-fading generator.
+
+The paper's motivation for accurate correlated Rayleigh generation is the
+"accurate performance analysis of diversity systems" ([6]'s title).  This
+example uses the library the way a systems engineer would: it sweeps the
+antenna spacing of a two-branch selection-combining receiver and estimates
+the outage probability and the average output SNR against the theoretical
+independent-branch references, showing how spatial correlation erodes the
+diversity gain.
+
+Run with::
+
+    python examples/diversity_receiver_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MIMOArrayScenario, RayleighFadingGenerator
+from repro.experiments.reporting import Table
+from repro.signal import power_to_db
+
+
+def outage_probability(snr_per_branch: np.ndarray, threshold: float) -> float:
+    """Probability that the selection-combined SNR falls below ``threshold``."""
+    combined = np.max(snr_per_branch, axis=0)
+    return float(np.mean(combined < threshold))
+
+
+def run_sweep(
+    spacings_wavelengths=(0.1, 0.25, 0.5, 1.0, 3.0),
+    mean_snr_db: float = 10.0,
+    outage_threshold_db: float = 0.0,
+    n_samples: int = 400_000,
+    seed: int = 99,
+) -> Table:
+    """Sweep antenna spacing and report outage and mean combined SNR."""
+    mean_snr = 10 ** (mean_snr_db / 10.0)
+    threshold = 10 ** (outage_threshold_db / 10.0)
+
+    table = Table(
+        title=(
+            "Two-branch selection combining, 10 dB mean branch SNR, 10-degree "
+            "angular spread: effect of antenna spacing"
+        ),
+        columns=[
+            "D/lambda",
+            "branch correlation |rho|",
+            "outage P(SNR < 0 dB)",
+            "mean combined SNR [dB]",
+        ],
+    )
+
+    # Independent-branch reference (infinite spacing).
+    rng = np.random.default_rng(seed)
+    independent = rng.exponential(mean_snr, size=(2, n_samples))
+    table.add_row(
+        "independent",
+        0.0,
+        outage_probability(independent, threshold),
+        float(power_to_db(np.mean(np.max(independent, axis=0)))),
+    )
+
+    for spacing in spacings_wavelengths:
+        scenario = MIMOArrayScenario(
+            n_antennas=2,
+            spacing_wavelengths=spacing,
+            mean_angle_rad=0.0,
+            angular_spread_rad=np.pi / 18.0,
+        )
+        spec = scenario.covariance_spec(np.full(2, mean_snr))
+        generator = RayleighFadingGenerator(spec, rng=seed + int(spacing * 100))
+        # Instantaneous SNR of a Rayleigh branch is |z|^2 (unit-energy symbol).
+        snr = np.abs(generator.generate(n_samples)) ** 2
+        rho = abs(spec.correlation_coefficients()[0, 1])
+        table.add_row(
+            spacing,
+            rho,
+            outage_probability(snr, threshold),
+            float(power_to_db(np.mean(np.max(snr, axis=0)))),
+        )
+    return table
+
+
+def main() -> None:
+    table = run_sweep()
+    print(table.render())
+    print(
+        "\nReading the table: tight spacing (D/lambda = 0.1) leaves the branches "
+        "almost fully correlated, so selection combining barely improves the "
+        "outage; by one wavelength the correlation has dropped enough to recover "
+        "most of the independent-branch diversity gain."
+    )
+
+
+if __name__ == "__main__":
+    main()

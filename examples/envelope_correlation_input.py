@@ -1,0 +1,84 @@
+"""Specifying correlation in the envelope domain.
+
+Measurement campaigns and older papers often report the correlation between
+*envelopes* (what a power detector sees), not between the underlying complex
+Gaussians the generator needs.  This example starts from an envelope
+correlation matrix and envelope powers, converts them with the exact
+hypergeometric map of :mod:`repro.core.envelope_correlation`, generates the
+fading, and confirms the measured envelope correlations land on the request —
+and shows how far off the common ``|rho_g|^2`` shortcut would have been.
+
+Run with::
+
+    python examples/envelope_correlation_input.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CovarianceSpec,
+    RayleighFadingGenerator,
+    envelope_correlation_from_gaussian,
+    gaussian_correlation_matrix_from_envelope,
+)
+from repro.experiments.reporting import Table
+from repro.validation import empirical_envelope_correlation
+
+
+def main() -> None:
+    # What the measurement campaign reported: envelope correlations + powers.
+    requested_envelope_correlation = np.array(
+        [
+            [1.00, 0.70, 0.30],
+            [0.70, 1.00, 0.55],
+            [0.30, 0.55, 1.00],
+        ]
+    )
+    envelope_variances = np.array([0.4, 1.0, 1.6])
+
+    # Convert to the Gaussian domain with the exact map, build the spec.
+    gaussian_correlation = gaussian_correlation_matrix_from_envelope(
+        requested_envelope_correlation
+    )
+    spec = CovarianceSpec.from_envelope_variances(
+        envelope_variances, gaussian_correlation.astype(complex)
+    )
+
+    generator = RayleighFadingGenerator(spec, rng=314)
+    envelopes = generator.generate_envelopes(500_000).envelopes
+    measured = empirical_envelope_correlation(envelopes)
+
+    table = Table(
+        title="Envelope correlation: requested vs. measured (exact map) vs. |rho|^2 shortcut",
+        columns=["pair", "requested", "measured", "shortcut would give"],
+    )
+    for k in range(3):
+        for j in range(k + 1, 3):
+            requested = requested_envelope_correlation[k, j]
+            shortcut_rho = np.sqrt(requested)  # |rho_g| from the rho_r ~ |rho_g|^2 shortcut
+            shortcut_result = float(envelope_correlation_from_gaussian(shortcut_rho))
+            table.add_row(
+                f"({k + 1},{j + 1})",
+                float(requested),
+                float(measured[k, j]),
+                shortcut_result,
+            )
+    print(table.render())
+
+    print("\nmeasured envelope variances vs. requested:")
+    for j in range(3):
+        print(
+            f"  branch {j + 1}: requested {envelope_variances[j]:.3f}, "
+            f"measured {float(np.var(envelopes[j])):.3f}"
+        )
+    print(
+        "\nThe exact hypergeometric conversion recovers the requested envelope "
+        "correlations; the |rho|^2 shortcut would have undershot each pair by "
+        "roughly 0.02-0.03."
+    )
+
+
+if __name__ == "__main__":
+    main()

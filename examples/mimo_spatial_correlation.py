@@ -1,0 +1,90 @@
+"""MIMO antenna-array spatially correlated fading — the paper's Fig. 4(b) scenario.
+
+A three-element uniform linear transmit array with one-wavelength spacing,
+angular spread of 10 degrees and broadside departure (Phi = 0) produces the
+real covariance matrix of Eq. (23).  This example builds the scenario,
+generates Doppler-shaped envelopes, and examines how the spatial correlation
+shows up in the envelope domain (adjacent antennas fade together; diversity
+gain of selecting the best antenna is correspondingly reduced).
+
+Run with::
+
+    python examples/mimo_spatial_correlation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DopplerSettings, MIMOArrayScenario, RealTimeRayleighGenerator
+from repro.experiments.reporting import format_complex_matrix
+from repro.signal import amplitude_to_db
+from repro.validation import empirical_envelope_correlation
+
+PAPER_EQ23 = np.array(
+    [
+        [1.0, 0.8123, 0.3730],
+        [0.8123, 1.0, 0.8123],
+        [0.3730, 0.8123, 1.0],
+    ]
+)
+
+
+def selection_diversity_gain_db(envelopes: np.ndarray, outage: float = 0.01) -> float:
+    """Gain (dB) of selecting the strongest branch, at the given outage level.
+
+    Compares the ``outage``-quantile of the best-branch envelope against the
+    same quantile of a single branch; correlated branches give less gain than
+    independent ones, which is exactly why correlated fading generators are
+    needed for realistic diversity studies.
+    """
+    single = np.quantile(envelopes[0], outage)
+    best = np.quantile(np.max(envelopes, axis=0), outage)
+    return float(amplitude_to_db(best / single))
+
+
+def main() -> None:
+    scenario = MIMOArrayScenario(
+        n_antennas=3,
+        spacing_wavelengths=1.0,            # D / lambda = 1
+        mean_angle_rad=0.0,                 # Phi = 0 (broadside)
+        angular_spread_rad=np.pi / 18.0,    # Delta = 10 degrees
+        doppler=DopplerSettings(sampling_frequency_hz=1000.0, max_doppler_hz=50.0),
+    )
+    spec = scenario.covariance_spec(np.ones(3))
+
+    print("covariance matrix derived from the array geometry (paper Eq. 23):")
+    print(format_complex_matrix(spec.matrix))
+    print(
+        "\nmaximum deviation from the published matrix: "
+        f"{np.max(np.abs(spec.matrix - PAPER_EQ23)):.2e}"
+    )
+
+    generator = RealTimeRayleighGenerator(
+        spec, normalized_doppler=0.05, n_points=4096, rng=7
+    )
+    envelopes = np.abs(generator.generate(n_blocks=8))
+
+    print("\nempirical envelope correlation matrix (Pearson):")
+    print(format_complex_matrix(empirical_envelope_correlation(envelopes), precision=3))
+
+    correlated_gain = selection_diversity_gain_db(envelopes)
+
+    # Reference: the same array with independent branches (diagonal covariance).
+    independent = RealTimeRayleighGenerator(
+        np.eye(3, dtype=complex), normalized_doppler=0.05, n_points=4096, rng=8
+    )
+    independent_gain = selection_diversity_gain_db(np.abs(independent.generate(n_blocks=8)))
+
+    print(
+        "\nselection-diversity gain at 1% outage:"
+        f"\n  correlated array (Eq. 23): {correlated_gain:5.2f} dB"
+        f"\n  independent branches     : {independent_gain:5.2f} dB"
+        "\nThe spatial correlation of the closely spaced array erodes part of the"
+        "\ndiversity gain - the effect the correlated-envelope generator lets you"
+        "\nquantify before building hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: generate correlated Rayleigh fading envelopes in a few lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a covariance specification for three correlated branches,
+generates envelopes with the paper's generalized algorithm (eigen coloring +
+forced PSD), and verifies the achieved statistics against the request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CovarianceSpec,
+    RayleighFadingGenerator,
+    covariance_match_report,
+    envelope_power_report,
+)
+
+
+def main() -> None:
+    # 1. Describe the desired correlation structure: a complex Hermitian
+    #    covariance matrix of the underlying complex Gaussian branches.  The
+    #    diagonal carries the per-branch powers (here: unequal on purpose).
+    desired_covariance = np.array(
+        [
+            [1.0, 0.45 + 0.30j, 0.10 + 0.05j],
+            [0.45 - 0.30j, 2.0, 0.60 + 0.20j],
+            [0.10 - 0.05j, 0.60 - 0.20j, 0.5],
+        ]
+    )
+    spec = CovarianceSpec.from_covariance_matrix(desired_covariance)
+
+    # 2. Build the generator (steps 3-5 of the paper's algorithm happen here:
+    #    forced positive semi-definiteness + eigendecomposition coloring).
+    generator = RayleighFadingGenerator(spec, rng=2024)
+
+    # 3. Generate envelopes (steps 6-7, vectorized over time samples).
+    block = generator.generate_envelopes(n_samples=200_000)
+    print(f"generated {block.n_branches} branches x {block.n_samples} samples")
+
+    # 4. Verify: the sample covariance of the complex Gaussians matches the
+    #    request and the envelope powers follow the Rayleigh relations.
+    gaussian = generator.generate_gaussian(n_samples=200_000)
+    covariance_report = covariance_match_report(gaussian.samples, desired_covariance)
+    print(covariance_report.summary())
+
+    power_report = envelope_power_report(block.envelopes, spec.gaussian_variances)
+    print(power_report.summary())
+
+    print("\nper-branch results (requested power -> measured power, measured mean):")
+    for branch in range(block.n_branches):
+        requested = spec.gaussian_variances[branch]
+        measured_power = float(np.mean(block.envelopes[branch] ** 2))
+        measured_mean = float(np.mean(block.envelopes[branch]))
+        print(
+            f"  branch {branch + 1}: {requested:.3f} -> {measured_power:.3f}"
+            f"   (mean envelope {measured_mean:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Unequal powers and non-PSD covariance requests — the cases the baselines cannot handle.
+
+Two short demonstrations of the generality claims of the paper:
+
+1. **Unequal envelope powers** (Section 4.4 step 1): the desired powers are
+   specified in *envelope* units (sigma_r^2), converted through Eq. (11), and
+   the measured envelope variances land on the request.  The equal-power-only
+   baselines ([1], [2], [3], [4], [6]) reject this request outright.
+
+2. **A covariance request that is not positive semi-definite** (Section 4.2):
+   pairwise-estimated correlations are often jointly inconsistent.  Cholesky
+   based methods fail; the proposed algorithm clips the negative eigenvalue
+   and realizes the Frobenius-nearest PSD covariance.
+
+Run with::
+
+    python examples/unequal_power_and_nonpsd.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CovarianceSpec, RayleighFadingGenerator
+from repro.baselines import BeaulieuMeraniGenerator
+from repro.exceptions import CholeskyError, PowerError
+from repro.experiments.reporting import format_complex_matrix
+from repro.linalg import frobenius_distance
+
+
+def unequal_power_demo() -> None:
+    print("=" * 72)
+    print("1. Unequal envelope powers via Eq. (11)")
+    print("=" * 72)
+
+    envelope_variances = np.array([0.2, 0.5, 1.0, 2.0])
+    correlation = np.eye(4, dtype=complex)
+    for k in range(4):
+        for j in range(4):
+            if k != j:
+                correlation[k, j] = (0.5 + 0.2j) ** abs(k - j) if k < j else np.conj(
+                    (0.5 + 0.2j) ** abs(k - j)
+                )
+
+    spec = CovarianceSpec.from_envelope_variances(envelope_variances, correlation)
+    generator = RayleighFadingGenerator(spec, rng=11)
+    envelopes = generator.generate_envelopes(300_000).envelopes
+
+    print("requested envelope variance -> measured envelope variance")
+    for j in range(4):
+        measured = float(np.var(envelopes[j]))
+        print(f"  branch {j + 1}: {envelope_variances[j]:.3f} -> {measured:.3f}")
+
+    # The equal-power baselines refuse this request.
+    try:
+        BeaulieuMeraniGenerator(spec.matrix, rng=0)
+    except PowerError as error:
+        print(f"\nBeaulieu-Merani baseline [3,4] rejects the request: {error}")
+
+
+def non_psd_demo() -> None:
+    print()
+    print("=" * 72)
+    print("2. A covariance request that is not positive semi-definite")
+    print("=" * 72)
+
+    # Jointly inconsistent pairwise correlations: each pair is valid, the
+    # matrix is not.
+    request = np.array(
+        [
+            [1.0, 0.9, 0.1],
+            [0.9, 1.0, 0.9],
+            [0.1, 0.9, 1.0],
+        ],
+        dtype=complex,
+    )
+    eigenvalues = np.linalg.eigvalsh(request)
+    print(f"requested covariance eigenvalues: {np.round(eigenvalues, 4)}")
+
+    try:
+        BeaulieuMeraniGenerator(request, rng=0)
+    except CholeskyError as error:
+        print(f"Cholesky-based baseline fails: {error}")
+
+    generator = RayleighFadingGenerator(request, rng=12)
+    realized_target = generator.effective_covariance
+    print("\nproposed algorithm: forced-PSD covariance actually realized "
+          f"(Frobenius gap {frobenius_distance(realized_target, request):.4f}):")
+    print(format_complex_matrix(realized_target))
+
+    samples = generator.generate(300_000)
+    achieved = samples @ samples.conj().T / samples.shape[1]
+    print(
+        "\nsample covariance of the generated branches "
+        f"(max deviation from the forced-PSD target {np.max(np.abs(achieved - realized_target)):.4f}):"
+    )
+    print(format_complex_matrix(achieved))
+
+
+if __name__ == "__main__":
+    unequal_power_demo()
+    non_psd_demo()

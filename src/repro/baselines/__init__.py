@@ -1,0 +1,43 @@
+"""Conventional correlated-Rayleigh generation methods (paper references [1]–[6]).
+
+Section 1 of the paper reviews six earlier methods and identifies a specific
+shortcoming in each; the proposed algorithm is motivated by removing all of
+them.  This package implements each baseline faithfully enough to exhibit its
+documented shortcoming, so the comparison experiments can demonstrate:
+
+============================  =====================================================
+Baseline                      Shortcoming reproduced
+============================  =====================================================
+:class:`SalzWintersGenerator`        equal power only; fails (complex coloring matrix)
+                              when the covariance matrix is not positive
+                              semi-definite [1]
+:class:`ErtelReedGenerator`          exactly two equal-power envelopes [2]
+:class:`BeaulieuMeraniGenerator`     N >= 2 but equal power and positive-definite
+                              covariance (Cholesky) [3, 4]
+:class:`NatarajanGenerator`          arbitrary power but Cholesky + covariances forced
+                              to be real [5]
+:class:`SorooshyariDautGenerator`    equal power; epsilon PSD approximation (less
+                              precise than clipping); real-time combination
+                              ignores the Doppler filter's variance change [6]
+============================  =====================================================
+
+Each generator exposes the same ``generate(n_samples)`` /
+``generate_envelopes(n_samples)`` interface as the proposed method so the
+benchmark harness can swap them freely.
+"""
+
+from .base import BaselineGenerator
+from .salz_winters import SalzWintersGenerator
+from .ertel_reed import ErtelReedGenerator
+from .beaulieu_merani import BeaulieuMeraniGenerator
+from .natarajan import NatarajanGenerator
+from .sorooshyari_daut import SorooshyariDautGenerator
+
+__all__ = [
+    "BaselineGenerator",
+    "SalzWintersGenerator",
+    "ErtelReedGenerator",
+    "BeaulieuMeraniGenerator",
+    "NatarajanGenerator",
+    "SorooshyariDautGenerator",
+]

@@ -1,0 +1,85 @@
+"""Common interface for the conventional baseline generators.
+
+All baselines produce, per call, an ``(N, n_samples)`` array of complex
+Gaussian samples whose moduli are the Rayleigh envelopes; they differ in the
+restrictions they place on the covariance input and in how (or whether) they
+survive covariance matrices that are not positive definite.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import GenerationError, PowerError
+from ..random import ensure_rng
+from ..types import ComplexArray, EnvelopeBlock, SeedLike
+
+__all__ = ["BaselineGenerator", "require_equal_powers"]
+
+
+def require_equal_powers(gaussian_variances: np.ndarray, method_name: str) -> float:
+    """Validate the equal-power restriction shared by several baselines.
+
+    Returns the common power.  Raises :class:`repro.exceptions.PowerError`
+    when the branch powers differ — the restriction the generalized algorithm
+    removes.
+    """
+    variances = np.asarray(gaussian_variances, dtype=float)
+    if variances.size == 0:
+        raise PowerError("at least one branch power is required")
+    if np.any(variances <= 0):
+        raise PowerError("branch powers must be positive")
+    if not np.allclose(variances, variances[0], rtol=1e-12, atol=0.0):
+        raise PowerError(
+            f"the {method_name} method only supports equal-power envelopes; "
+            f"got powers {variances.tolist()}"
+        )
+    return float(variances[0])
+
+
+class BaselineGenerator(abc.ABC):
+    """Abstract base class for conventional correlated-Rayleigh generators.
+
+    Subclasses set :attr:`name` and :attr:`reference` (the paper's citation
+    index) and implement :meth:`generate`, producing complex Gaussian samples
+    of shape ``(n_branches, n_samples)``.
+    """
+
+    #: Human-readable method name.
+    name: str = "baseline"
+    #: Citation index used in the paper ("[1]" ... "[6]").
+    reference: str = ""
+
+    def __init__(self, rng: SeedLike = None) -> None:
+        self._rng = ensure_rng(rng)
+
+    @property
+    @abc.abstractmethod
+    def n_branches(self) -> int:
+        """Number of correlated branches produced per sample."""
+
+    @abc.abstractmethod
+    def generate(self, n_samples: int, rng: Optional[SeedLike] = None) -> ComplexArray:
+        """Generate ``(n_branches, n_samples)`` correlated complex Gaussian samples."""
+
+    def generate_envelopes(self, n_samples: int, rng: Optional[SeedLike] = None) -> EnvelopeBlock:
+        """Generate Rayleigh envelopes (moduli of :meth:`generate`)."""
+        samples = self.generate(n_samples, rng=rng)
+        power = np.mean(np.abs(samples) ** 2, axis=1) if n_samples > 1 else np.abs(samples) ** 2
+        return EnvelopeBlock(
+            envelopes=np.abs(samples),
+            gaussian_variances=np.asarray(power, dtype=float),
+            metadata={"method": self.name, "reference": self.reference},
+        )
+
+    def _resolve_rng(self, rng: Optional[SeedLike]) -> np.random.Generator:
+        return self._rng if rng is None else ensure_rng(rng)
+
+    @staticmethod
+    def _validate_n_samples(n_samples: int) -> int:
+        if n_samples < 1:
+            raise GenerationError(f"n_samples must be >= 1, got {n_samples}")
+        return int(n_samples)

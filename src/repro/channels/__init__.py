@@ -1,0 +1,82 @@
+"""Channel correlation models and the Doppler/IDFT fading substrate.
+
+Two physical models provide the covariance inputs to the core algorithm:
+
+* :mod:`repro.channels.spectral` — Jakes' covariances as functions of time
+  delay and frequency separation (Section 2 of the paper, OFDM-style
+  spectral correlation).
+* :mod:`repro.channels.spatial` — Salz & Winters' covariances as functions of
+  antenna spacing in a uniform linear array (Section 3, MIMO-style spatial
+  correlation).
+
+The real-time mode additionally needs a per-branch Doppler-shaped Rayleigh
+generator; that is the Young–Beaulieu IDFT method (Section 5) implemented in
+:mod:`repro.channels.doppler` and :mod:`repro.channels.idft_generator`.
+
+High-level scenario dataclasses in :mod:`repro.channels.scenario` turn
+physical parameters (carrier frequency, mobile speed, antenna spacing, delay
+spread, ...) into a :class:`repro.core.covariance.CovarianceSpec` ready for
+the generator.
+"""
+
+from .geometry import (
+    wavelength,
+    max_doppler_frequency,
+    normalized_doppler,
+    uniform_linear_array_positions,
+)
+from .spectral import (
+    spectral_covariance_pair,
+    spectral_covariance_components,
+    SpectralCorrelationModel,
+)
+from .spatial import (
+    spatial_correlation_real,
+    spatial_correlation_imag,
+    spatial_covariance_components,
+    SpatialCorrelationModel,
+)
+from .doppler import (
+    young_beaulieu_filter,
+    jakes_doppler_psd,
+    filter_output_variance,
+    filter_autocorrelation,
+)
+from .idft_generator import IDFTRayleighGenerator
+from .sum_of_sinusoids import SumOfSinusoidsGenerator
+from .delay_profile import (
+    PowerDelayProfile,
+    exponential_power_delay_profile,
+    coherence_bandwidth,
+)
+from .autocorrelation import clarke_autocorrelation, autocorrelation_error
+from .scenario import OFDMScenario, MIMOArrayScenario, CustomScenario, DopplerSettings
+
+__all__ = [
+    "wavelength",
+    "max_doppler_frequency",
+    "normalized_doppler",
+    "uniform_linear_array_positions",
+    "spectral_covariance_pair",
+    "spectral_covariance_components",
+    "SpectralCorrelationModel",
+    "spatial_correlation_real",
+    "spatial_correlation_imag",
+    "spatial_covariance_components",
+    "SpatialCorrelationModel",
+    "young_beaulieu_filter",
+    "jakes_doppler_psd",
+    "filter_output_variance",
+    "filter_autocorrelation",
+    "IDFTRayleighGenerator",
+    "SumOfSinusoidsGenerator",
+    "PowerDelayProfile",
+    "exponential_power_delay_profile",
+    "coherence_bandwidth",
+    "clarke_autocorrelation",
+    "autocorrelation_error",
+    "OFDMScenario",
+    "MIMOArrayScenario",
+    "CustomScenario",
+    "DopplerSettings",
+]

@@ -1,0 +1,334 @@
+"""High-level scenario descriptions that produce covariance specifications.
+
+The paper's two simulation scenarios (Section 6) are expressed here as
+dataclasses holding *physical* parameters; calling ``covariance_spec`` turns
+them into the :class:`repro.core.covariance.CovarianceSpec` consumed by the
+generators:
+
+* :class:`OFDMScenario` — spectrally correlated branches defined by carrier
+  frequencies, pairwise arrival delays, rms delay spread, Doppler and
+  sampling frequencies (Section 2 / Fig. 4a).
+* :class:`MIMOArrayScenario` — spatially correlated branches defined by a
+  uniform linear array's spacing and the angle-of-departure spread
+  (Section 3 / Fig. 4b).
+* :class:`CustomScenario` — a thin wrapper for covariance components the
+  user computed elsewhere.
+* :class:`DopplerSettings` — the IDFT-generator parameters (``M``,
+  ``sigma_orig^2``, sampling and Doppler frequencies) shared by the real-time
+  experiments.
+
+The import of ``CovarianceSpec`` is deferred to call time so that
+``repro.channels`` and ``repro.core`` can be imported in either order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DimensionError, SpecificationError
+from .geometry import max_doppler_frequency, normalized_doppler
+from .spatial import SpatialCorrelationModel
+from .spectral import SpectralCorrelationModel
+
+__all__ = ["DopplerSettings", "OFDMScenario", "MIMOArrayScenario", "CustomScenario"]
+
+
+@dataclass(frozen=True)
+class DopplerSettings:
+    """Parameters of the real-time (Doppler-shaped) generation mode.
+
+    Attributes
+    ----------
+    sampling_frequency_hz:
+        Sampling frequency ``F_s`` of the transmitted signal.
+    max_doppler_hz:
+        Maximum Doppler frequency ``F_m``.
+    n_points:
+        IDFT block length ``M``.
+    input_variance_per_dim:
+        Variance ``sigma_orig^2`` of the real Gaussian sequences at the
+        Doppler filter inputs.
+    """
+
+    sampling_frequency_hz: float
+    max_doppler_hz: float
+    n_points: int = 4096
+    input_variance_per_dim: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sampling_frequency_hz <= 0:
+            raise SpecificationError("sampling_frequency_hz must be positive")
+        if self.max_doppler_hz <= 0:
+            raise SpecificationError("max_doppler_hz must be positive")
+        if self.n_points < 8:
+            raise SpecificationError("n_points must be at least 8")
+        if self.input_variance_per_dim <= 0:
+            raise SpecificationError("input_variance_per_dim must be positive")
+
+    @property
+    def normalized_doppler(self) -> float:
+        """Normalized maximum Doppler frequency ``f_m = F_m / F_s``."""
+        return normalized_doppler(self.max_doppler_hz, self.sampling_frequency_hz)
+
+    @classmethod
+    def from_mobile_speed(
+        cls,
+        speed_ms: float,
+        carrier_frequency_hz: float,
+        sampling_frequency_hz: float,
+        n_points: int = 4096,
+        input_variance_per_dim: float = 0.5,
+    ) -> "DopplerSettings":
+        """Build Doppler settings from a mobile speed and carrier frequency."""
+        return cls(
+            sampling_frequency_hz=sampling_frequency_hz,
+            max_doppler_hz=max_doppler_frequency(speed_ms, carrier_frequency_hz),
+            n_points=n_points,
+            input_variance_per_dim=input_variance_per_dim,
+        )
+
+
+def _pairwise_delay_matrix(delays: np.ndarray, n: int) -> np.ndarray:
+    """Normalize user-provided delays into a symmetric ``(N, N)`` matrix.
+
+    Accepts either a full symmetric matrix or a length-N vector of per-branch
+    arrival times (in which case the pairwise delay is the absolute
+    difference of arrival times).
+    """
+    arr = np.asarray(delays, dtype=float)
+    if arr.ndim == 1:
+        if arr.shape[0] != n:
+            raise DimensionError(
+                f"per-branch arrival times must have length {n}, got {arr.shape[0]}"
+            )
+        return np.abs(arr[:, None] - arr[None, :])
+    if arr.shape != (n, n):
+        raise DimensionError(
+            f"delay matrix must have shape ({n}, {n}) or ({n},), got {arr.shape}"
+        )
+    if not np.allclose(arr, arr.T):
+        raise SpecificationError("the delay matrix must be symmetric")
+    return arr
+
+
+@dataclass(frozen=True)
+class OFDMScenario:
+    """Spectrally correlated branches (Section 2, Fig. 4a of the paper).
+
+    Attributes
+    ----------
+    carrier_frequencies_hz:
+        Carrier frequency of each branch (length N).
+    delays_s:
+        Either a symmetric ``(N, N)`` matrix of pairwise arrival delays
+        ``tau_{k,j}`` or a length-N vector of per-branch arrival times.
+    rms_delay_spread_s:
+        RMS delay spread ``sigma_tau`` of the channel.
+    doppler:
+        Doppler settings (sampling frequency, maximum Doppler, IDFT size).
+    """
+
+    carrier_frequencies_hz: np.ndarray
+    delays_s: np.ndarray
+    rms_delay_spread_s: float
+    doppler: DopplerSettings
+
+    def __post_init__(self) -> None:
+        freqs = np.asarray(self.carrier_frequencies_hz, dtype=float)
+        if freqs.ndim != 1 or freqs.size < 1:
+            raise DimensionError("carrier_frequencies_hz must be a non-empty 1-D array")
+        if np.any(freqs <= 0):
+            raise SpecificationError("carrier frequencies must be positive")
+        if self.rms_delay_spread_s < 0:
+            raise SpecificationError("rms_delay_spread_s must be non-negative")
+        delays = _pairwise_delay_matrix(self.delays_s, freqs.size)
+        object.__setattr__(self, "carrier_frequencies_hz", freqs)
+        object.__setattr__(self, "delays_s", delays)
+
+    @property
+    def n_branches(self) -> int:
+        """Number of correlated branches."""
+        return int(self.carrier_frequencies_hz.shape[0])
+
+    @property
+    def default_normalized_doppler(self) -> float:
+        """Normalized Doppler used when the caller does not override it."""
+        return self.doppler.normalized_doppler
+
+    def correlation_model(self) -> SpectralCorrelationModel:
+        """The underlying Jakes spectral-correlation model."""
+        return SpectralCorrelationModel(
+            frequencies_hz=self.carrier_frequencies_hz,
+            delays_s=self.delays_s,
+            max_doppler_hz=self.doppler.max_doppler_hz,
+            rms_delay_spread_s=self.rms_delay_spread_s,
+        )
+
+    def covariance_components(
+        self, gaussian_powers: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(Rxx, Ryy, Rxy, Ryx)`` matrices for the given branch powers."""
+        return self.correlation_model().covariance_components(gaussian_powers)
+
+    def covariance_spec(self, gaussian_powers: np.ndarray):
+        """Build the :class:`repro.core.covariance.CovarianceSpec` for this scenario."""
+        from ..core.covariance import CovarianceSpec
+
+        powers = np.asarray(gaussian_powers, dtype=float)
+        if powers.shape != (self.n_branches,):
+            raise DimensionError(
+                f"gaussian_powers must have shape ({self.n_branches},), got {powers.shape}"
+            )
+        rxx, ryy, rxy, ryx = self.covariance_components(powers)
+        return CovarianceSpec.from_components(
+            powers,
+            rxx,
+            ryy,
+            rxy,
+            ryx,
+            metadata={
+                "scenario": "ofdm-spectral",
+                "carrier_frequencies_hz": self.carrier_frequencies_hz.tolist(),
+                "rms_delay_spread_s": self.rms_delay_spread_s,
+                "max_doppler_hz": self.doppler.max_doppler_hz,
+                "sampling_frequency_hz": self.doppler.sampling_frequency_hz,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class MIMOArrayScenario:
+    """Spatially correlated branches from a uniform linear array (Section 3, Fig. 4b).
+
+    Attributes
+    ----------
+    n_antennas:
+        Number of transmit antennas (branches).
+    spacing_wavelengths:
+        Adjacent-element spacing ``D / lambda``.
+    mean_angle_rad:
+        Mean angle of departure ``Phi``.
+    angular_spread_rad:
+        Angular half-spread ``Delta``.
+    doppler:
+        Optional Doppler settings for real-time generation.
+    """
+
+    n_antennas: int
+    spacing_wavelengths: float
+    mean_angle_rad: float = 0.0
+    angular_spread_rad: float = np.pi / 18.0
+    doppler: Optional[DopplerSettings] = None
+
+    def __post_init__(self) -> None:
+        # Delegate validation of the array parameters to the model class.
+        self.correlation_model()
+
+    @property
+    def n_branches(self) -> int:
+        """Number of correlated branches."""
+        return int(self.n_antennas)
+
+    @property
+    def default_normalized_doppler(self) -> Optional[float]:
+        """Normalized Doppler, when Doppler settings were supplied."""
+        return None if self.doppler is None else self.doppler.normalized_doppler
+
+    def correlation_model(self) -> SpatialCorrelationModel:
+        """The underlying Salz–Winters spatial-correlation model."""
+        return SpatialCorrelationModel(
+            n_antennas=self.n_antennas,
+            spacing_wavelengths=self.spacing_wavelengths,
+            mean_angle_rad=self.mean_angle_rad,
+            angular_spread_rad=self.angular_spread_rad,
+        )
+
+    def covariance_components(
+        self, gaussian_powers: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(Rxx, Ryy, Rxy, Ryx)`` matrices for the given branch powers."""
+        return self.correlation_model().covariance_components(
+            np.asarray(gaussian_powers, dtype=float)
+        )
+
+    def covariance_spec(self, gaussian_powers: np.ndarray):
+        """Build the :class:`repro.core.covariance.CovarianceSpec` for this scenario."""
+        from ..core.covariance import CovarianceSpec
+
+        powers = np.asarray(gaussian_powers, dtype=float)
+        if powers.shape != (self.n_antennas,):
+            raise DimensionError(
+                f"gaussian_powers must have shape ({self.n_antennas},), got {powers.shape}"
+            )
+        rxx, ryy, rxy, ryx = self.covariance_components(powers)
+        return CovarianceSpec.from_components(
+            powers,
+            rxx,
+            ryy,
+            rxy,
+            ryx,
+            metadata={
+                "scenario": "mimo-spatial",
+                "n_antennas": self.n_antennas,
+                "spacing_wavelengths": self.spacing_wavelengths,
+                "mean_angle_rad": self.mean_angle_rad,
+                "angular_spread_rad": self.angular_spread_rad,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class CustomScenario:
+    """A scenario defined directly by covariance component matrices.
+
+    Useful when the pairwise covariances come from measurements or from a
+    correlation model not shipped with the library.
+    """
+
+    rxx: np.ndarray
+    ryy: np.ndarray
+    rxy: np.ndarray
+    ryx: np.ndarray
+    doppler: Optional[DopplerSettings] = None
+    description: str = field(default="custom")
+
+    def __post_init__(self) -> None:
+        shapes = {np.asarray(m).shape for m in (self.rxx, self.ryy, self.rxy, self.ryx)}
+        if len(shapes) != 1:
+            raise DimensionError(
+                f"all covariance component matrices must share one shape, got {shapes}"
+            )
+        (shape,) = shapes
+        if len(shape) != 2 or shape[0] != shape[1]:
+            raise DimensionError(f"covariance components must be square matrices, got {shape}")
+
+    @property
+    def n_branches(self) -> int:
+        """Number of correlated branches."""
+        return int(np.asarray(self.rxx).shape[0])
+
+    @property
+    def default_normalized_doppler(self) -> Optional[float]:
+        """Normalized Doppler, when Doppler settings were supplied."""
+        return None if self.doppler is None else self.doppler.normalized_doppler
+
+    def covariance_spec(self, gaussian_powers: np.ndarray):
+        """Build the :class:`repro.core.covariance.CovarianceSpec` for this scenario."""
+        from ..core.covariance import CovarianceSpec
+
+        powers = np.asarray(gaussian_powers, dtype=float)
+        if powers.shape != (self.n_branches,):
+            raise DimensionError(
+                f"gaussian_powers must have shape ({self.n_branches},), got {powers.shape}"
+            )
+        return CovarianceSpec.from_components(
+            powers,
+            np.asarray(self.rxx, dtype=float),
+            np.asarray(self.ryy, dtype=float),
+            np.asarray(self.rxy, dtype=float),
+            np.asarray(self.ryx, dtype=float),
+            metadata={"scenario": self.description},
+        )

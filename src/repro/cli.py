@@ -1,0 +1,119 @@
+"""Command line interface: ``python -m repro`` / ``repro-experiments``.
+
+Subcommands
+-----------
+``list``
+    Print the registered experiment identifiers.
+``run <id> [...]``
+    Run one or more experiments and print their reports.  ``run all`` runs
+    the full suite.
+``export <id> --output <dir>``
+    Run one experiment and write its report (``.txt``) and any numeric series
+    (``.csv``) into the given directory.
+
+All output is plain text; the experiments regenerate the paper's tables and
+figures as numbers (and ASCII traces with ``--ascii-plots``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .experiments import list_experiments, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation of Tran et al., IPDPS 2005 "
+        "(correlated Rayleigh fading envelope generation).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment identifiers (or 'all')",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    run_parser.add_argument(
+        "--ascii-plots",
+        action="store_true",
+        help="render numeric series as ASCII plots in the report",
+    )
+
+    export_parser = subparsers.add_parser(
+        "export", help="run an experiment and write its report and series to files"
+    )
+    export_parser.add_argument("experiment", help="experiment identifier")
+    export_parser.add_argument(
+        "--output", type=Path, required=True, help="output directory"
+    )
+    export_parser.add_argument("--seed", type=int, default=None)
+
+    return parser
+
+
+def _run_ids(requested: List[str]) -> List[str]:
+    if len(requested) == 1 and requested[0] == "all":
+        return list_experiments()
+    unknown = [name for name in requested if name not in list_experiments()]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s) {unknown}; available: {', '.join(list_experiments())}"
+        )
+    return requested
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point.  Returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "run":
+        exit_code = 0
+        for experiment_id in _run_ids(list(args.experiments)):
+            kwargs = {} if args.seed is None else {"seed": args.seed}
+            result = run_experiment(experiment_id, **kwargs)
+            print(result.render(include_series=args.ascii_plots))
+            print("=" * 78)
+            if not result.passed:
+                exit_code = 1
+        return exit_code
+
+    if args.command == "export":
+        kwargs = {} if args.seed is None else {"seed": args.seed}
+        result = run_experiment(args.experiment, **kwargs)
+        output_dir: Path = args.output
+        output_dir.mkdir(parents=True, exist_ok=True)
+        report_path = output_dir / f"{result.experiment_id}.txt"
+        report_path.write_text(result.render(include_series=True), encoding="utf8")
+        if result.series:
+            csv_path = output_dir / f"{result.experiment_id}.csv"
+            csv_path.write_text(result.series_as_csv(), encoding="utf8")
+        print(f"wrote {report_path}")
+        return 0 if result.passed else 1
+
+    # argparse with required subparsers should prevent reaching this point.
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

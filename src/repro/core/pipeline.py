@@ -1,0 +1,163 @@
+"""One-call convenience wrappers around the full generation pipeline.
+
+Most users need exactly one of two things:
+
+* "give me ``n`` samples of ``N`` correlated Rayleigh envelopes for this
+  covariance matrix" — :func:`generate_correlated_envelopes`;
+* "give me Doppler-shaped correlated envelopes for this physical scenario"
+  — :func:`generate_from_scenario`, which accepts any scenario object
+  exposing ``covariance_spec()`` (the OFDM / MIMO scenario dataclasses in
+  :mod:`repro.channels.scenario`) and optional Doppler settings.
+
+Both return the :class:`repro.types.EnvelopeBlock` /
+:class:`repro.types.GaussianBlock` value objects so downstream code has the
+samples, the powers, and the provenance in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import SpecificationError
+from ..types import EnvelopeBlock, GaussianBlock, SeedLike
+from .covariance import CovarianceSpec
+from .generator import RayleighFadingGenerator
+from .realtime import RealTimeRayleighGenerator
+
+__all__ = ["generate_correlated_envelopes", "generate_from_scenario"]
+
+
+def generate_correlated_envelopes(
+    covariance: Union[CovarianceSpec, np.ndarray],
+    n_samples: int,
+    *,
+    envelope_powers: bool = False,
+    normalized_doppler: Optional[float] = None,
+    coloring_method: str = "eigen",
+    psd_method: str = "clip",
+    rng: SeedLike = None,
+    return_gaussian: bool = False,
+) -> Union[EnvelopeBlock, GaussianBlock]:
+    """Generate correlated Rayleigh envelopes in a single call.
+
+    Parameters
+    ----------
+    covariance:
+        A :class:`CovarianceSpec` or a raw complex covariance matrix ``K``.
+        When ``envelope_powers`` is ``True`` the diagonal of the matrix is
+        interpreted as desired *envelope* variances ``sigma_r^2`` and
+        converted through Eq. (11).
+    n_samples:
+        Number of time samples per branch.  In Doppler mode this is rounded
+        up to a whole number of IDFT blocks and then truncated.
+    envelope_powers:
+        Interpret diagonal powers as envelope variances (see above).
+    normalized_doppler:
+        If given (``0 < f_m < 0.5``), use the real-time Doppler-shaped
+        generator of Section 5; otherwise the snapshot generator of
+        Section 4.4 (time-independent samples).
+    coloring_method, psd_method:
+        Algorithm variants (defaults are the paper's choices).
+    rng:
+        Seed or generator.
+    return_gaussian:
+        If ``True`` return the :class:`GaussianBlock` of complex samples
+        instead of the envelope block.
+
+    Returns
+    -------
+    EnvelopeBlock or GaussianBlock
+    """
+    if n_samples < 1:
+        raise SpecificationError(f"n_samples must be >= 1, got {n_samples}")
+
+    if isinstance(covariance, CovarianceSpec):
+        spec = covariance
+    else:
+        matrix = np.asarray(covariance, dtype=complex)
+        if envelope_powers:
+            from .covariance import correlation_coefficient_matrix
+
+            env_powers = np.real(np.diag(matrix)).copy()
+            rho = correlation_coefficient_matrix(matrix)
+            spec = CovarianceSpec.from_envelope_variances(env_powers, rho)
+        else:
+            spec = CovarianceSpec.from_covariance_matrix(matrix)
+
+    if normalized_doppler is None:
+        generator = RayleighFadingGenerator(
+            spec, coloring_method=coloring_method, psd_method=psd_method, rng=rng
+        )
+        gaussian = generator.generate_gaussian(n_samples)
+    else:
+        # Choose the smallest power-of-two block size that is at least
+        # n_samples and large enough for the Doppler filter passband.
+        n_points = 64
+        while n_points < n_samples or int(np.floor(normalized_doppler * n_points)) < 1:
+            n_points *= 2
+        generator = RealTimeRayleighGenerator(
+            spec,
+            normalized_doppler=normalized_doppler,
+            n_points=n_points,
+            coloring_method=coloring_method,
+            psd_method=psd_method,
+            rng=rng,
+        )
+        gaussian = generator.generate_gaussian(1)
+        gaussian = GaussianBlock(
+            samples=gaussian.samples[:, :n_samples],
+            variances=gaussian.variances,
+            metadata=gaussian.metadata,
+        )
+
+    return gaussian if return_gaussian else gaussian.envelopes()
+
+
+def generate_from_scenario(
+    scenario,
+    gaussian_powers: np.ndarray,
+    n_samples: int,
+    *,
+    normalized_doppler: Optional[float] = None,
+    rng: SeedLike = None,
+    return_gaussian: bool = False,
+) -> Union[EnvelopeBlock, GaussianBlock]:
+    """Generate envelopes for a physical scenario object.
+
+    Parameters
+    ----------
+    scenario:
+        Any object exposing ``covariance_spec(gaussian_powers)`` returning a
+        :class:`CovarianceSpec` — e.g.
+        :class:`repro.channels.scenario.OFDMScenario` or
+        :class:`repro.channels.scenario.MIMOArrayScenario`.
+    gaussian_powers:
+        Per-branch complex-Gaussian powers ``sigma_g_j^2``.
+    n_samples:
+        Number of time samples per branch.
+    normalized_doppler:
+        Doppler mode selector, as in :func:`generate_correlated_envelopes`.
+        If the scenario carries its own Doppler settings (``OFDMScenario``)
+        they are used when this argument is omitted.
+    rng:
+        Seed or generator.
+    return_gaussian:
+        Return the complex samples instead of envelopes.
+    """
+    if not hasattr(scenario, "covariance_spec"):
+        raise SpecificationError(
+            "scenario must expose a covariance_spec(gaussian_powers) method; got "
+            f"{type(scenario).__name__}"
+        )
+    spec = scenario.covariance_spec(np.asarray(gaussian_powers, dtype=float))
+    if normalized_doppler is None:
+        normalized_doppler = getattr(scenario, "default_normalized_doppler", None)
+    return generate_correlated_envelopes(
+        spec,
+        n_samples,
+        normalized_doppler=normalized_doppler,
+        rng=rng,
+        return_gaussian=return_gaussian,
+    )

@@ -1,0 +1,166 @@
+"""Forced positive semi-definiteness of the covariance matrix (Section 4.2).
+
+A covariance matrix requested by the user — especially one assembled from
+measured or modelled pairwise covariances — need not be positive
+semi-definite.  Cholesky-based generators simply fail on such matrices; the
+paper's procedure instead eigendecomposes ``K = V G V^H`` and zeroes any
+negative eigenvalue, yielding the positive semi-definite matrix
+``K_bar = V Lambda V^H`` that is closest to ``K`` in Frobenius norm.
+
+Three strategies are exposed through :func:`force_positive_semidefinite`:
+
+``"clip"``
+    The paper's proposal: negative eigenvalues become exactly 0.
+``"epsilon"``
+    Sorooshyari & Daut [6]: non-positive eigenvalues become a small positive
+    ``epsilon`` (keeps Cholesky viable but is strictly further from ``K``).
+``"higham"``
+    Higham's nearest-PSD with the original diagonal preserved — an extension
+    useful when the branch powers on the diagonal must not be perturbed.
+
+:func:`compare_forcing_methods` quantifies the paper's precision claim by
+reporting the Frobenius distance of each repaired matrix from the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+from ..config import DEFAULTS, NumericDefaults
+from ..exceptions import CovarianceError
+from ..linalg import (
+    clip_negative_eigenvalues,
+    frobenius_distance,
+    hermitian_eigendecomposition,
+    is_positive_semidefinite,
+    nearest_psd_higham,
+    replace_nonpositive_eigenvalues,
+)
+
+__all__ = ["PSDForcingResult", "force_positive_semidefinite", "compare_forcing_methods"]
+
+_METHODS = ("clip", "epsilon", "higham")
+
+
+@dataclass(frozen=True)
+class PSDForcingResult:
+    """Outcome of the forced-PSD procedure.
+
+    Attributes
+    ----------
+    matrix:
+        The positive semi-definite matrix ``K_bar``.
+    requested:
+        The matrix the caller supplied.
+    method:
+        Strategy used (``"clip"``, ``"epsilon"`` or ``"higham"``).
+    was_modified:
+        ``True`` when the request had negative eigenvalues and was repaired.
+    negative_eigenvalues:
+        The negative eigenvalues found in the request (empty when none).
+    frobenius_error:
+        ``||K_bar - K||_F`` — zero (up to round-off) when no repair happened.
+    extra:
+        Method-specific details (e.g. the epsilon used).
+    """
+
+    matrix: np.ndarray
+    requested: np.ndarray
+    method: str
+    was_modified: bool
+    negative_eigenvalues: np.ndarray
+    frobenius_error: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def force_positive_semidefinite(
+    covariance: np.ndarray,
+    method: str = "clip",
+    *,
+    epsilon: float = 1e-6,
+    defaults: NumericDefaults = DEFAULTS,
+) -> PSDForcingResult:
+    """Force a (Hermitian) covariance matrix to be positive semi-definite.
+
+    Parameters
+    ----------
+    covariance:
+        The desired covariance matrix ``K`` (Hermitian; tiny asymmetries are
+        symmetrized away).
+    method:
+        ``"clip"`` (paper, default), ``"epsilon"`` (baseline [6]) or
+        ``"higham"`` (diagonal-preserving nearest PSD).
+    epsilon:
+        Replacement value for the ``"epsilon"`` method.
+    defaults:
+        Tolerance bundle.
+
+    Returns
+    -------
+    PSDForcingResult
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown PSD forcing method {method!r}; choose from {_METHODS}")
+
+    decomp = hermitian_eigendecomposition(covariance)
+    scale = max(abs(decomp.max_eigenvalue), 1.0)
+    negatives = decomp.eigenvalues[decomp.eigenvalues < -defaults.eig_clip_tol * scale]
+    already_psd = negatives.size == 0
+
+    extra: Dict[str, Any] = {"min_eigenvalue": decomp.min_eigenvalue}
+    requested = np.asarray(covariance, dtype=complex)
+
+    if method == "clip":
+        if already_psd:
+            # Keep the caller's matrix bit-for-bit when nothing needs fixing.
+            repaired = requested.copy()
+        else:
+            repaired = clip_negative_eigenvalues(requested, defaults=defaults)
+    elif method == "epsilon":
+        repaired = replace_nonpositive_eigenvalues(requested, epsilon=epsilon, defaults=defaults)
+        extra["epsilon"] = epsilon
+    else:  # higham
+        if already_psd:
+            repaired = requested.copy()
+        else:
+            repaired = nearest_psd_higham(requested, preserve_diagonal=True, defaults=defaults)
+
+    if not is_positive_semidefinite(repaired, defaults=defaults):
+        raise CovarianceError(
+            f"PSD forcing with method {method!r} failed to produce a positive "
+            "semi-definite matrix; this indicates a severely ill-conditioned input"
+        )
+
+    return PSDForcingResult(
+        matrix=repaired,
+        requested=requested,
+        method=method,
+        was_modified=not already_psd or method == "epsilon",
+        negative_eigenvalues=negatives.copy(),
+        frobenius_error=frobenius_distance(repaired, requested),
+        extra=extra,
+    )
+
+
+def compare_forcing_methods(
+    covariance: np.ndarray,
+    *,
+    epsilon: float = 1e-6,
+    defaults: NumericDefaults = DEFAULTS,
+) -> Dict[str, PSDForcingResult]:
+    """Run every forcing strategy on the same matrix and return all results.
+
+    Used by the ``psd-forcing-precision`` experiment to demonstrate the
+    paper's claim that eigenvalue clipping approximates the desired
+    covariance better (smaller Frobenius error) than the epsilon replacement
+    of [6].
+    """
+    return {
+        method: force_positive_semidefinite(
+            covariance, method=method, epsilon=epsilon, defaults=defaults
+        )
+        for method in _METHODS
+    }

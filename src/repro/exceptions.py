@@ -1,0 +1,108 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses communicate which
+stage of the correlated-Rayleigh generation pipeline failed: specification of
+the covariance structure, matrix decomposition, Doppler shaping, or
+validation of generated envelopes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SpecificationError",
+    "DimensionError",
+    "PowerError",
+    "CovarianceError",
+    "NotHermitianError",
+    "NotPositiveSemiDefiniteError",
+    "DecompositionError",
+    "CholeskyError",
+    "ColoringError",
+    "DopplerError",
+    "FilterDesignError",
+    "GenerationError",
+    "ValidationError",
+    "ExperimentError",
+    "ParallelExecutionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SpecificationError(ReproError, ValueError):
+    """A user-supplied specification (scenario, powers, delays) is invalid."""
+
+
+class DimensionError(SpecificationError):
+    """Array arguments have inconsistent or unsupported dimensions."""
+
+
+class PowerError(SpecificationError):
+    """A power / variance argument is negative, zero where forbidden, or malformed."""
+
+
+class CovarianceError(ReproError, ValueError):
+    """A covariance matrix violates a structural requirement."""
+
+
+class NotHermitianError(CovarianceError):
+    """Matrix expected to be Hermitian is not (within tolerance)."""
+
+
+class NotPositiveSemiDefiniteError(CovarianceError):
+    """Matrix expected to be positive semi-definite has negative eigenvalues.
+
+    This is the condition that the paper's forced-PSD procedure (Section 4.2)
+    removes; the error is raised only by strict code paths that intentionally
+    refuse to repair the matrix (e.g. the Cholesky-based baselines).
+    """
+
+    def __init__(self, message: str, min_eigenvalue: float | None = None):
+        super().__init__(message)
+        #: The most negative eigenvalue encountered, if known.
+        self.min_eigenvalue = min_eigenvalue
+
+
+class DecompositionError(ReproError, RuntimeError):
+    """A matrix decomposition failed."""
+
+
+class CholeskyError(DecompositionError):
+    """Cholesky factorization failed (matrix not positive definite).
+
+    The proposed algorithm avoids this failure mode entirely; the exception is
+    raised by the conventional baselines that rely on Cholesky decomposition,
+    reproducing the shortcoming the paper describes.
+    """
+
+
+class ColoringError(DecompositionError):
+    """Computation of a coloring matrix ``L`` with ``L L^H = K`` failed."""
+
+
+class DopplerError(ReproError, ValueError):
+    """Doppler-related parameters are invalid (e.g. normalized Doppler >= 0.5)."""
+
+
+class FilterDesignError(DopplerError):
+    """The Doppler filter cannot be designed for the requested parameters."""
+
+
+class GenerationError(ReproError, RuntimeError):
+    """Envelope generation failed at run time."""
+
+
+class ValidationError(ReproError, AssertionError):
+    """A statistical validation check on generated envelopes failed."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment (paper figure/table reproduction) could not be run."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A parallel/ensemble execution failed in one or more workers."""

@@ -1,0 +1,187 @@
+"""Experiment ``baseline-comparison`` — the shortcoming matrix of Section 1.
+
+The paper's introduction reviews six conventional methods and lists, for
+each, the restriction that prevents it from covering the general case the
+proposed algorithm handles.  This experiment exercises every baseline
+implementation on four probe scenarios:
+
+* ``equal-pd``      — equal powers, positive definite complex covariance
+  (Eq. 22): the friendly case most baselines support;
+* ``unequal-pd``    — unequal powers, positive definite covariance;
+* ``complex-cov``   — a covariance with significant imaginary parts, probing
+  the real-forcing of [5];
+* ``indefinite``    — a non-PSD request, probing the Cholesky/PSD repairs.
+
+For each (baseline, scenario) cell the table records whether the method runs
+at all and, if it does, the relative error between the achieved sample
+covariance and the requested one.  The proposed generator is included as the
+reference row and is expected to handle every cell (matching the forced-PSD
+matrix in the indefinite case).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..baselines import (
+    BeaulieuMeraniGenerator,
+    ErtelReedGenerator,
+    NatarajanGenerator,
+    SalzWintersGenerator,
+    SorooshyariDautGenerator,
+)
+from ..core.coloring import compute_coloring
+from ..core.covariance import CovarianceSpec
+from ..core.generator import RayleighFadingGenerator
+from ..exceptions import ReproError
+from ..validation.metrics import relative_frobenius_error
+from . import paper_values as pv
+from .non_psd import make_indefinite_covariance
+from .reporting import ExperimentResult, Table
+
+__all__ = ["run", "probe_scenarios"]
+
+#: Number of samples per probe.
+PROBE_SAMPLES = 150_000
+
+
+def probe_scenarios(seed: int) -> Dict[str, np.ndarray]:
+    """The four probe covariance requests described in the module docstring."""
+    unequal_powers = np.array([0.5, 1.0, 2.0])
+    rho = 0.6
+    unequal = rho ** np.abs(np.subtract.outer(range(3), range(3))) * np.sqrt(
+        np.outer(unequal_powers, unequal_powers)
+    )
+    return {
+        "equal-pd": pv.EQ22_COVARIANCE,
+        "unequal-pd": unequal.astype(complex),
+        "complex-cov": pv.EQ22_COVARIANCE,  # Eq. 22 has genuinely complex covariances
+        "indefinite": make_indefinite_covariance(3, seed),
+    }
+
+
+def _attempt(
+    build: Callable[[], object],
+    generate: Callable[[object], np.ndarray],
+    desired: np.ndarray,
+    reference: Optional[np.ndarray] = None,
+) -> tuple:
+    """Run one (baseline, scenario) cell; returns (runs, error or None, failure reason)."""
+    try:
+        generator = build()
+        samples = generate(generator)
+    except ReproError as exc:
+        return False, None, type(exc).__name__
+    target = desired if reference is None else reference
+    achieved = samples @ samples.conj().T / samples.shape[1]
+    return True, relative_frobenius_error(achieved, target), ""
+
+
+def run(seed: int = 20050412) -> ExperimentResult:
+    """Run every baseline on every probe scenario."""
+    scenarios = probe_scenarios(seed)
+    table = Table(
+        title="Baselines vs. the proposed algorithm (relative covariance error; '-' = cannot run)",
+        columns=["method", "scenario", "runs", "rel. error", "failure"],
+    )
+    metrics = {}
+
+    def add_row(name: str, scenario: str, runs: bool, error, failure: str) -> None:
+        table.add_row(name, scenario, runs, error if error is not None else "-", failure)
+        if error is not None:
+            metrics[f"{name}_{scenario}"] = float(error)
+
+    proposed_ok = True
+    for scenario_name, covariance in scenarios.items():
+        spec_matrix = np.asarray(covariance, dtype=complex)
+
+        # Proposed algorithm: always runs; in the indefinite case it matches
+        # the forced-PSD matrix, which is the best realizable target.
+        reference = None
+        if scenario_name == "indefinite":
+            reference = compute_coloring(spec_matrix).effective_covariance
+        runs, error, failure = _attempt(
+            lambda m=spec_matrix: RayleighFadingGenerator(m, rng=seed),
+            lambda g: g.generate(PROBE_SAMPLES),
+            spec_matrix,
+            reference,
+        )
+        add_row("proposed", scenario_name, runs, error, failure)
+        proposed_ok &= runs and error is not None and error <= 0.06
+
+        # Salz-Winters [1]: equal power, PSD required.
+        runs, error, failure = _attempt(
+            lambda m=spec_matrix: SalzWintersGenerator(m, rng=seed),
+            lambda g: g.generate(PROBE_SAMPLES),
+            spec_matrix,
+        )
+        add_row("salz-winters [1]", scenario_name, runs, error, failure)
+
+        # Ertel-Reed [2]: two branches only - probe with the leading 2x2 block.
+        two_branch = spec_matrix[:2, :2]
+        sigma2 = float(np.real(two_branch[0, 0]))
+        rho = complex(two_branch[0, 1] / sigma2)
+        equal_power_2x2 = bool(
+            np.isclose(np.real(two_branch[0, 0]), np.real(two_branch[1, 1]))
+        )
+        if equal_power_2x2 and abs(rho) < 1.0:
+            runs, error, failure = _attempt(
+                lambda r=rho, s=sigma2: ErtelReedGenerator(
+                    gaussian_correlation=r, power=s, rng=seed
+                ),
+                lambda g: g.generate(PROBE_SAMPLES),
+                two_branch,
+            )
+            add_row("ertel-reed [2] (2x2 block)", scenario_name, runs, error, failure)
+        else:
+            add_row("ertel-reed [2] (2x2 block)", scenario_name, False, None, "PowerError")
+
+        # Beaulieu-Merani [3,4]: equal power + Cholesky.
+        runs, error, failure = _attempt(
+            lambda m=spec_matrix: BeaulieuMeraniGenerator(m, rng=seed),
+            lambda g: g.generate(PROBE_SAMPLES),
+            spec_matrix,
+        )
+        add_row("beaulieu-merani [3,4]", scenario_name, runs, error, failure)
+
+        # Natarajan [5]: arbitrary power, real-forced covariances + Cholesky.
+        runs, error, failure = _attempt(
+            lambda m=spec_matrix: NatarajanGenerator(m, rng=seed),
+            lambda g: g.generate(PROBE_SAMPLES),
+            spec_matrix,
+        )
+        add_row("natarajan [5]", scenario_name, runs, error, failure)
+
+        # Sorooshyari-Daut [6]: equal power, epsilon repair + Cholesky.
+        runs, error, failure = _attempt(
+            lambda m=spec_matrix: SorooshyariDautGenerator(m, rng=seed),
+            lambda g: g.generate(PROBE_SAMPLES),
+            spec_matrix,
+        )
+        add_row("sorooshyari-daut [6]", scenario_name, runs, error, failure)
+
+    # Acceptance: the proposed method covers every scenario; the documented
+    # restrictions show up as failures or inflated errors in the baselines.
+    natarajan_complex_error = metrics.get("natarajan [5]_complex-cov", 0.0)
+    result = ExperimentResult(
+        experiment_id="baseline-comparison",
+        paper_artifact="Section 1 (shortcoming analysis of [1]-[6])",
+        description=(
+            "Each conventional method is exercised on equal-power / unequal-power / "
+            "complex-covariance / indefinite probes; the failures and errors in the "
+            "table are the shortcomings the paper's introduction enumerates, while the "
+            "proposed algorithm covers every probe."
+        ),
+        parameters={"probe_samples": PROBE_SAMPLES, "seed": seed},
+        metrics=metrics,
+        passed=proposed_ok and natarajan_complex_error > 0.2,
+        notes=(
+            "The Natarajan [5] row on the complex-covariance probe runs but realizes "
+            "only the real part of the requested covariance, hence its large error - "
+            "exactly the limitation the paper points out (its Eq. 8)."
+        ),
+    )
+    result.add_table(table)
+    return result

@@ -1,0 +1,93 @@
+"""Experiment ``coloring-methods`` — eigendecomposition vs. Cholesky vs. SVD coloring.
+
+Section 4.3 replaces the conventional Cholesky coloring with the
+eigendecomposition coloring ``L = V sqrt(Lambda)``.  For positive definite
+covariances both (and the SVD variant) are valid — they produce different
+``L`` but identical statistics; for positive *semi*-definite or indefinite
+requests only the eigen/SVD path survives.  This experiment runs all three
+strategies over three matrix classes (definite, singular-PSD, indefinite) and
+records which succeed and how exact their reconstruction ``L L^H`` is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.coloring import compute_coloring
+from ..exceptions import DecompositionError
+from ..linalg import frobenius_distance
+from . import paper_values as pv
+from .non_psd import make_indefinite_covariance
+from .reporting import ExperimentResult, Table
+
+__all__ = ["run", "make_singular_psd_covariance"]
+
+
+def make_singular_psd_covariance(size: int, seed: int = 0) -> np.ndarray:
+    """Hermitian PSD matrix that is *exactly* singular (not just numerically).
+
+    The fully correlated case — every branch identical, unit power — gives the
+    all-ones matrix, whose Cholesky factorization fails deterministically
+    (zero pivots are exact in floating point), which is precisely the
+    "eigenvalues equal or close to zero" situation Section 4.3 cites as the
+    weakness of the conventional coloring.  The ``seed`` argument is accepted
+    for interface symmetry but unused.
+    """
+    return np.ones((size, size), dtype=complex)
+
+
+def run(seed: int = 20050411, size: int = 6) -> ExperimentResult:
+    """Run the experiment over the three matrix classes."""
+    cases = {
+        "positive definite (Eq. 22)": pv.EQ22_COVARIANCE,
+        "singular PSD": make_singular_psd_covariance(size, seed),
+        "indefinite": make_indefinite_covariance(size, seed + 1),
+    }
+    methods = ("eigen", "svd", "cholesky")
+
+    table = Table(
+        title="Coloring strategies across covariance classes",
+        columns=["matrix class", "method", "succeeds", "||LL^H - K_bar||_F", "repaired"],
+    )
+    metrics = {}
+    eigen_always_works = True
+    cholesky_fails_on_singular = False
+
+    for case_name, matrix in cases.items():
+        for method in methods:
+            try:
+                coloring = compute_coloring(matrix, method=method, psd_method="clip")
+                reconstruction_error = frobenius_distance(
+                    coloring.reconstruction(), coloring.effective_covariance
+                )
+                table.add_row(
+                    case_name, method, True, reconstruction_error, coloring.was_repaired
+                )
+                metrics[f"{method}_reconstruction_{case_name.split()[0]}"] = reconstruction_error
+            except DecompositionError:
+                table.add_row(case_name, method, False, float("nan"), "-")
+                if method == "eigen":
+                    eigen_always_works = False
+                if method == "cholesky" and case_name != "positive definite (Eq. 22)":
+                    cholesky_fails_on_singular = True
+
+    result = ExperimentResult(
+        experiment_id="coloring-methods",
+        paper_artifact="Section 4.3 (eigendecomposition vs. Cholesky)",
+        description=(
+            "The eigendecomposition (and SVD) coloring succeeds on positive definite, "
+            "singular PSD and (after the forced-PSD step) indefinite covariance "
+            "requests with an exact reconstruction L L^H = K_bar, while the Cholesky "
+            "coloring requires strict positive definiteness."
+        ),
+        parameters={"size": size, "seed": seed},
+        metrics=metrics,
+        passed=eigen_always_works and cholesky_fails_on_singular,
+        notes=(
+            "The Cholesky row for the indefinite class operates on the *forced-PSD* "
+            "matrix (the pipeline repairs first), which is singular by construction, "
+            "so the factorization still fails - the residual weakness the paper notes."
+        ),
+    )
+    result.add_table(table)
+    return result

@@ -1,0 +1,121 @@
+"""Experiment ``fig4a-spectral-envelopes`` — reproduce Fig. 4(a).
+
+Fig. 4(a) of the paper shows 200 samples of three spectrally correlated,
+Doppler-shaped Rayleigh fading envelopes (dB around the rms value) generated
+by the real-time algorithm of Section 5 with the covariance matrix of
+Eq. (22) and the Doppler parameters ``M = 4096``, ``sigma_orig^2 = 1/2``,
+``fm = 0.05``.
+
+The published figure is a single random realization, so it cannot be matched
+sample-for-sample.  What *is* reproducible — and what this experiment checks
+— are the statistics that figure is meant to demonstrate:
+
+* the covariance of the generated complex Gaussian branches matches Eq. (22),
+* every branch's envelope is Rayleigh with unit Gaussian power,
+* every branch's temporal autocorrelation follows ``J0(2 pi fm d)``, and
+* the generated traces exhibit the deep fades (tens of dB below rms) visible
+  in the figure.
+
+The 200-sample dB traces themselves are returned in ``result.series`` so they
+can be plotted or exported (``ExperimentResult.series_as_csv``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.realtime import RealTimeRayleighGenerator
+from ..signal.levels import envelope_db_around_rms
+from ..validation.reports import validate_block
+from . import paper_values as pv
+from .reporting import ExperimentResult, Table
+
+__all__ = ["run", "build_generator"]
+
+
+def build_generator(seed: int = 20050404, n_points: int = pv.IDFT_POINTS) -> RealTimeRayleighGenerator:
+    """The real-time generator configured exactly as in Section 6 (spectral case)."""
+    scenario = pv.paper_ofdm_scenario(n_points)
+    spec = scenario.covariance_spec(np.ones(pv.N_BRANCHES))
+    return RealTimeRayleighGenerator(
+        spec,
+        normalized_doppler=pv.NORMALIZED_DOPPLER,
+        n_points=n_points,
+        input_variance_per_dim=pv.INPUT_VARIANCE_PER_DIM,
+        rng=seed,
+    )
+
+
+def run(seed: int = 20050404, n_blocks: int = 8) -> ExperimentResult:
+    """Run the experiment.
+
+    Parameters
+    ----------
+    seed:
+        Random seed of the realization.
+    n_blocks:
+        Number of ``M``-sample blocks used for the statistical validation
+        (the plotted trace always uses the first block, like the paper's
+        single realization).
+    """
+    generator = build_generator(seed)
+    block = generator.generate_gaussian(n_blocks)
+    desired = generator.spec.matrix
+
+    report = validate_block(
+        block,
+        desired,
+        covariance_tolerance=0.08,
+        power_tolerance=0.08,
+        rayleigh_statistic=0.05,
+        normalized_doppler=pv.NORMALIZED_DOPPLER,
+    )
+
+    envelopes = np.abs(block.samples)
+    db_traces = envelope_db_around_rms(envelopes[:, : pv.PLOTTED_SAMPLES])
+    deepest_fade_db = float(np.min(db_traces))
+
+    table = Table(
+        title="Fig. 4(a) acceptance checks (statistical content of the figure)",
+        columns=["check", "metric", "tolerance", "pass"],
+    )
+    for check in report.checks:
+        table.add_row(check.name, check.metric, check.tolerance, check.passed)
+    table.add_row("deep fades below -10 dB", deepest_fade_db, -10.0, deepest_fade_db <= -10.0)
+
+    result = ExperimentResult(
+        experiment_id="fig4a-spectral-envelopes",
+        paper_artifact="Fig. 4(a), Section 6",
+        description=(
+            "Three equal-power, spectrally correlated Rayleigh fading envelopes "
+            "generated in real time (Doppler-shaped) with the covariance matrix of "
+            "Eq. (22); the figure's 200-sample dB-around-rms traces are regenerated "
+            "and the statistics it illustrates are validated."
+        ),
+        parameters={
+            "n_branches": pv.N_BRANCHES,
+            "idft_points": pv.IDFT_POINTS,
+            "normalized_doppler": pv.NORMALIZED_DOPPLER,
+            "input_variance_per_dim": pv.INPUT_VARIANCE_PER_DIM,
+            "validation_blocks": n_blocks,
+            "seed": seed,
+        },
+        series={
+            f"envelope_{j + 1}_db": db_traces[j] for j in range(pv.N_BRANCHES)
+        },
+        metrics={
+            "covariance_relative_error": report.checks[0].metric,
+            "envelope_power_error": report.checks[1].metric,
+            "rayleigh_ks_statistic": report.checks[2].metric,
+            "autocorrelation_rms_error": report.checks[3].metric,
+            "deepest_fade_db": deepest_fade_db,
+        },
+        passed=report.passed and deepest_fade_db <= -10.0,
+        notes=(
+            "The published figure is one random realization; reproduction is "
+            "statistical (achieved covariance, Rayleigh fit, Doppler autocorrelation, "
+            "fade depth), with the regenerated traces available in `series`."
+        ),
+    )
+    result.add_table(table)
+    return result

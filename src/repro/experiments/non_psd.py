@@ -1,0 +1,110 @@
+"""Experiment ``non-psd-recovery`` — behaviour on covariance matrices that are not PSD.
+
+Sections 4.2–4.3 of the paper motivate the eigen-coloring + clipping pipeline
+by the failure of Cholesky-based methods on covariance matrices that are not
+positive (semi-)definite.  This experiment builds a family of synthetic
+indefinite covariance requests (valid Hermitian matrices with unit diagonal
+whose smallest eigenvalue is pushed negative), then
+
+* confirms the Cholesky factorization fails on each of them,
+* runs the proposed pipeline, and
+* verifies the achieved sample covariance matches the *forced-PSD* matrix
+  ``K_bar`` (the best realizable approximation), with the Frobenius gap
+  between ``K_bar`` and the request reported as the unavoidable
+  approximation cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.coloring import compute_coloring
+from ..core.generator import RayleighFadingGenerator
+from ..linalg import frobenius_distance, is_positive_semidefinite, try_cholesky
+from ..validation.metrics import relative_frobenius_error
+from .reporting import ExperimentResult, Table
+
+__all__ = ["run", "make_indefinite_covariance"]
+
+
+def make_indefinite_covariance(size: int, seed: int, *, strength: float = 0.25) -> np.ndarray:
+    """Build a Hermitian, unit-diagonal covariance request that is **not** PSD.
+
+    A random Hermitian correlation-like matrix is generated, then its smallest
+    eigenvalue is pushed below zero by subtracting ``strength`` times the
+    projector onto the smallest eigenvector, and the diagonal is restored to
+    one.  The construction mimics what happens in practice when pairwise
+    correlation estimates are assembled into a matrix without a joint
+    consistency constraint.
+    """
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(size=(size, size)) + 1j * rng.normal(size=(size, size))
+    hermitian = raw @ raw.conj().T / size
+    scale = np.sqrt(np.outer(np.real(np.diag(hermitian)), np.real(np.diag(hermitian))))
+    correlation = hermitian / scale
+
+    eigenvalues, eigenvectors = np.linalg.eigh(correlation)
+    weakest = eigenvectors[:, 0:1]
+    perturbed = correlation - (eigenvalues[0] + strength) * (weakest @ weakest.conj().T)
+    np.fill_diagonal(perturbed, 1.0)
+    perturbed = 0.5 * (perturbed + perturbed.conj().T)
+    if is_positive_semidefinite(perturbed):
+        # Increase the push until the matrix is genuinely indefinite.
+        return make_indefinite_covariance(size, seed + 1, strength=strength * 2.0)
+    return perturbed
+
+
+def run(seed: int = 20050408, sizes=(3, 4, 8, 16), n_samples: int = 200_000) -> ExperimentResult:
+    """Run the experiment over several matrix sizes."""
+    table = Table(
+        title="Non-PSD covariance requests: Cholesky vs. the proposed pipeline",
+        columns=[
+            "N",
+            "min eigenvalue",
+            "cholesky succeeds",
+            "forced-PSD gap ||K_bar-K||_F",
+            "sample cov err vs K_bar",
+        ],
+    )
+    metrics = {}
+    all_cholesky_failed = True
+    all_matched = True
+
+    for index, size in enumerate(sizes):
+        request = make_indefinite_covariance(size, seed + index)
+        min_eig = float(np.min(np.linalg.eigvalsh(request)))
+
+        cholesky_result = try_cholesky(request)
+        all_cholesky_failed &= not cholesky_result.success
+
+        coloring = compute_coloring(request, method="eigen", psd_method="clip")
+        gap = frobenius_distance(coloring.effective_covariance, request)
+
+        generator = RayleighFadingGenerator(request, rng=seed + 100 + index)
+        samples = generator.generate(n_samples)
+        sample_covariance = samples @ samples.conj().T / n_samples
+        achieved_error = relative_frobenius_error(
+            sample_covariance, coloring.effective_covariance
+        )
+        all_matched &= achieved_error <= 0.05
+
+        table.add_row(size, min_eig, cholesky_result.success, gap, achieved_error)
+        metrics[f"min_eigenvalue_n{size}"] = min_eig
+        metrics[f"forced_psd_gap_n{size}"] = gap
+        metrics[f"achieved_error_n{size}"] = achieved_error
+
+    result = ExperimentResult(
+        experiment_id="non-psd-recovery",
+        paper_artifact="Sections 4.2-4.3 (forced PSD + eigen coloring)",
+        description=(
+            "Synthetic indefinite covariance requests of several sizes: Cholesky "
+            "factorization (the conventional coloring) fails on all of them, while the "
+            "proposed clip-and-eigendecompose pipeline produces envelopes whose sample "
+            "covariance matches the forced-PSD approximation K_bar."
+        ),
+        parameters={"sizes": list(sizes), "n_samples": n_samples, "seed": seed},
+        metrics=metrics,
+        passed=all_cholesky_failed and all_matched,
+    )
+    result.add_table(table)
+    return result

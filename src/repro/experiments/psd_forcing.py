@@ -1,0 +1,89 @@
+"""Experiment ``psd-forcing-precision`` — clipping vs. epsilon replacement.
+
+Section 4.2 claims the proposed eigenvalue-clipping approximation is closer
+to the desired covariance matrix (in the Frobenius sense) than the epsilon
+replacement of Sorooshyari & Daut [6].  Mathematically the claim is
+guaranteed (clipping is the Frobenius projection onto the PSD cone); this
+experiment quantifies the margin on an ensemble of random indefinite
+covariance requests across matrix sizes and epsilon values, so the practical
+magnitude of the difference is on record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.psd import compare_forcing_methods
+from .non_psd import make_indefinite_covariance
+from .reporting import ExperimentResult, Table
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = 20050409,
+    sizes=(3, 6, 12),
+    epsilons=(1e-6, 1e-3, 1e-1),
+    n_matrices: int = 10,
+) -> ExperimentResult:
+    """Run the experiment.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the random indefinite matrices.
+    sizes:
+        Matrix sizes swept.
+    epsilons:
+        Epsilon values for the replacement method.
+    n_matrices:
+        Number of random matrices per (size, epsilon) cell.
+    """
+    table = Table(
+        title="Frobenius distance of the forced-PSD matrix from the request",
+        columns=["N", "epsilon", "clip (proposed)", "epsilon method [6]", "clip wins"],
+    )
+    metrics = {}
+    clip_always_at_least_as_close = True
+
+    for size in sizes:
+        for epsilon in epsilons:
+            clip_errors = []
+            eps_errors = []
+            for matrix_index in range(n_matrices):
+                request = make_indefinite_covariance(size, seed + 1000 * size + matrix_index)
+                results = compare_forcing_methods(request, epsilon=epsilon)
+                clip_errors.append(results["clip"].frobenius_error)
+                eps_errors.append(results["epsilon"].frobenius_error)
+                if results["epsilon"].frobenius_error + 1e-12 < results["clip"].frobenius_error:
+                    clip_always_at_least_as_close = False
+            clip_mean = float(np.mean(clip_errors))
+            eps_mean = float(np.mean(eps_errors))
+            table.add_row(size, epsilon, clip_mean, eps_mean, clip_mean <= eps_mean)
+            metrics[f"clip_error_n{size}_eps{epsilon:g}"] = clip_mean
+            metrics[f"epsilon_error_n{size}_eps{epsilon:g}"] = eps_mean
+
+    result = ExperimentResult(
+        experiment_id="psd-forcing-precision",
+        paper_artifact="Section 4.2 (approximation comparison with [6])",
+        description=(
+            "Frobenius distance between the desired (indefinite) covariance matrix and "
+            "its forced-PSD approximation, for the proposed eigenvalue clipping versus "
+            "the epsilon replacement of [6], over random indefinite requests."
+        ),
+        parameters={
+            "sizes": list(sizes),
+            "epsilons": list(epsilons),
+            "matrices_per_cell": n_matrices,
+            "seed": seed,
+        },
+        metrics=metrics,
+        passed=clip_always_at_least_as_close,
+        notes=(
+            "Clipping is the Frobenius projection onto the PSD cone, so it can never "
+            "lose; the table records by how much the epsilon method overshoots, which "
+            "grows with epsilon and with the matrix size."
+        ),
+    )
+    result.add_table(table)
+    return result

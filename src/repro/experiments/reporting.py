@@ -1,0 +1,208 @@
+"""Result containers and text rendering for the experiment harness.
+
+Every experiment returns an :class:`ExperimentResult` holding
+
+* the experiment id and which paper artifact it reproduces,
+* the parameter set used (always the paper's values unless the experiment is
+  an ablation sweep),
+* one or more :class:`Table` objects — the rows the paper reports (or the
+  quantitative acceptance values standing in for a qualitative figure),
+* named numeric series (e.g. the envelope traces of Fig. 4) that callers can
+  export, and
+* scalar metrics plus a pass/fail verdict.
+
+Rendering is plain text so the harness works in any terminal and the output
+can be committed next to ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Table", "ExperimentResult", "format_complex_matrix", "ascii_series"]
+
+
+def format_complex_matrix(matrix: np.ndarray, precision: int = 4) -> str:
+    """Render a complex matrix with aligned columns, MATLAB-style."""
+    arr = np.asarray(matrix)
+    rows = []
+    for row in np.atleast_2d(arr):
+        cells = []
+        for value in row:
+            value = complex(value)
+            if abs(value.imag) < 10 ** (-precision - 2):
+                cells.append(f"{value.real:+.{precision}f}")
+            else:
+                cells.append(f"{value.real:+.{precision}f}{value.imag:+.{precision}f}i")
+        rows.append("  ".join(f"{cell:>18s}" for cell in cells))
+    return "\n".join(rows)
+
+
+def ascii_series(
+    values: np.ndarray,
+    width: int = 72,
+    height: int = 16,
+    label: str = "",
+) -> str:
+    """Render a 1-D series as a small ASCII plot (used for the Fig. 4 traces)."""
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise ValueError("ascii_series expects a non-empty 1-D array")
+    # Resample to the plot width by block-averaging.
+    if data.size > width:
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array([data[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    low, high = float(np.min(data)), float(np.max(data))
+    span = high - low if high > low else 1.0
+    rows = [[" "] * len(data) for _ in range(height)]
+    for column, value in enumerate(data):
+        level = int(round((value - low) / span * (height - 1)))
+        rows[height - 1 - level][column] = "*"
+    lines = ["".join(row) for row in rows]
+    header = f"{label}  [min {low:.2f}, max {high:.2f}]" if label else f"[min {low:.2f}, max {high:.2f}]"
+    return "\n".join([header] + lines)
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table.
+
+    Attributes
+    ----------
+    title:
+        Table caption.
+    columns:
+        Column headers.
+    rows:
+        Row values (any mix of strings and numbers; numbers are formatted
+        with 6 significant digits).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the number of columns)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but the table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, (int, np.integer)):
+            return str(int(value))
+        if isinstance(value, (float, np.floating)):
+            return f"{float(value):.6g}"
+        if isinstance(value, complex):
+            return f"{value.real:.4f}{value.imag:+.4f}i"
+        return str(value)
+
+    def render(self) -> str:
+        """Render as fixed-width text."""
+        header = [str(c) for c in self.columns]
+        body = [[self._format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Full record of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier from the registry (e.g. ``"fig4a-spectral-envelopes"``).
+    paper_artifact:
+        Which figure/table/equation of the paper this reproduces.
+    description:
+        One-paragraph description.
+    parameters:
+        The parameter set used.
+    tables:
+        Result tables.
+    series:
+        Named numeric series (e.g. envelope traces in dB).
+    metrics:
+        Scalar summary metrics.
+    passed:
+        Overall pass/fail verdict of the experiment's acceptance criteria.
+    notes:
+        Free-form remarks (e.g. why a figure is validated statistically).
+    """
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    tables: List[Table] = field(default_factory=list)
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    passed: bool = True
+    notes: str = ""
+
+    def add_table(self, table: Table) -> None:
+        """Append a table to the result."""
+        self.tables.append(table)
+
+    def render(self, include_series: bool = False) -> str:
+        """Render the whole result as plain text."""
+        lines = [
+            f"experiment : {self.experiment_id}",
+            f"reproduces : {self.paper_artifact}",
+            f"status     : {'PASS' if self.passed else 'FAIL'}",
+            "",
+            self.description.strip(),
+            "",
+            "parameters:",
+        ]
+        for key, value in self.parameters.items():
+            lines.append(f"  {key} = {value}")
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.render())
+        if self.metrics:
+            lines.append("")
+            lines.append("metrics:")
+            for key, value in self.metrics.items():
+                lines.append(f"  {key} = {value:.6g}")
+        if include_series and self.series:
+            for name, values in self.series.items():
+                lines.append("")
+                lines.append(ascii_series(np.asarray(values, dtype=float), label=name))
+        if self.notes:
+            lines.append("")
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def series_as_csv(self, name: Optional[str] = None) -> str:
+        """Export one (or all) series as CSV text."""
+        names = [name] if name is not None else list(self.series)
+        missing = [n for n in names if n not in self.series]
+        if missing:
+            raise KeyError(f"unknown series {missing}; available: {list(self.series)}")
+        arrays = [np.asarray(self.series[n], dtype=float) for n in names]
+        length = max(a.shape[0] for a in arrays)
+        lines = ["index," + ",".join(names)]
+        for i in range(length):
+            cells = [str(i)]
+            for arr in arrays:
+                cells.append(f"{arr[i]:.6g}" if i < arr.shape[0] else "")
+            lines.append(",".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Experiment ``unequal-power`` — arbitrary (unequal) envelope powers.
+
+The generalized algorithm accepts any per-branch power, specified either as
+complex-Gaussian powers ``sigma_g^2`` or as envelope variances ``sigma_r^2``
+converted through Eq. (11).  Most conventional methods ([1], [2], [3], [4],
+[6]) support equal powers only.  This experiment
+
+* generates four branches with powers spanning nearly an order of magnitude,
+  both in snapshot and in real-time (Doppler) mode,
+* verifies the measured branch powers, envelope means (Eq. 14) and envelope
+  variances (Eq. 15) against the requested values, and
+* verifies the round trip "envelope power -> Gaussian power -> generated
+  envelope variance" when the request is made in envelope units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.covariance import CovarianceSpec
+from ..core.generator import RayleighFadingGenerator
+from ..core.realtime import RealTimeRayleighGenerator
+from ..core.statistics import envelope_power_report
+from ..core.variance import envelope_power_to_gaussian_power
+from . import paper_values as pv
+from .reporting import ExperimentResult, Table
+
+__all__ = ["run"]
+
+#: Complex-Gaussian powers of the four branches.
+GAUSSIAN_POWERS = np.array([0.5, 1.0, 2.0, 4.0])
+
+#: Complex correlation coefficients between adjacent branches.
+ADJACENT_CORRELATION = 0.55 + 0.25j
+
+
+def _correlation_matrix(n: int) -> np.ndarray:
+    """Unit-diagonal Hermitian correlation matrix with geometric decay."""
+    rho = ADJACENT_CORRELATION
+    matrix = np.eye(n, dtype=complex)
+    for k in range(n):
+        for j in range(n):
+            if k < j:
+                matrix[k, j] = rho ** (j - k)
+            elif k > j:
+                matrix[k, j] = np.conj(rho) ** (k - j)
+    return matrix
+
+
+def run(seed: int = 20050410, n_samples: int = 400_000, n_blocks: int = 6) -> ExperimentResult:
+    """Run the experiment in both generation modes."""
+    n = GAUSSIAN_POWERS.size
+    correlation = _correlation_matrix(n)
+    scale = np.sqrt(np.outer(GAUSSIAN_POWERS, GAUSSIAN_POWERS))
+    covariance = correlation * scale
+    spec = CovarianceSpec.from_covariance_matrix(covariance)
+
+    table = Table(
+        title="Unequal-power branches: requested vs. measured statistics",
+        columns=["mode", "branch", "requested sigma_g^2", "measured power", "rel err"],
+    )
+    metrics = {}
+
+    # Snapshot mode.
+    snapshot = RayleighFadingGenerator(spec, rng=seed)
+    snap_env = snapshot.generate_envelopes(n_samples)
+    snap_report = envelope_power_report(snap_env.envelopes, GAUSSIAN_POWERS)
+    for j in range(n):
+        measured = float(snap_report.measured_power[j])
+        table.add_row(
+            "snapshot",
+            j + 1,
+            float(GAUSSIAN_POWERS[j]),
+            measured,
+            abs(measured - GAUSSIAN_POWERS[j]) / GAUSSIAN_POWERS[j],
+        )
+    metrics["snapshot_max_power_error"] = snap_report.max_relative_power_error()
+    metrics["snapshot_max_mean_error"] = snap_report.max_relative_mean_error()
+
+    # Real-time (Doppler) mode.
+    realtime = RealTimeRayleighGenerator(
+        spec,
+        normalized_doppler=pv.NORMALIZED_DOPPLER,
+        n_points=pv.IDFT_POINTS,
+        rng=seed + 1,
+    )
+    rt_env = realtime.generate_envelopes(n_blocks)
+    rt_report = envelope_power_report(rt_env.envelopes, GAUSSIAN_POWERS)
+    for j in range(n):
+        measured = float(rt_report.measured_power[j])
+        table.add_row(
+            "realtime",
+            j + 1,
+            float(GAUSSIAN_POWERS[j]),
+            measured,
+            abs(measured - GAUSSIAN_POWERS[j]) / GAUSSIAN_POWERS[j],
+        )
+    metrics["realtime_max_power_error"] = rt_report.max_relative_power_error()
+    metrics["realtime_max_mean_error"] = rt_report.max_relative_mean_error()
+
+    # Envelope-power entry point (step 1 / Eq. 11): ask for envelope variances
+    # directly and check the generated envelope variances.
+    envelope_variances = np.array([0.1, 0.25, 0.6, 1.2])
+    gaussian_from_envelope = envelope_power_to_gaussian_power(envelope_variances)
+    spec_env = CovarianceSpec.from_envelope_variances(envelope_variances, _correlation_matrix(4))
+    env_generator = RayleighFadingGenerator(spec_env, rng=seed + 2)
+    env_block = env_generator.generate_envelopes(n_samples)
+    measured_env_variance = np.var(env_block.envelopes, axis=1)
+    env_error = float(
+        np.max(np.abs(measured_env_variance - envelope_variances) / envelope_variances)
+    )
+    env_table = Table(
+        title="Envelope-power entry point (Eq. 11 round trip)",
+        columns=["branch", "requested sigma_r^2", "implied sigma_g^2", "measured Var{r}", "rel err"],
+    )
+    for j in range(4):
+        env_table.add_row(
+            j + 1,
+            float(envelope_variances[j]),
+            float(gaussian_from_envelope[j]),
+            float(measured_env_variance[j]),
+            float(abs(measured_env_variance[j] - envelope_variances[j]) / envelope_variances[j]),
+        )
+    metrics["envelope_variance_max_error"] = env_error
+
+    passed = (
+        snap_report.max_relative_power_error() <= 0.05
+        and rt_report.max_relative_power_error() <= 0.08
+        and env_error <= 0.05
+    )
+
+    result = ExperimentResult(
+        experiment_id="unequal-power",
+        paper_artifact="Section 4.4 step 1 / Eq. (11), Section 7 (unequal power claim)",
+        description=(
+            "Four correlated branches with powers 0.5/1/2/4 generated in snapshot and "
+            "Doppler mode; measured branch powers, envelope means and variances match "
+            "the Rayleigh relations, including when the request is made in envelope-"
+            "power units via Eq. (11)."
+        ),
+        parameters={
+            "gaussian_powers": GAUSSIAN_POWERS.tolist(),
+            "adjacent_correlation": str(ADJACENT_CORRELATION),
+            "n_samples": n_samples,
+            "n_blocks": n_blocks,
+            "seed": seed,
+        },
+        metrics=metrics,
+        passed=passed,
+    )
+    result.add_table(table)
+    result.add_table(env_table)
+    return result

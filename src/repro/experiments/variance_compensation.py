@@ -1,0 +1,123 @@
+"""Experiment ``variance-compensation`` — the paper's central real-time correction.
+
+Section 5 argues that the method of Sorooshyari & Daut [6] fails in real-time
+mode because it assumes the Doppler-filtered branch sequences still have unit
+variance, whereas the filter changes the variance to the value of Eq. (19).
+The proposed algorithm measures that variance and divides it out in the
+coloring step.
+
+This experiment generates the Fig. 4(a) scenario (covariance Eq. 22) twice —
+once with the compensation (the proposed algorithm) and once without (the
+baseline's combination) — and reports the achieved covariance and branch
+powers.  The expected outcome, and the acceptance criterion, is that the
+uncompensated run realizes a covariance scaled by ``sigma_g^2`` (orders of
+magnitude off for the paper's parameters, since ``sigma_g^2 ~ 1.9e-5``) while
+the compensated run matches the request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..channels.doppler import filter_output_variance, young_beaulieu_filter
+from ..core.realtime import RealTimeRayleighGenerator
+from ..validation.metrics import relative_frobenius_error
+from . import paper_values as pv
+from .reporting import ExperimentResult, Table
+
+__all__ = ["run"]
+
+
+def run(seed: int = 20050407, n_blocks: int = 6) -> ExperimentResult:
+    """Run the experiment.
+
+    Parameters
+    ----------
+    seed:
+        Random seed shared by both runs so they see identical noise.
+    n_blocks:
+        Number of ``M``-sample blocks used for the covariance estimates.
+    """
+    scenario = pv.paper_ofdm_scenario()
+    spec = scenario.covariance_spec(np.ones(pv.N_BRANCHES))
+    desired = spec.matrix
+
+    coefficients = young_beaulieu_filter(pv.IDFT_POINTS, pv.NORMALIZED_DOPPLER)
+    sigma_g2 = filter_output_variance(coefficients, pv.INPUT_VARIANCE_PER_DIM)
+
+    def realized_covariance(compensate: bool) -> np.ndarray:
+        generator = RealTimeRayleighGenerator(
+            spec,
+            normalized_doppler=pv.NORMALIZED_DOPPLER,
+            n_points=pv.IDFT_POINTS,
+            input_variance_per_dim=pv.INPUT_VARIANCE_PER_DIM,
+            compensate_variance=compensate,
+            rng=seed,
+        )
+        samples = generator.generate(n_blocks)
+        return samples @ samples.conj().T / samples.shape[1]
+
+    compensated = realized_covariance(True)
+    uncompensated = realized_covariance(False)
+
+    error_compensated = relative_frobenius_error(compensated, desired)
+    error_uncompensated = relative_frobenius_error(uncompensated, desired)
+    # The uncompensated run should instead match the desired covariance scaled
+    # by the filter-output variance — the precise failure mode of [6].
+    error_uncompensated_rescaled = relative_frobenius_error(uncompensated, desired * sigma_g2)
+
+    table = Table(
+        title="Achieved covariance vs. desired covariance (Eq. 22 scenario)",
+        columns=["variant", "rel. Frobenius error vs K", "mean branch power"],
+    )
+    table.add_row(
+        "proposed (Eq. 19 compensation)",
+        error_compensated,
+        float(np.mean(np.real(np.diag(compensated)))),
+    )
+    table.add_row(
+        "uncompensated (method of [6])",
+        error_uncompensated,
+        float(np.mean(np.real(np.diag(uncompensated)))),
+    )
+    table.add_row(
+        "uncompensated vs sigma_g^2 * K",
+        error_uncompensated_rescaled,
+        sigma_g2,
+    )
+
+    result = ExperimentResult(
+        experiment_id="variance-compensation",
+        paper_artifact="Section 5 (steps 6-7) and the critique of [6] in Section 1",
+        description=(
+            "Effect of the Doppler-filter variance compensation of Eq. (19): the "
+            "proposed real-time algorithm achieves the desired covariance, while the "
+            "uncompensated combination used by [6] realizes the covariance scaled by "
+            "the filter-output variance."
+        ),
+        parameters={
+            "idft_points": pv.IDFT_POINTS,
+            "normalized_doppler": pv.NORMALIZED_DOPPLER,
+            "input_variance_per_dim": pv.INPUT_VARIANCE_PER_DIM,
+            "n_blocks": n_blocks,
+            "seed": seed,
+        },
+        metrics={
+            "filter_output_variance": sigma_g2,
+            "compensated_relative_error": error_compensated,
+            "uncompensated_relative_error": error_uncompensated,
+            "uncompensated_rescaled_error": error_uncompensated_rescaled,
+            "error_ratio": error_uncompensated / max(error_compensated, 1e-12),
+        },
+        passed=(
+            error_compensated <= 0.08
+            and error_uncompensated >= 0.9  # essentially 100% off: the power collapses
+            and error_uncompensated_rescaled <= 0.08
+        ),
+        notes=(
+            "The uncompensated run is not noisy-but-unbiased: it is biased by exactly "
+            "the factor sigma_g^2 of Eq. (19), as the third table row confirms."
+        ),
+    )
+    result.add_table(table)
+    return result

@@ -1,0 +1,133 @@
+"""Structural checks for covariance matrices.
+
+Every predicate takes the matrix as-is (no copies unless needed) and uses the
+package-wide tolerances from :mod:`repro.config` unless overridden, so that
+the notion of "Hermitian" or "positive semi-definite" is identical everywhere
+in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import DEFAULTS, NumericDefaults
+from ..exceptions import DimensionError, NotHermitianError
+
+__all__ = [
+    "assert_square",
+    "is_hermitian",
+    "assert_hermitian",
+    "hermitian_part",
+    "min_eigenvalue",
+    "is_positive_semidefinite",
+    "is_positive_definite",
+]
+
+
+def assert_square(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``matrix`` is a 2-D square array and return it as ndarray.
+
+    Raises
+    ------
+    DimensionError
+        If the array is not two-dimensional or not square.
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise DimensionError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if arr.shape[0] != arr.shape[1]:
+        raise DimensionError(f"{name} must be square, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise DimensionError(f"{name} must be non-empty")
+    return arr
+
+
+def is_hermitian(
+    matrix: np.ndarray,
+    *,
+    defaults: NumericDefaults = DEFAULTS,
+    atol: Optional[float] = None,
+    rtol: Optional[float] = None,
+) -> bool:
+    """Return ``True`` if ``matrix`` equals its conjugate transpose within tolerance."""
+    arr = assert_square(matrix)
+    atol = defaults.hermitian_atol if atol is None else atol
+    rtol = defaults.hermitian_rtol if rtol is None else rtol
+    return bool(np.allclose(arr, arr.conj().T, atol=atol, rtol=rtol))
+
+
+def assert_hermitian(
+    matrix: np.ndarray,
+    name: str = "covariance matrix",
+    *,
+    defaults: NumericDefaults = DEFAULTS,
+) -> np.ndarray:
+    """Validate Hermitian symmetry, returning the array.
+
+    Raises
+    ------
+    NotHermitianError
+        If the matrix is not Hermitian within tolerance.
+    """
+    arr = assert_square(matrix, name)
+    if not is_hermitian(arr, defaults=defaults):
+        max_asym = float(np.max(np.abs(arr - arr.conj().T)))
+        raise NotHermitianError(
+            f"{name} is not Hermitian (max |K - K^H| element = {max_asym:.3e})"
+        )
+    return arr
+
+
+def hermitian_part(matrix: np.ndarray) -> np.ndarray:
+    """Return the Hermitian part ``(K + K^H)/2`` of a square matrix.
+
+    Used to remove tiny asymmetries introduced by floating-point assembly of
+    covariance matrices before eigendecomposition.
+    """
+    arr = assert_square(matrix)
+    return 0.5 * (arr + arr.conj().T)
+
+
+def min_eigenvalue(matrix: np.ndarray) -> float:
+    """Return the smallest eigenvalue of a Hermitian matrix.
+
+    The matrix is symmetrized first so the result is always real.
+    """
+    herm = hermitian_part(matrix)
+    return float(np.min(np.linalg.eigvalsh(herm)))
+
+
+def is_positive_semidefinite(
+    matrix: np.ndarray,
+    *,
+    defaults: NumericDefaults = DEFAULTS,
+    tol: Optional[float] = None,
+) -> bool:
+    """Return ``True`` if the Hermitian matrix has no eigenvalue below ``-tol_eff``.
+
+    The effective tolerance scales with the largest absolute eigenvalue so the
+    predicate is invariant to uniform scaling of the matrix.
+    """
+    herm = hermitian_part(matrix)
+    eigvals = np.linalg.eigvalsh(herm)
+    scale = float(np.max(np.abs(eigvals))) if eigvals.size else 0.0
+    base_tol = defaults.psd_tol if tol is None else tol
+    tol_eff = base_tol * max(scale, 1.0)
+    return bool(np.min(eigvals) >= -tol_eff)
+
+
+def is_positive_definite(
+    matrix: np.ndarray,
+    *,
+    defaults: NumericDefaults = DEFAULTS,
+    tol: Optional[float] = None,
+) -> bool:
+    """Return ``True`` if the Hermitian matrix has all eigenvalues above ``tol_eff``."""
+    herm = hermitian_part(matrix)
+    eigvals = np.linalg.eigvalsh(herm)
+    scale = float(np.max(np.abs(eigvals))) if eigvals.size else 0.0
+    base_tol = defaults.psd_tol if tol is None else tol
+    tol_eff = base_tol * max(scale, 1.0)
+    return bool(np.min(eigvals) > tol_eff)

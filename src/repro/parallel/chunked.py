@@ -1,0 +1,148 @@
+"""Chunked / streaming generation with bounded memory.
+
+Long fading records (e.g. hours of channel at kHz sampling) do not fit in
+memory as a single ``(N, n_samples)`` array.  :class:`ChunkedGenerator`
+wraps either generator flavour and yields fixed-size blocks;
+:func:`stream_envelope_statistics` shows the intended usage pattern by
+accumulating the running covariance and envelope power over a stream without
+ever materializing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from ..core.covariance import CovarianceSpec
+from ..core.generator import RayleighFadingGenerator
+from ..core.realtime import RealTimeRayleighGenerator
+from ..exceptions import SpecificationError
+from ..types import GaussianBlock, SeedLike
+
+__all__ = ["ChunkedGenerator", "StreamedStatistics", "stream_envelope_statistics"]
+
+
+class ChunkedGenerator:
+    """Stream correlated fading samples in fixed-size chunks.
+
+    Parameters
+    ----------
+    spec:
+        Covariance specification (or raw covariance matrix).
+    chunk_size:
+        Number of time samples per yielded chunk (snapshot mode).  In Doppler
+        mode the chunk size is the IDFT block length ``n_points``.
+    normalized_doppler:
+        If given, produce Doppler-shaped chunks with the real-time generator.
+    n_points:
+        IDFT block length for Doppler mode.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        spec: Union[CovarianceSpec, np.ndarray],
+        *,
+        chunk_size: int = 4096,
+        normalized_doppler: Optional[float] = None,
+        n_points: int = 4096,
+        rng: SeedLike = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise SpecificationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if not isinstance(spec, CovarianceSpec):
+            spec = CovarianceSpec.from_covariance_matrix(np.asarray(spec, dtype=complex))
+        self._spec = spec
+        self._doppler = normalized_doppler
+        if normalized_doppler is None:
+            self._chunk_size = int(chunk_size)
+            self._generator: Union[RayleighFadingGenerator, RealTimeRayleighGenerator] = (
+                RayleighFadingGenerator(spec, rng=rng)
+            )
+        else:
+            self._chunk_size = int(n_points)
+            self._generator = RealTimeRayleighGenerator(
+                spec,
+                normalized_doppler=float(normalized_doppler),
+                n_points=int(n_points),
+                rng=rng,
+            )
+
+    @property
+    def chunk_size(self) -> int:
+        """Number of time samples per chunk."""
+        return self._chunk_size
+
+    @property
+    def n_branches(self) -> int:
+        """Number of correlated branches."""
+        return self._spec.n_branches
+
+    def chunks(self, n_chunks: int) -> Iterator[GaussianBlock]:
+        """Yield ``n_chunks`` consecutive blocks of complex Gaussian samples."""
+        if n_chunks < 1:
+            raise SpecificationError(f"n_chunks must be >= 1, got {n_chunks}")
+        for _ in range(n_chunks):
+            if isinstance(self._generator, RealTimeRayleighGenerator):
+                yield self._generator.generate_gaussian(1)
+            else:
+                yield self._generator.generate_gaussian(self._chunk_size)
+
+    def total_samples(self, n_chunks: int) -> int:
+        """Number of time samples produced by ``n_chunks`` chunks."""
+        return int(n_chunks) * self._chunk_size
+
+
+@dataclass
+class StreamedStatistics:
+    """Running statistics accumulated over a chunk stream.
+
+    Attributes
+    ----------
+    covariance:
+        Running estimate of ``E{Z Z^H}``.
+    envelope_power:
+        Running per-branch envelope power ``E{r^2}``.
+    envelope_mean:
+        Running per-branch envelope mean ``E{r}``.
+    n_samples:
+        Total samples accumulated.
+    """
+
+    covariance: np.ndarray
+    envelope_power: np.ndarray
+    envelope_mean: np.ndarray
+    n_samples: int
+
+
+def stream_envelope_statistics(
+    generator: ChunkedGenerator, n_chunks: int
+) -> StreamedStatistics:
+    """Accumulate covariance and envelope statistics over a stream of chunks.
+
+    Memory usage is one chunk regardless of ``n_chunks``.
+    """
+    n = generator.n_branches
+    covariance_accumulator = np.zeros((n, n), dtype=complex)
+    power_accumulator = np.zeros(n)
+    mean_accumulator = np.zeros(n)
+    total = 0
+    for block in generator.chunks(n_chunks):
+        samples = block.samples
+        count = samples.shape[1]
+        covariance_accumulator += samples @ samples.conj().T
+        envelopes = np.abs(samples)
+        power_accumulator += np.sum(envelopes**2, axis=1)
+        mean_accumulator += np.sum(envelopes, axis=1)
+        total += count
+    if total == 0:
+        raise SpecificationError("no samples were generated")
+    return StreamedStatistics(
+        covariance=covariance_accumulator / total,
+        envelope_power=power_accumulator / total,
+        envelope_mean=mean_accumulator / total,
+        n_samples=total,
+    )

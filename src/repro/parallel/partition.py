@@ -1,0 +1,79 @@
+"""Work partitioning for parallel envelope generation.
+
+Splitting a Monte-Carlo sample budget across workers has two requirements:
+
+* the per-worker counts must sum exactly to the requested total (no silent
+  over- or under-generation), and
+* each worker must receive an independent random stream derived
+  deterministically from the experiment seed, so results do not depend on
+  how many workers happened to be used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..random import spawn_rngs
+from ..types import SeedLike
+
+__all__ = ["partition_counts", "WorkerTask", "build_worker_tasks"]
+
+
+def partition_counts(total: int, n_partitions: int) -> List[int]:
+    """Split ``total`` into ``n_partitions`` non-negative counts summing to ``total``.
+
+    The first ``total % n_partitions`` partitions receive one extra item, so
+    counts differ by at most one.
+
+    Raises
+    ------
+    ValueError
+        If ``total`` is negative or ``n_partitions`` is not positive.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if n_partitions <= 0:
+        raise ValueError(f"n_partitions must be positive, got {n_partitions}")
+    base, remainder = divmod(int(total), int(n_partitions))
+    return [base + (1 if index < remainder else 0) for index in range(n_partitions)]
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """One worker's share of a partitioned generation job.
+
+    Attributes
+    ----------
+    index:
+        Worker index (0-based).
+    n_samples:
+        Number of samples this worker must generate.
+    seed:
+        Integer seed for the worker's independent random stream.
+    """
+
+    index: int
+    n_samples: int
+    seed: int
+
+
+def build_worker_tasks(total_samples: int, n_workers: int, seed: SeedLike) -> List[WorkerTask]:
+    """Build per-worker tasks with balanced counts and independent seeds.
+
+    Workers that would receive zero samples are dropped, so the returned list
+    may be shorter than ``n_workers`` for small totals.
+    """
+    counts = partition_counts(total_samples, n_workers)
+    rngs = spawn_rngs(seed, n_workers)
+    tasks: List[WorkerTask] = []
+    for index, (count, rng) in enumerate(zip(counts, rngs)):
+        if count == 0:
+            continue
+        # Derive a plain integer seed from the child stream so tasks are
+        # picklable and workers can rebuild their Generator cheaply.
+        worker_seed = int(rng.integers(0, np.iinfo(np.int64).max))
+        tasks.append(WorkerTask(index=index, n_samples=count, seed=worker_seed))
+    return tasks

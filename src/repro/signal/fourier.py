@@ -1,0 +1,135 @@
+"""Discrete Fourier transform utilities.
+
+The real-time generator of Section 5 synthesizes each Rayleigh process with
+an M-point inverse DFT of Doppler-filtered Gaussian noise (Fig. 2).  The
+production code paths use numpy's FFT (wrapped by :func:`dft` / :func:`idft`
+with the paper's normalization conventions), while :func:`naive_dft` and
+:func:`radix2_fft` provide from-scratch reference implementations used by the
+test-suite to validate the convention and by users who want a dependency-free
+(if slower) kernel.
+
+Normalization convention
+------------------------
+The paper writes the synthesis as
+
+.. math::
+
+    u_j[l] = \\frac{1}{M} \\sum_{k=0}^{M-1} U_j[k] e^{i 2\\pi k l / M},
+
+i.e. the *inverse* transform carries the ``1/M`` factor and the forward
+transform carries none — exactly numpy's default convention, which is why
+``idft`` simply delegates to ``numpy.fft.ifft``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dft", "idft", "dft_matrix", "naive_dft", "radix2_fft", "radix2_ifft"]
+
+
+def dft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Forward DFT with no normalization factor (paper / numpy convention)."""
+    return np.fft.fft(np.asarray(x), axis=axis)
+
+
+def idft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inverse DFT carrying the ``1/M`` factor (paper / numpy convention)."""
+    return np.fft.ifft(np.asarray(x), axis=axis)
+
+
+def dft_matrix(n: int) -> np.ndarray:
+    """Return the ``n x n`` forward DFT matrix ``W[k, l] = exp(-2*pi*i*k*l/n)``.
+
+    Useful for exact small-size reference computations in tests.
+    """
+    if n <= 0:
+        raise ValueError(f"DFT size must be positive, got {n}")
+    indices = np.arange(n)
+    return np.exp(-2j * np.pi * np.outer(indices, indices) / n)
+
+
+def naive_dft(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """O(n^2) matrix-multiplication DFT used as a reference implementation.
+
+    Parameters
+    ----------
+    x:
+        1-D input sequence.
+    inverse:
+        If ``True`` compute the inverse transform (with the ``1/M`` factor).
+    """
+    x = np.asarray(x, dtype=complex)
+    if x.ndim != 1:
+        raise ValueError(f"naive_dft expects a 1-D sequence, got ndim={x.ndim}")
+    n = x.shape[0]
+    sign = 1.0 if inverse else -1.0
+    indices = np.arange(n)
+    kernel = np.exp(sign * 2j * np.pi * np.outer(indices, indices) / n)
+    out = kernel @ x
+    if inverse:
+        out /= n
+    return out
+
+
+def _bit_reverse_permutation(n: int) -> np.ndarray:
+    """Indices that put a length-``n`` (power of two) sequence in bit-reversed order."""
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=int)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    return reversed_indices
+
+
+def radix2_fft(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Iterative radix-2 Cooley–Tukey FFT (from scratch, power-of-two lengths).
+
+    This is the classical decimation-in-time algorithm, implemented with
+    vectorized butterfly updates so even the pure-Python path remains usable
+    for the paper's ``M = 4096``-point synthesis.
+
+    Parameters
+    ----------
+    x:
+        1-D sequence whose length is a power of two.
+    inverse:
+        If ``True`` compute the inverse transform, including the ``1/M``
+        normalization.
+
+    Raises
+    ------
+    ValueError
+        If the input length is not a power of two (use :func:`naive_dft` for
+        arbitrary lengths).
+    """
+    x = np.asarray(x, dtype=complex)
+    if x.ndim != 1:
+        raise ValueError(f"radix2_fft expects a 1-D sequence, got ndim={x.ndim}")
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("radix2_fft requires a non-empty input")
+    if n & (n - 1):
+        raise ValueError(f"radix2_fft requires a power-of-two length, got {n}")
+
+    out = x[_bit_reverse_permutation(n)].copy()
+    sign = 1.0 if inverse else -1.0
+    length = 2
+    while length <= n:
+        half = length // 2
+        twiddles = np.exp(sign * 2j * np.pi * np.arange(half) / length)
+        blocks = out.reshape(n // length, length)
+        even = blocks[:, :half].copy()
+        odd = blocks[:, half:] * twiddles
+        blocks[:, :half] = even + odd
+        blocks[:, half:] = even - odd
+        length *= 2
+
+    if inverse:
+        out /= n
+    return out
+
+
+def radix2_ifft(x: np.ndarray) -> np.ndarray:
+    """Inverse transform companion of :func:`radix2_fft`."""
+    return radix2_fft(x, inverse=True)

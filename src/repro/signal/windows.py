@@ -1,0 +1,64 @@
+"""Window functions for spectral estimation.
+
+Only the windows actually used by the validation layer are implemented; they
+are written out explicitly (rather than pulled from scipy.signal) so the
+spectral estimates used to verify the Doppler shaping are self-contained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rectangular_window", "hann_window", "hamming_window", "get_window"]
+
+
+def _validate_length(n: int) -> int:
+    if not isinstance(n, (int, np.integer)) or n <= 0:
+        raise ValueError(f"window length must be a positive integer, got {n!r}")
+    return int(n)
+
+
+def rectangular_window(n: int) -> np.ndarray:
+    """All-ones window of length ``n``."""
+    return np.ones(_validate_length(n), dtype=float)
+
+
+def hann_window(n: int) -> np.ndarray:
+    """Periodic Hann window of length ``n``."""
+    n = _validate_length(n)
+    if n == 1:
+        return np.ones(1)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * np.arange(n) / n)
+
+
+def hamming_window(n: int) -> np.ndarray:
+    """Periodic Hamming window of length ``n``."""
+    n = _validate_length(n)
+    if n == 1:
+        return np.ones(1)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * np.arange(n) / n)
+
+
+_WINDOWS = {
+    "rectangular": rectangular_window,
+    "boxcar": rectangular_window,
+    "hann": hann_window,
+    "hanning": hann_window,
+    "hamming": hamming_window,
+}
+
+
+def get_window(name: str, n: int) -> np.ndarray:
+    """Return the window ``name`` of length ``n``.
+
+    Raises
+    ------
+    ValueError
+        If the window name is unknown.
+    """
+    key = name.strip().lower()
+    if key not in _WINDOWS:
+        raise ValueError(
+            f"unknown window {name!r}; available: {sorted(set(_WINDOWS))}"
+        )
+    return _WINDOWS[key](n)

@@ -1,0 +1,56 @@
+"""Statistical validation of generated fading envelopes.
+
+The experiments and the integration tests accept or reject a generated block
+of envelopes based on the checks implemented here:
+
+* the empirical covariance of the complex Gaussian samples matches the
+  desired covariance (:func:`check_covariance`);
+* each envelope is Rayleigh distributed (Kolmogorov–Smirnov test,
+  :func:`rayleigh_ks_test`) with the power predicted by Eq. (14)–(15);
+* the phases are uniform (:func:`phase_uniformity_test`);
+* real-time branches have the Clarke/Jakes autocorrelation
+  (:func:`check_autocorrelation`).
+
+The checks return structured result objects rather than booleans so reports
+can show *how close* a run was, not only whether it passed.
+"""
+
+from .metrics import relative_frobenius_error, max_absolute_error, normalized_covariance_error
+from .empirical import (
+    empirical_correlation_coefficients,
+    empirical_envelope_correlation,
+    branch_powers,
+)
+from .hypothesis_tests import (
+    rayleigh_ks_test,
+    phase_uniformity_test,
+    KSTestResult,
+)
+from .reports import (
+    CheckResult,
+    ValidationReport,
+    check_covariance,
+    check_envelope_powers,
+    check_rayleigh_fit,
+    check_autocorrelation,
+    validate_block,
+)
+
+__all__ = [
+    "relative_frobenius_error",
+    "max_absolute_error",
+    "normalized_covariance_error",
+    "empirical_correlation_coefficients",
+    "empirical_envelope_correlation",
+    "branch_powers",
+    "rayleigh_ks_test",
+    "phase_uniformity_test",
+    "KSTestResult",
+    "CheckResult",
+    "ValidationReport",
+    "check_covariance",
+    "check_envelope_powers",
+    "check_rayleigh_fit",
+    "check_autocorrelation",
+    "validate_block",
+]

@@ -1,0 +1,65 @@
+"""Empirical estimators of branch statistics.
+
+These complement :mod:`repro.core.statistics`: where that module compares a
+single block against theory, the estimators here are the raw building blocks
+(correlation coefficients, envelope correlation, powers) used by the
+experiment tables and by the baseline-comparison harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from ..signal.correlation import complex_autocovariance
+
+__all__ = [
+    "empirical_correlation_coefficients",
+    "empirical_envelope_correlation",
+    "branch_powers",
+]
+
+
+def _as_branch_matrix(samples: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(samples)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise DimensionError(f"{name} must be 1-D or 2-D (branches x time), got ndim={arr.ndim}")
+    if arr.shape[1] < 2:
+        raise DimensionError(f"{name} must contain at least two time samples")
+    return arr
+
+
+def branch_powers(samples: np.ndarray) -> np.ndarray:
+    """Per-branch empirical power ``E{|z|^2}`` of complex samples."""
+    arr = _as_branch_matrix(samples, "samples")
+    return np.mean(np.abs(arr) ** 2, axis=1)
+
+
+def empirical_correlation_coefficients(samples: np.ndarray) -> np.ndarray:
+    """Unit-diagonal complex correlation-coefficient matrix of complex Gaussian branches."""
+    arr = _as_branch_matrix(samples, "samples")
+    cov = complex_autocovariance(arr)
+    diag = np.real(np.diag(cov))
+    if np.any(diag <= 0):
+        raise ValueError("cannot normalize: a branch has zero empirical power")
+    scale = np.sqrt(np.outer(diag, diag))
+    return cov / scale
+
+
+def empirical_envelope_correlation(envelopes: np.ndarray) -> np.ndarray:
+    """Pearson correlation matrix of the envelope (amplitude) processes.
+
+    Unlike the complex Gaussian correlation, the envelope correlation
+    involves mean removal (envelopes are not zero-mean).  For jointly
+    Rayleigh branches it approximately equals the squared magnitude of the
+    complex Gaussian correlation coefficient.
+    """
+    arr = _as_branch_matrix(envelopes, "envelopes").astype(float)
+    centered = arr - np.mean(arr, axis=1, keepdims=True)
+    cov = centered @ centered.T / arr.shape[1]
+    std = np.sqrt(np.diag(cov))
+    if np.any(std <= 0):
+        raise ValueError("cannot normalize: a branch has zero envelope variance")
+    return cov / np.outer(std, std)

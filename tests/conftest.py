@@ -1,0 +1,59 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import CovarianceSpec
+from repro.experiments import paper_values as pv
+
+
+@pytest.fixture(scope="session")
+def eq22_covariance() -> np.ndarray:
+    """The paper's Eq. (22) covariance matrix (spectral correlation)."""
+    return pv.EQ22_COVARIANCE.copy()
+
+
+@pytest.fixture(scope="session")
+def eq23_covariance() -> np.ndarray:
+    """The paper's Eq. (23) covariance matrix (spatial correlation)."""
+    return pv.EQ23_COVARIANCE.copy()
+
+
+@pytest.fixture(scope="session")
+def eq22_spec(eq22_covariance) -> CovarianceSpec:
+    """Covariance spec built from Eq. (22)."""
+    return CovarianceSpec.from_covariance_matrix(eq22_covariance)
+
+
+@pytest.fixture(scope="session")
+def eq23_spec(eq23_covariance) -> CovarianceSpec:
+    """Covariance spec built from Eq. (23)."""
+    return CovarianceSpec.from_covariance_matrix(eq23_covariance)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator for each test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def indefinite_covariance() -> np.ndarray:
+    """A small Hermitian covariance request that is NOT positive semi-definite."""
+    matrix = np.array(
+        [
+            [1.0, 0.9, 0.1],
+            [0.9, 1.0, 0.9],
+            [0.1, 0.9, 1.0],
+        ],
+        dtype=complex,
+    )
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    assert np.min(eigenvalues) < 0  # construction sanity check
+    return matrix
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: statistically heavy tests (large sample counts)")

@@ -1,0 +1,108 @@
+"""Integration tests for the real-time algorithm (Fig. 4 scenarios, Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.channels import clarke_autocorrelation
+from repro.core import RealTimeRayleighGenerator
+from repro.experiments import paper_values as pv
+from repro.signal import envelope_db_around_rms, normalized_autocorrelation
+from repro.validation import validate_block
+
+
+@pytest.fixture(scope="module")
+def fig4a_block():
+    spec = pv.paper_ofdm_scenario().covariance_spec(np.ones(3))
+    generator = RealTimeRayleighGenerator(
+        spec,
+        normalized_doppler=pv.NORMALIZED_DOPPLER,
+        n_points=pv.IDFT_POINTS,
+        input_variance_per_dim=pv.INPUT_VARIANCE_PER_DIM,
+        rng=2005,
+    )
+    return spec, generator, generator.generate_gaussian(6)
+
+
+@pytest.fixture(scope="module")
+def fig4b_block():
+    spec = pv.paper_mimo_scenario().covariance_spec(np.ones(3))
+    generator = RealTimeRayleighGenerator(
+        spec,
+        normalized_doppler=pv.NORMALIZED_DOPPLER,
+        n_points=pv.IDFT_POINTS,
+        input_variance_per_dim=pv.INPUT_VARIANCE_PER_DIM,
+        rng=2006,
+    )
+    return spec, generator, generator.generate_gaussian(6)
+
+
+class TestFig4aStatistics:
+    def test_full_validation_report_passes(self, fig4a_block):
+        spec, _, block = fig4a_block
+        report = validate_block(
+            block,
+            spec.matrix,
+            covariance_tolerance=0.1,
+            normalized_doppler=pv.NORMALIZED_DOPPLER,
+        )
+        assert report.passed, report.render()
+
+    def test_db_traces_show_deep_fades(self, fig4a_block):
+        _, _, block = fig4a_block
+        db = envelope_db_around_rms(np.abs(block.samples[:, : pv.PLOTTED_SAMPLES]))
+        assert np.min(db) < -10.0  # Fig. 4(a) shows fades beyond -10 dB
+        assert np.max(db) < 10.0  # and peaks below +10 dB
+
+    def test_branch_autocorrelation_matches_clarke(self, fig4a_block):
+        _, generator, block = fig4a_block
+        acf = np.real(
+            normalized_autocorrelation(block.samples[1][: pv.IDFT_POINTS], max_lag=80)
+        )
+        reference = clarke_autocorrelation(np.arange(81), generator.normalized_doppler)
+        assert np.sqrt(np.mean((acf - reference) ** 2)) < 0.12
+
+    def test_achieved_cross_correlation_structure(self, fig4a_block):
+        spec, _, block = fig4a_block
+        achieved = block.samples @ block.samples.conj().T / block.samples.shape[1]
+        # Ordering of correlation magnitudes matches Eq. (22):
+        # |K12| > |K23| > |K13|.
+        assert abs(achieved[0, 1]) > abs(achieved[1, 2]) > abs(achieved[0, 2])
+
+
+class TestFig4bStatistics:
+    def test_full_validation_report_passes(self, fig4b_block):
+        spec, _, block = fig4b_block
+        report = validate_block(
+            block,
+            spec.matrix,
+            covariance_tolerance=0.1,
+            normalized_doppler=pv.NORMALIZED_DOPPLER,
+        )
+        assert report.passed, report.render()
+
+    def test_covariance_is_essentially_real(self, fig4b_block):
+        _, _, block = fig4b_block
+        achieved = block.samples @ block.samples.conj().T / block.samples.shape[1]
+        assert np.max(np.abs(np.imag(achieved))) < 0.05
+
+    def test_adjacent_branch_envelopes_fade_together(self, fig4b_block):
+        _, _, block = fig4b_block
+        envelopes = np.abs(block.samples)
+        rho_adjacent = np.corrcoef(envelopes[0], envelopes[1])[0, 1]
+        rho_outer = np.corrcoef(envelopes[0], envelopes[2])[0, 1]
+        assert rho_adjacent > rho_outer > 0
+
+
+class TestVarianceCompensationEffect:
+    def test_uncompensated_generation_reproduces_baseline_defect(self):
+        spec = pv.paper_ofdm_scenario().covariance_spec(np.ones(3))
+        compensated = RealTimeRayleighGenerator(
+            spec, normalized_doppler=0.05, n_points=4096, rng=1
+        ).generate(4)
+        uncompensated = RealTimeRayleighGenerator(
+            spec, normalized_doppler=0.05, n_points=4096, rng=1, compensate_variance=False
+        ).generate(4)
+        power_ok = np.mean(np.abs(compensated) ** 2)
+        power_bad = np.mean(np.abs(uncompensated) ** 2)
+        assert power_ok == pytest.approx(1.0, rel=0.1)
+        assert power_bad < 1e-3  # collapses to the filter output variance

@@ -1,0 +1,87 @@
+"""Property-based tests for covariance assembly (Eq. 12-13) and CovarianceSpec."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CovarianceSpec, build_covariance_matrix
+from repro.core.covariance import covariance_entry, decompose_covariance_entry
+
+
+@st.composite
+def component_sets(draw, max_size=6):
+    """Random consistent covariance components (Rxx symmetric, Rxy antisymmetric)."""
+    size = draw(st.integers(min_value=2, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    powers = rng.uniform(0.2, 5.0, size)
+    raw_xx = rng.uniform(-0.4, 0.4, (size, size))
+    rxx = 0.5 * (raw_xx + raw_xx.T)
+    raw_xy = rng.uniform(-0.4, 0.4, (size, size))
+    rxy = 0.5 * (raw_xy - raw_xy.T)
+    np.fill_diagonal(rxx, 0.0)
+    np.fill_diagonal(rxy, 0.0)
+    return powers, rxx, rxx.copy(), rxy, -rxy
+
+
+@st.composite
+def complex_entries(draw):
+    real = draw(st.floats(min_value=-10, max_value=10, allow_nan=False))
+    imag = draw(st.floats(min_value=-10, max_value=10, allow_nan=False))
+    return complex(real, imag)
+
+
+class TestEntryRoundTrip:
+    @given(entry=complex_entries())
+    @settings(max_examples=200)
+    def test_decompose_then_rebuild(self, entry):
+        rebuilt = covariance_entry(*decompose_covariance_entry(entry))
+        assert np.isclose(rebuilt.real, entry.real, atol=1e-12)
+        assert np.isclose(rebuilt.imag, entry.imag, atol=1e-12)
+
+    @given(
+        rxx=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        rxy=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+    def test_circular_symmetric_components_round_trip(self, rxx, rxy):
+        entry = covariance_entry(rxx, rxx, rxy, -rxy)
+        back = decompose_covariance_entry(entry)
+        assert np.isclose(back[0], rxx, atol=1e-12)
+        assert np.isclose(back[2], rxy, atol=1e-12)
+
+
+class TestBuildCovarianceMatrixProperties:
+    @given(components=component_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_assembled_matrix_is_hermitian_with_requested_diagonal(self, components):
+        powers, rxx, ryy, rxy, ryx = components
+        matrix = build_covariance_matrix(powers, rxx, ryy, rxy, ryx)
+        assert np.allclose(matrix, matrix.conj().T)
+        assert np.allclose(np.real(np.diag(matrix)), powers)
+        assert np.allclose(np.imag(np.diag(matrix)), 0.0)
+
+    @given(components=component_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_entries_follow_eq13(self, components):
+        powers, rxx, ryy, rxy, ryx = components
+        matrix = build_covariance_matrix(powers, rxx, ryy, rxy, ryx)
+        size = powers.shape[0]
+        for k in range(size):
+            for j in range(size):
+                if k == j:
+                    continue
+                expected = (rxx[k, j] + ryy[k, j]) - 1j * (rxy[k, j] - ryx[k, j])
+                assert np.isclose(matrix[k, j], expected, atol=1e-12)
+
+    @given(components=component_sets())
+    @settings(max_examples=75, deadline=None)
+    def test_spec_construction_and_normalization(self, components):
+        powers, rxx, ryy, rxy, ryx = components
+        spec = CovarianceSpec.from_components(powers, rxx, ryy, rxy, ryx)
+        rho = spec.correlation_coefficients()
+        assert np.allclose(np.real(np.diag(rho)), 1.0, atol=1e-10)
+        # Correlation coefficients are bounded by Cauchy-Schwarz... only when
+        # the matrix is a valid covariance; here we only require the
+        # normalization to be consistent with the matrix itself.
+        rebuilt = rho * np.sqrt(np.outer(powers, powers))
+        assert np.allclose(rebuilt, spec.matrix, atol=1e-10)

@@ -1,0 +1,57 @@
+"""Property-based tests for the envelope-correlation mapping."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    envelope_correlation_approximation,
+    envelope_correlation_from_gaussian,
+    gaussian_correlation_from_envelope,
+)
+
+magnitudes = st.floats(min_value=0.0, max_value=0.999, allow_nan=False)
+
+
+class TestEnvelopeCorrelationProperties:
+    @given(rho=magnitudes)
+    @settings(max_examples=200)
+    def test_output_is_in_unit_interval(self, rho):
+        value = float(envelope_correlation_from_gaussian(rho))
+        assert 0.0 <= value <= 1.0
+
+    @given(rho=magnitudes)
+    @settings(max_examples=200)
+    def test_exact_never_exceeds_square_approximation(self, rho):
+        exact = float(envelope_correlation_from_gaussian(rho))
+        approx = float(envelope_correlation_approximation(rho))
+        assert exact <= approx + 1e-12
+
+    @given(rho=magnitudes)
+    @settings(max_examples=200)
+    def test_deviation_from_square_is_bounded(self, rho):
+        exact = float(envelope_correlation_from_gaussian(rho))
+        approx = float(envelope_correlation_approximation(rho))
+        assert abs(exact - approx) < 0.03
+
+    @given(rho1=magnitudes, rho2=magnitudes)
+    @settings(max_examples=200)
+    def test_monotonicity(self, rho1, rho2):
+        low, high = sorted((rho1, rho2))
+        assert envelope_correlation_from_gaussian(low) <= envelope_correlation_from_gaussian(
+            high
+        ) + 1e-12
+
+    @given(rho=st.floats(min_value=0.0, max_value=0.99, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_through_inverse(self, rho):
+        forward = float(envelope_correlation_from_gaussian(rho))
+        recovered = float(gaussian_correlation_from_envelope(forward))
+        assert abs(recovered - rho) < 1e-5
+
+    @given(envelope=st.floats(min_value=0.0, max_value=0.99, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_then_forward(self, envelope):
+        rho = float(gaussian_correlation_from_envelope(envelope))
+        assert 0.0 <= rho < 1.0
+        assert abs(float(envelope_correlation_from_gaussian(rho)) - envelope) < 1e-5

@@ -1,0 +1,83 @@
+"""Property-based tests for the end-to-end generator invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CovarianceSpec, RayleighFadingGenerator
+from repro.linalg import is_positive_semidefinite
+
+
+@st.composite
+def random_covariance_specs(draw, max_size=5):
+    """Random valid (PSD) covariance specs with arbitrary unequal powers."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    basis = rng.normal(size=(size, size + 1)) + 1j * rng.normal(size=(size, size + 1))
+    covariance = basis @ basis.conj().T / (size + 1)
+    # Rescale to random powers between 0.2 and 4.
+    powers = rng.uniform(0.2, 4.0, size)
+    scale = np.sqrt(powers / np.real(np.diag(covariance)))
+    covariance = covariance * np.outer(scale, scale)
+    return CovarianceSpec.from_covariance_matrix(covariance)
+
+
+@st.composite
+def random_hermitian_requests(draw, max_size=5):
+    """Random Hermitian (possibly indefinite) covariance requests with unit diagonal."""
+    size = draw(st.integers(min_value=2, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(-0.9, 0.9, (size, size)) + 1j * rng.uniform(-0.9, 0.9, (size, size))
+    matrix = 0.5 * (raw + raw.conj().T)
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+class TestGeneratorInvariants:
+    @given(spec=random_covariance_specs(), n_samples=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_output_shape_and_finiteness(self, spec, n_samples):
+        generator = RayleighFadingGenerator(spec, rng=0)
+        samples = generator.generate(n_samples)
+        assert samples.shape == (spec.n_branches, n_samples)
+        assert np.all(np.isfinite(samples.real)) and np.all(np.isfinite(samples.imag))
+
+    @given(spec=random_covariance_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_envelopes_are_non_negative(self, spec):
+        generator = RayleighFadingGenerator(spec, rng=1)
+        envelopes = generator.generate_envelopes(256).envelopes
+        assert np.all(envelopes >= 0)
+
+    @given(spec=random_covariance_specs(), seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_reproducibility_from_seed(self, spec, seed):
+        a = RayleighFadingGenerator(spec, rng=seed).generate(32)
+        b = RayleighFadingGenerator(spec, rng=seed).generate(32)
+        assert np.array_equal(a, b)
+
+    @given(request=random_hermitian_requests())
+    @settings(max_examples=40, deadline=None)
+    def test_effective_covariance_is_always_psd(self, request):
+        generator = RayleighFadingGenerator(request, rng=2)
+        assert is_positive_semidefinite(generator.effective_covariance)
+
+    @given(request=random_hermitian_requests())
+    @settings(max_examples=40, deadline=None)
+    def test_repair_flag_matches_request_definiteness(self, request):
+        generator = RayleighFadingGenerator(request, rng=3)
+        was_psd = is_positive_semidefinite(request)
+        assert generator.coloring.was_repaired == (not was_psd)
+
+    @given(spec=random_covariance_specs())
+    @settings(max_examples=15, deadline=None)
+    def test_sample_covariance_converges_to_spec(self, spec):
+        # A statistically loose but universal check: with 60k samples the
+        # largest entry error should stay within ~8% of the largest power.
+        generator = RayleighFadingGenerator(spec, rng=4)
+        samples = generator.generate(60_000)
+        achieved = samples @ samples.conj().T / samples.shape[1]
+        tolerance = 0.08 * float(np.max(spec.gaussian_variances))
+        assert np.max(np.abs(achieved - spec.matrix)) < tolerance

@@ -1,0 +1,99 @@
+"""Property-based tests for PSD forcing and coloring over random Hermitian matrices."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import compute_coloring, force_positive_semidefinite
+from repro.linalg import (
+    clip_negative_eigenvalues,
+    frobenius_distance,
+    is_positive_semidefinite,
+    replace_nonpositive_eigenvalues,
+)
+
+
+@st.composite
+def hermitian_matrices(draw, min_size=2, max_size=8):
+    """Random Hermitian matrices with entries of moderate magnitude."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    scale = draw(st.floats(min_value=0.1, max_value=10.0))
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(size=(size, size)) + 1j * rng.normal(size=(size, size))
+    return scale * 0.5 * (raw + raw.conj().T)
+
+
+@st.composite
+def psd_matrices(draw, min_size=2, max_size=8):
+    """Random positive semi-definite Hermitian matrices (possibly rank deficient)."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    rank = draw(st.integers(min_value=1, max_value=size))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    basis = rng.normal(size=(size, rank)) + 1j * rng.normal(size=(size, rank))
+    return basis @ basis.conj().T / rank
+
+
+class TestPsdForcingProperties:
+    @given(matrix=hermitian_matrices())
+    @settings(max_examples=100, deadline=None)
+    def test_clipping_always_yields_psd(self, matrix):
+        assert is_positive_semidefinite(clip_negative_eigenvalues(matrix))
+
+    @given(matrix=hermitian_matrices())
+    @settings(max_examples=100, deadline=None)
+    def test_clipping_is_idempotent(self, matrix):
+        once = clip_negative_eigenvalues(matrix)
+        twice = clip_negative_eigenvalues(once)
+        assert frobenius_distance(once, twice) < 1e-8 * max(1.0, np.linalg.norm(once))
+
+    @given(matrix=hermitian_matrices(), epsilon=st.floats(min_value=1e-8, max_value=1e-1))
+    @settings(max_examples=100, deadline=None)
+    def test_clip_never_further_than_epsilon_replacement(self, matrix, epsilon):
+        clip_error = frobenius_distance(clip_negative_eigenvalues(matrix), matrix)
+        epsilon_error = frobenius_distance(
+            replace_nonpositive_eigenvalues(matrix, epsilon), matrix
+        )
+        assert clip_error <= epsilon_error + 1e-9
+
+    @given(matrix=psd_matrices())
+    @settings(max_examples=75, deadline=None)
+    def test_psd_inputs_pass_through_unmodified(self, matrix):
+        result = force_positive_semidefinite(matrix, method="clip")
+        assert not result.was_modified
+        assert result.frobenius_error == 0.0
+
+    @given(matrix=hermitian_matrices())
+    @settings(max_examples=75, deadline=None)
+    def test_forcing_preserves_hermitian_symmetry(self, matrix):
+        result = force_positive_semidefinite(matrix, method="clip")
+        assert np.allclose(result.matrix, result.matrix.conj().T)
+
+
+class TestColoringProperties:
+    @given(matrix=psd_matrices())
+    @settings(max_examples=75, deadline=None)
+    def test_coloring_reconstructs_psd_matrices(self, matrix):
+        decomposition = compute_coloring(matrix, method="eigen")
+        scale = max(1.0, float(np.linalg.norm(matrix)))
+        assert decomposition.reconstruction_error() < 1e-8 * scale
+
+    @given(matrix=hermitian_matrices())
+    @settings(max_examples=75, deadline=None)
+    def test_coloring_realizes_the_forced_psd_matrix(self, matrix):
+        decomposition = compute_coloring(matrix, method="eigen")
+        realized = decomposition.coloring_matrix @ decomposition.coloring_matrix.conj().T
+        scale = max(1.0, float(np.linalg.norm(matrix)))
+        assert frobenius_distance(realized, decomposition.effective_covariance) < 1e-8 * scale
+        assert is_positive_semidefinite(decomposition.effective_covariance)
+
+    @given(matrix=psd_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_eigen_and_svd_coloring_agree_on_the_covariance(self, matrix):
+        eigen = compute_coloring(matrix, method="eigen")
+        svd = compute_coloring(matrix, method="svd")
+        realized_eigen = eigen.coloring_matrix @ eigen.coloring_matrix.conj().T
+        realized_svd = svd.coloring_matrix @ svd.coloring_matrix.conj().T
+        scale = max(1.0, float(np.linalg.norm(matrix)))
+        assert frobenius_distance(realized_eigen, realized_svd) < 1e-8 * scale

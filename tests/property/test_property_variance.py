@@ -1,0 +1,64 @@
+"""Property-based tests (hypothesis) for the power conversions of Eq. (11)/(14)/(15)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import envelope_power_to_gaussian_power, gaussian_power_to_envelope_power
+from repro.core.variance import (
+    RAYLEIGH_VARIANCE_FACTOR,
+    rayleigh_mean_from_gaussian_power,
+    rayleigh_moments,
+    rayleigh_variance_from_gaussian_power,
+)
+
+positive_powers = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+power_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=16),
+    elements=positive_powers,
+)
+
+
+class TestConversionRoundTrip:
+    @given(powers=power_arrays)
+    @settings(max_examples=200)
+    def test_round_trip_is_identity(self, powers):
+        converted = gaussian_power_to_envelope_power(envelope_power_to_gaussian_power(powers))
+        assert np.allclose(converted, powers, rtol=1e-12)
+
+    @given(power=positive_powers)
+    def test_gaussian_power_always_larger_than_envelope_variance(self, power):
+        # sigma_g^2 = sigma_r^2 / (1 - pi/4) > sigma_r^2 since 1 - pi/4 < 1.
+        assert envelope_power_to_gaussian_power(power) > power
+
+    @given(power=positive_powers, scale=st.floats(min_value=1e-3, max_value=1e3))
+    def test_conversion_is_linear(self, power, scale):
+        assert np.isclose(
+            envelope_power_to_gaussian_power(power * scale),
+            envelope_power_to_gaussian_power(power) * scale,
+            rtol=1e-12,
+        )
+
+
+class TestMomentIdentities:
+    @given(power=positive_powers)
+    def test_mean_squared_plus_variance_equals_power(self, power):
+        mean, variance, second_moment = rayleigh_moments(power)
+        assert np.isclose(mean**2 + variance, second_moment, rtol=1e-12)
+
+    @given(power=positive_powers)
+    def test_variance_fraction_constant(self, power):
+        variance = rayleigh_variance_from_gaussian_power(power)
+        assert np.isclose(variance / power, RAYLEIGH_VARIANCE_FACTOR, rtol=1e-12)
+
+    @given(power=positive_powers)
+    def test_mean_scales_as_sqrt(self, power):
+        assert np.isclose(
+            rayleigh_mean_from_gaussian_power(4.0 * power),
+            2.0 * rayleigh_mean_from_gaussian_power(power),
+            rtol=1e-12,
+        )

@@ -1,0 +1,108 @@
+"""Unit tests for power delay profiles and frequency-correlation quantities."""
+
+import numpy as np
+import pytest
+
+from repro.channels import (
+    PowerDelayProfile,
+    coherence_bandwidth,
+    exponential_power_delay_profile,
+)
+from repro.exceptions import SpecificationError
+
+
+class TestPowerDelayProfile:
+    def test_single_tap_has_zero_delay_spread(self):
+        profile = PowerDelayProfile(delays_s=np.array([1e-6]), powers=np.array([2.0]))
+        assert profile.rms_delay_spread() == 0.0
+        assert profile.mean_excess_delay() == pytest.approx(1e-6)
+
+    def test_two_equal_taps(self):
+        # Two equal-power taps at 0 and T: mean T/2, rms spread T/2.
+        t = 2e-6
+        profile = PowerDelayProfile(delays_s=np.array([0.0, t]), powers=np.array([1.0, 1.0]))
+        assert profile.mean_excess_delay() == pytest.approx(t / 2)
+        assert profile.rms_delay_spread() == pytest.approx(t / 2)
+
+    def test_power_normalization(self):
+        profile = PowerDelayProfile(
+            delays_s=np.array([0.0, 1e-6]), powers=np.array([3.0, 1.0])
+        )
+        assert profile.total_power() == pytest.approx(4.0)
+        assert np.allclose(profile.normalized_powers(), [0.75, 0.25])
+
+    def test_frequency_correlation_at_zero_is_one(self):
+        profile = exponential_power_delay_profile(1e-6)
+        assert profile.frequency_correlation_magnitude(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_frequency_correlation_decays(self):
+        profile = exponential_power_delay_profile(1e-6)
+        separations = np.array([0.0, 50e3, 200e3, 1e6])
+        magnitudes = profile.frequency_correlation_magnitude(separations)
+        assert np.all(np.diff(magnitudes) < 0)
+
+    def test_validation_errors(self):
+        with pytest.raises(SpecificationError):
+            PowerDelayProfile(delays_s=np.array([0.0, 1.0]), powers=np.array([1.0]))
+        with pytest.raises(SpecificationError):
+            PowerDelayProfile(delays_s=np.array([1.0, 0.5]), powers=np.array([1.0, 1.0]))
+        with pytest.raises(SpecificationError):
+            PowerDelayProfile(delays_s=np.array([0.0]), powers=np.array([0.0]))
+        with pytest.raises(SpecificationError):
+            PowerDelayProfile(delays_s=np.array([-1.0]), powers=np.array([1.0]))
+
+
+class TestExponentialProfile:
+    def test_rms_delay_spread_close_to_target(self):
+        target = 1e-6
+        profile = exponential_power_delay_profile(target, n_taps=512, max_delay_factor=20.0)
+        assert profile.rms_delay_spread() == pytest.approx(target, rel=0.02)
+
+    def test_lorentzian_frequency_correlation(self):
+        # |R(df)|^2 should approximate 1 / (1 + (2 pi df sigma)^2), the factor
+        # in the paper's Eq. (3).
+        sigma = 1e-6
+        profile = exponential_power_delay_profile(sigma, n_taps=2048, max_delay_factor=30.0)
+        separations = np.array([50e3, 100e3, 200e3, 400e3])
+        measured = profile.frequency_correlation_magnitude(separations) ** 2
+        expected = 1.0 / (1.0 + (2 * np.pi * separations * sigma) ** 2)
+        assert np.allclose(measured, expected, rtol=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SpecificationError):
+            exponential_power_delay_profile(0.0)
+        with pytest.raises(SpecificationError):
+            exponential_power_delay_profile(1e-6, n_taps=1)
+        with pytest.raises(SpecificationError):
+            exponential_power_delay_profile(1e-6, max_delay_factor=0.0)
+
+
+class TestCoherenceBandwidth:
+    def test_rule_of_thumb_value(self):
+        profile = exponential_power_delay_profile(1e-6, n_taps=512, max_delay_factor=20.0)
+        rule, exact = coherence_bandwidth(profile)
+        assert rule == pytest.approx(1.0 / (2 * np.pi * profile.rms_delay_spread()), rel=1e-6)
+        assert exact > 0
+
+    def test_exact_value_crosses_the_level(self):
+        profile = exponential_power_delay_profile(1e-6, n_taps=1024, max_delay_factor=25.0)
+        _, exact = coherence_bandwidth(profile, correlation_level=0.5)
+        just_below = profile.frequency_correlation_magnitude(np.array([exact * 1.05]))[0]
+        just_above = profile.frequency_correlation_magnitude(np.array([exact * 0.95]))[0]
+        assert just_below < 0.5 < just_above
+
+    def test_larger_delay_spread_smaller_coherence_bandwidth(self):
+        narrow = exponential_power_delay_profile(0.5e-6)
+        wide = exponential_power_delay_profile(2e-6)
+        assert coherence_bandwidth(narrow)[1] > coherence_bandwidth(wide)[1]
+
+    def test_single_tap_profile_is_fully_coherent(self):
+        profile = PowerDelayProfile(delays_s=np.array([1e-6]), powers=np.array([1.0]))
+        rule, exact = coherence_bandwidth(profile)
+        assert rule == float("inf")
+        assert exact == float("inf")
+
+    def test_invalid_level(self):
+        profile = exponential_power_delay_profile(1e-6)
+        with pytest.raises(SpecificationError):
+            coherence_bandwidth(profile, correlation_level=1.5)

@@ -1,0 +1,126 @@
+"""Unit tests for the Salz-Winters spatial correlation model (Eq. 5-7, Eq. 23)."""
+
+import numpy as np
+import pytest
+from scipy.special import j0
+
+from repro.channels import (
+    SpatialCorrelationModel,
+    spatial_correlation_imag,
+    spatial_correlation_real,
+)
+from repro.channels.spatial import spatial_covariance_components
+from repro.exceptions import DimensionError, SpecificationError
+
+
+class TestSpatialCorrelationReal:
+    def test_zero_separation_is_unity(self):
+        value = spatial_correlation_real(0, 1.0, 0.0, np.pi / 18)
+        assert value == pytest.approx(1.0)
+
+    def test_paper_adjacent_value(self):
+        # Eq. (23): adjacent antennas at D/lambda = 1, Delta = 10 deg, Phi = 0.
+        value = spatial_correlation_real(1, 1.0, 0.0, np.pi / 18)
+        assert value == pytest.approx(0.8123, abs=2e-4)
+
+    def test_paper_two_apart_value(self):
+        value = spatial_correlation_real(2, 1.0, 0.0, np.pi / 18)
+        assert value == pytest.approx(0.3730, abs=2e-4)
+
+    def test_symmetric_in_separation_for_phi_zero(self):
+        forward = spatial_correlation_real(1, 1.0, 0.0, np.pi / 18)
+        backward = spatial_correlation_real(-1, 1.0, 0.0, np.pi / 18)
+        assert forward == pytest.approx(backward)
+
+    def test_full_scattering_reduces_to_bessel(self):
+        # Delta = pi (isotropic scattering): R~xx -> J0(z d), the Clarke limit.
+        value = spatial_correlation_real(1, 0.5, 0.0, np.pi)
+        assert value == pytest.approx(float(j0(2 * np.pi * 0.5)), abs=1e-6)
+
+    def test_wider_spread_decorrelates(self):
+        narrow = spatial_correlation_real(1, 1.0, 0.0, np.pi / 36)
+        wide = spatial_correlation_real(1, 1.0, 0.0, np.pi / 2)
+        assert abs(wide) < abs(narrow)
+
+    def test_invalid_angular_spread(self):
+        with pytest.raises(SpecificationError):
+            spatial_correlation_real(1, 1.0, 0.0, 0.0)
+
+    def test_invalid_mean_angle(self):
+        with pytest.raises(SpecificationError):
+            spatial_correlation_real(1, 1.0, 4.0, np.pi / 18)
+
+    def test_negative_spacing_rejected(self):
+        with pytest.raises(SpecificationError):
+            spatial_correlation_real(1, -1.0, 0.0, np.pi / 18)
+
+
+class TestSpatialCorrelationImag:
+    def test_zero_for_broadside(self):
+        # Phi = 0 makes every sin((2m+1) Phi) factor vanish.
+        assert spatial_correlation_imag(1, 1.0, 0.0, np.pi / 18) == pytest.approx(0.0)
+
+    def test_nonzero_off_broadside(self):
+        value = spatial_correlation_imag(1, 1.0, np.pi / 4, np.pi / 18)
+        assert abs(value) > 0.01
+
+    def test_odd_in_separation(self):
+        forward = spatial_correlation_imag(1, 1.0, np.pi / 4, np.pi / 18)
+        backward = spatial_correlation_imag(-1, 1.0, np.pi / 4, np.pi / 18)
+        assert forward == pytest.approx(-backward)
+
+    def test_odd_in_mean_angle(self):
+        plus = spatial_correlation_imag(1, 1.0, np.pi / 6, np.pi / 18)
+        minus = spatial_correlation_imag(1, 1.0, -np.pi / 6, np.pi / 18)
+        assert plus == pytest.approx(-minus)
+
+
+class TestSpatialCovarianceComponents:
+    def test_eq23_assembly(self):
+        rxx, ryy, rxy, ryx = spatial_covariance_components(
+            np.ones(3), 1.0, 0.0, np.pi / 18
+        )
+        # mu_{k,j} = 2 Rxx for Phi = 0; adjacent entries should equal 0.8123.
+        assert 2 * rxx[0, 1] == pytest.approx(0.8123, abs=2e-4)
+        assert 2 * rxx[0, 2] == pytest.approx(0.3730, abs=2e-4)
+        assert np.allclose(rxy, 0.0)
+        assert np.allclose(ryx, 0.0)
+
+    def test_power_scaling(self):
+        rxx_unit, *_ = spatial_covariance_components(np.ones(2), 1.0, 0.0, np.pi / 18)
+        rxx_scaled, *_ = spatial_covariance_components(
+            np.array([4.0, 4.0]), 1.0, 0.0, np.pi / 18
+        )
+        assert rxx_scaled[0, 1] == pytest.approx(4.0 * rxx_unit[0, 1])
+
+    def test_zero_diagonal(self):
+        rxx, *_ = spatial_covariance_components(np.ones(3), 1.0, 0.0, np.pi / 18)
+        assert np.allclose(np.diag(rxx), 0.0)
+
+    def test_invalid_powers(self):
+        with pytest.raises(SpecificationError):
+            spatial_covariance_components(np.array([1.0, -1.0]), 1.0, 0.0, np.pi / 18)
+
+
+class TestSpatialCorrelationModel:
+    def test_normalized_correlation_complex_value(self):
+        model = SpatialCorrelationModel(
+            n_antennas=2, spacing_wavelengths=1.0,
+            mean_angle_rad=np.pi / 4, angular_spread_rad=np.pi / 18,
+        )
+        rho = model.normalized_correlation(1)
+        assert isinstance(rho, complex)
+        assert abs(rho) <= 1.01
+
+    def test_covariance_components_shape_check(self):
+        model = SpatialCorrelationModel(n_antennas=3, spacing_wavelengths=1.0)
+        with pytest.raises(DimensionError):
+            model.covariance_components(np.ones(2))
+
+    def test_invalid_antenna_count(self):
+        with pytest.raises(SpecificationError):
+            SpatialCorrelationModel(n_antennas=0, spacing_wavelengths=1.0)
+
+    def test_n_branches_alias(self):
+        model = SpatialCorrelationModel(n_antennas=5, spacing_wavelengths=0.5)
+        assert model.n_branches == 5

@@ -1,0 +1,68 @@
+"""Unit tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import list_experiments
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses(self):
+        args = build_parser().parse_args(["run", "eq22-spectral-covariance", "--seed", "3"])
+        assert args.command == "run"
+        assert args.experiments == ["eq22-spectral-covariance"]
+        assert args.seed == 3
+
+    def test_export_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export", "eq22-spectral-covariance"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in list_experiments():
+            assert experiment_id in out
+
+    def test_run_single_experiment(self, capsys):
+        code = main(["run", "eq22-spectral-covariance"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "eq22-spectral-covariance" in out
+        assert "PASS" in out
+
+    def test_run_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "does-not-exist"])
+
+    def test_export_writes_report_and_csv(self, tmp_path, capsys):
+        code = main(
+            ["export", "eq23-spatial-covariance", "--output", str(tmp_path / "out")]
+        )
+        assert code == 0
+        report = tmp_path / "out" / "eq23-spatial-covariance.txt"
+        assert report.exists()
+        assert "Eq. (23)" in report.read_text(encoding="utf8")
+
+    def test_export_with_series_writes_csv(self, tmp_path):
+        code = main(
+            [
+                "export",
+                "doppler-autocorrelation",
+                "--output",
+                str(tmp_path / "series"),
+            ]
+        )
+        assert code == 0
+        csv_path = tmp_path / "series" / "doppler-autocorrelation.csv"
+        assert csv_path.exists()
+        assert csv_path.read_text(encoding="utf8").startswith("index,")

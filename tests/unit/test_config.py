@@ -1,0 +1,51 @@
+"""Unit tests for repro.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DEFAULTS, NumericDefaults, with_overrides
+
+
+class TestNumericDefaults:
+    def test_defaults_is_a_numeric_defaults_instance(self):
+        assert isinstance(DEFAULTS, NumericDefaults)
+
+    def test_defaults_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULTS.hermitian_atol = 1.0  # type: ignore[misc]
+
+    def test_tolerances_are_positive(self):
+        assert DEFAULTS.hermitian_atol > 0
+        assert DEFAULTS.hermitian_rtol > 0
+        assert DEFAULTS.eig_clip_tol > 0
+        assert DEFAULTS.psd_tol > 0
+        assert DEFAULTS.cholesky_jitter > 0
+        assert DEFAULTS.bessel_series_tol > 0
+
+    def test_bessel_terms_is_reasonably_large(self):
+        assert DEFAULTS.bessel_series_terms >= 32
+
+    def test_default_seed_is_an_int(self):
+        assert isinstance(DEFAULTS.default_rng_seed, int)
+
+
+class TestWithOverrides:
+    def test_override_single_field(self):
+        custom = with_overrides(psd_tol=1e-6)
+        assert custom.psd_tol == 1e-6
+        assert custom.hermitian_atol == DEFAULTS.hermitian_atol
+
+    def test_original_defaults_unchanged(self):
+        with_overrides(psd_tol=1e-6)
+        assert DEFAULTS.psd_tol != 1e-6
+
+    def test_override_from_custom_base(self):
+        base = with_overrides(psd_tol=1e-6)
+        layered = with_overrides(base, eig_clip_tol=1e-9)
+        assert layered.psd_tol == 1e-6
+        assert layered.eig_clip_tol == 1e-9
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(TypeError):
+            with_overrides(not_a_field=1.0)

@@ -1,0 +1,137 @@
+"""Unit tests for the snapshot generator (Section 4.4 steps 1-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CovarianceSpec, RayleighFadingGenerator
+from repro.exceptions import GenerationError, PowerError
+from repro.types import EnvelopeBlock, GaussianBlock
+
+
+class TestConstruction:
+    def test_accepts_raw_matrix(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=0)
+        assert generator.n_branches == 3
+
+    def test_accepts_spec(self, eq22_spec):
+        generator = RayleighFadingGenerator(eq22_spec, rng=0)
+        assert generator.spec is eq22_spec
+
+    def test_effective_covariance_equals_request_for_pd(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=0)
+        assert np.allclose(generator.effective_covariance, eq22_covariance)
+
+    def test_indefinite_request_is_repaired_not_rejected(self, indefinite_covariance):
+        generator = RayleighFadingGenerator(indefinite_covariance, rng=0)
+        assert generator.coloring.was_repaired
+
+    def test_invalid_sample_variance(self, eq22_covariance):
+        with pytest.raises(PowerError):
+            RayleighFadingGenerator(eq22_covariance, sample_variance=0.0, rng=0)
+
+
+class TestGeneration:
+    def test_gaussian_block_shape(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=1)
+        block = generator.generate_gaussian(100)
+        assert isinstance(block, GaussianBlock)
+        assert block.samples.shape == (3, 100)
+
+    def test_envelope_block_shape(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=1)
+        block = generator.generate_envelopes(50)
+        assert isinstance(block, EnvelopeBlock)
+        assert block.envelopes.shape == (3, 50)
+        assert np.all(block.envelopes >= 0)
+
+    def test_generate_shorthand(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=1)
+        assert generator.generate(7).shape == (3, 7)
+
+    def test_reproducibility(self, eq22_covariance):
+        a = RayleighFadingGenerator(eq22_covariance, rng=5).generate(16)
+        b = RayleighFadingGenerator(eq22_covariance, rng=5).generate(16)
+        assert np.allclose(a, b)
+
+    def test_per_call_rng_override(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=5)
+        a = generator.generate(16, rng=77)
+        b = RayleighFadingGenerator(eq22_covariance, rng=99).generate(16, rng=77)
+        assert np.allclose(a, b)
+
+    def test_invalid_sample_count(self, eq22_covariance):
+        with pytest.raises(GenerationError):
+            RayleighFadingGenerator(eq22_covariance, rng=0).generate(0)
+
+    def test_metadata_records_method(self, eq22_covariance):
+        block = RayleighFadingGenerator(eq22_covariance, rng=0).generate_gaussian(4)
+        assert block.metadata["method"] == "snapshot"
+        assert block.metadata["coloring_method"] == "eigen"
+
+
+class TestColorMethod:
+    def test_color_matrix_shape_vector(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=0)
+        out = generator.color(np.ones(3, dtype=complex))
+        assert out.shape == (3,)
+
+    def test_color_matrix_shape_block(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=0)
+        out = generator.color(np.ones((3, 10), dtype=complex))
+        assert out.shape == (3, 10)
+
+    def test_color_wrong_branch_count_rejected(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=0)
+        with pytest.raises(GenerationError):
+            generator.color(np.ones((2, 10), dtype=complex))
+
+    def test_color_normalizes_by_sample_std(self, eq22_covariance):
+        # Doubling sample_variance and feeding sqrt(2)-scaled white noise must
+        # give the same output: Z = L W / sigma_w.
+        white = np.random.default_rng(3).normal(size=(3, 64)) + 1j * np.random.default_rng(
+            4
+        ).normal(size=(3, 64))
+        g1 = RayleighFadingGenerator(eq22_covariance, sample_variance=1.0, rng=0)
+        g2 = RayleighFadingGenerator(eq22_covariance, sample_variance=2.0, rng=0)
+        assert np.allclose(g1.color(white), g2.color(white * np.sqrt(2.0)))
+
+
+class TestStatisticalProperties:
+    @pytest.fixture(scope="class")
+    def big_block(self, eq22_covariance):
+        generator = RayleighFadingGenerator(eq22_covariance, rng=42)
+        return generator.generate(300_000)
+
+    def test_achieved_covariance(self, big_block, eq22_covariance):
+        achieved = big_block @ big_block.conj().T / big_block.shape[1]
+        assert np.max(np.abs(achieved - eq22_covariance)) < 0.02
+
+    def test_zero_mean(self, big_block):
+        assert np.max(np.abs(np.mean(big_block, axis=1))) < 0.01
+
+    def test_branch_powers(self, big_block):
+        powers = np.mean(np.abs(big_block) ** 2, axis=1)
+        assert np.allclose(powers, 1.0, atol=0.02)
+
+    def test_envelope_moments_match_rayleigh(self, big_block):
+        envelopes = np.abs(big_block)
+        assert np.allclose(np.mean(envelopes, axis=1), 0.8862, atol=0.01)
+        assert np.allclose(np.var(envelopes, axis=1), 0.2146, atol=0.01)
+
+    def test_phases_cover_full_circle(self, big_block):
+        phases = np.angle(big_block[0])
+        histogram, _ = np.histogram(phases, bins=8, range=(-np.pi, np.pi))
+        assert histogram.min() > 0.8 * histogram.mean()
+
+    def test_unequal_power_request(self):
+        covariance = np.diag([0.5, 2.0, 8.0]).astype(complex)
+        generator = RayleighFadingGenerator(covariance, rng=3)
+        samples = generator.generate(200_000)
+        powers = np.mean(np.abs(samples) ** 2, axis=1)
+        assert np.allclose(powers, [0.5, 2.0, 8.0], rtol=0.03)
+
+    def test_indefinite_request_realizes_clipped_covariance(self, indefinite_covariance):
+        generator = RayleighFadingGenerator(indefinite_covariance, rng=9)
+        samples = generator.generate(300_000)
+        achieved = samples @ samples.conj().T / samples.shape[1]
+        assert np.max(np.abs(achieved - generator.effective_covariance)) < 0.02

@@ -1,0 +1,115 @@
+"""Unit tests for the correlated Rician extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import RicianFadingGenerator, rician_moments
+from repro.exceptions import SpecificationError
+from repro.validation import empirical_correlation_coefficients
+
+
+@pytest.fixture()
+def covariance_2x2():
+    return np.array([[1.0, 0.6], [0.6, 1.0]], dtype=complex)
+
+
+class TestRicianMoments:
+    def test_k_zero_reduces_to_rayleigh(self):
+        mean, variance = rician_moments(0.0, total_power=1.0)
+        assert mean == pytest.approx(np.sqrt(np.pi) / 2.0, rel=1e-6)
+        assert variance == pytest.approx(1.0 - np.pi / 4.0, rel=1e-6)
+
+    def test_large_k_approaches_deterministic(self):
+        mean, variance = rician_moments(100.0, total_power=1.0)
+        assert mean == pytest.approx(1.0, abs=0.01)
+        assert variance < 0.01
+
+    def test_mean_square_plus_variance_is_total_power(self):
+        for k in (0.0, 1.0, 5.0):
+            mean, variance = rician_moments(k, total_power=2.5)
+            assert mean**2 + variance == pytest.approx(2.5, rel=1e-10)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SpecificationError):
+            rician_moments(-1.0)
+        with pytest.raises(SpecificationError):
+            rician_moments(1.0, total_power=0.0)
+
+
+class TestConstruction:
+    def test_scalar_k_broadcasts(self, covariance_2x2):
+        generator = RicianFadingGenerator(covariance_2x2, k_factors=3.0, rng=0)
+        assert np.allclose(generator.k_factors, [3.0, 3.0])
+        assert generator.n_branches == 2
+
+    def test_negative_k_rejected(self, covariance_2x2):
+        with pytest.raises(SpecificationError):
+            RicianFadingGenerator(covariance_2x2, k_factors=-1.0, rng=0)
+
+    def test_wrong_phase_shape_rejected(self, covariance_2x2):
+        with pytest.raises(SpecificationError):
+            RicianFadingGenerator(
+                covariance_2x2, k_factors=1.0, los_phases=np.zeros(3), rng=0
+            )
+
+    def test_invalid_sample_count(self, covariance_2x2):
+        generator = RicianFadingGenerator(covariance_2x2, k_factors=1.0, rng=0)
+        with pytest.raises(SpecificationError):
+            generator.generate(0)
+
+
+class TestStatisticalProperties:
+    def test_k_zero_matches_rayleigh_statistics(self, covariance_2x2):
+        generator = RicianFadingGenerator(covariance_2x2, k_factors=0.0, rng=1)
+        samples = generator.generate(300_000)
+        achieved = samples @ samples.conj().T / samples.shape[1]
+        assert np.max(np.abs(achieved - covariance_2x2)) < 0.02
+
+    def test_total_power_preserved_for_any_k(self, covariance_2x2):
+        generator = RicianFadingGenerator(covariance_2x2, k_factors=[0.5, 4.0], rng=2)
+        samples = generator.generate(300_000)
+        powers = np.mean(np.abs(samples) ** 2, axis=1)
+        assert np.allclose(powers, 1.0, rtol=0.03)
+
+    def test_envelope_mean_matches_rician_theory(self, covariance_2x2):
+        generator = RicianFadingGenerator(covariance_2x2, k_factors=[1.0, 6.0], rng=3)
+        envelopes = np.abs(generator.generate(300_000))
+        expected = generator.theoretical_envelope_means()
+        measured = np.mean(envelopes, axis=1)
+        assert np.allclose(measured, expected, rtol=0.01)
+
+    def test_large_k_envelope_concentrates_around_los_amplitude(self, covariance_2x2):
+        generator = RicianFadingGenerator(covariance_2x2, k_factors=50.0, rng=4)
+        envelopes = np.abs(generator.generate(100_000))
+        assert np.std(envelopes[0]) < 0.15
+        assert np.mean(envelopes[0]) == pytest.approx(1.0, abs=0.02)
+
+    def test_diffuse_correlation_preserved(self, covariance_2x2):
+        # The diffuse parts keep the requested correlation coefficient; after
+        # removing the (deterministic) LOS the correlation survives.
+        generator = RicianFadingGenerator(covariance_2x2, k_factors=2.0, rng=5)
+        samples = generator.generate(300_000)
+        los = generator._los_component(samples.shape[1])
+        diffuse = samples - los
+        rho = empirical_correlation_coefficients(diffuse)
+        assert abs(rho[0, 1] - 0.6) < 0.02
+
+    def test_los_doppler_rotates_phase(self, covariance_2x2):
+        generator = RicianFadingGenerator(
+            covariance_2x2, k_factors=100.0, los_doppler=0.01, rng=6
+        )
+        samples = generator.generate(200)
+        # With K = 100 the LOS dominates; the instantaneous phase should advance
+        # by ~ 2 pi * 0.01 per sample.
+        phase_increment = np.angle(samples[0, 1:] / samples[0, :-1])
+        assert np.median(phase_increment) == pytest.approx(2 * np.pi * 0.01, rel=0.2)
+
+    def test_realtime_mode_shapes_diffuse_component(self, covariance_2x2):
+        generator = RicianFadingGenerator(
+            covariance_2x2, k_factors=0.0, normalized_doppler=0.05, n_points=2048, rng=7
+        )
+        samples = generator.generate(1500)
+        assert samples.shape == (2, 1500)
+        # Doppler-shaped diffuse fading: strong sample-to-sample correlation.
+        branch = np.abs(samples[0])
+        assert np.corrcoef(branch[:-1], branch[1:])[0, 1] > 0.9

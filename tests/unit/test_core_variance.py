@@ -1,0 +1,92 @@
+"""Unit tests for the power conversions of Eq. (11), (14), (15)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    envelope_power_to_gaussian_power,
+    gaussian_power_to_envelope_power,
+)
+from repro.core.variance import (
+    RAYLEIGH_VARIANCE_FACTOR,
+    rayleigh_mean_from_gaussian_power,
+    rayleigh_moments,
+    rayleigh_variance_from_gaussian_power,
+)
+from repro.exceptions import PowerError
+
+
+class TestConversionFactor:
+    def test_factor_value(self):
+        assert RAYLEIGH_VARIANCE_FACTOR == pytest.approx(0.2146, abs=1e-4)
+
+
+class TestEnvelopeToGaussian:
+    def test_eq11_scalar(self):
+        # sigma_g^2 = sigma_r^2 / (1 - pi/4)
+        assert envelope_power_to_gaussian_power(1.0) == pytest.approx(1.0 / (1 - np.pi / 4))
+
+    def test_eq11_vector(self):
+        powers = np.array([0.5, 1.0, 2.0])
+        out = envelope_power_to_gaussian_power(powers)
+        assert np.allclose(out, powers / (1 - np.pi / 4))
+
+    def test_round_trip(self):
+        powers = np.array([0.1, 1.0, 10.0])
+        assert np.allclose(
+            gaussian_power_to_envelope_power(envelope_power_to_gaussian_power(powers)),
+            powers,
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_invalid_values(self, bad):
+        with pytest.raises(PowerError):
+            envelope_power_to_gaussian_power(bad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PowerError):
+            envelope_power_to_gaussian_power(np.array([]))
+
+
+class TestRayleighMoments:
+    def test_eq14_mean_coefficient(self):
+        # E{r} = 0.8862 sigma_g for sigma_g^2 = 1.
+        assert rayleigh_mean_from_gaussian_power(1.0) == pytest.approx(0.8862, abs=1e-4)
+
+    def test_eq15_variance_coefficient(self):
+        assert rayleigh_variance_from_gaussian_power(1.0) == pytest.approx(0.2146, abs=1e-4)
+
+    def test_mean_scales_with_sqrt_power(self):
+        assert rayleigh_mean_from_gaussian_power(4.0) == pytest.approx(
+            2.0 * rayleigh_mean_from_gaussian_power(1.0)
+        )
+
+    def test_moments_tuple(self):
+        mean, variance, power = rayleigh_moments(2.0)
+        assert power == pytest.approx(2.0)
+        assert mean == pytest.approx(np.sqrt(2.0) * np.sqrt(np.pi) / 2)
+        assert variance == pytest.approx(2.0 * (1 - np.pi / 4))
+
+    def test_mean_squared_plus_variance_equals_power(self):
+        mean, variance, power = rayleigh_moments(3.7)
+        assert mean**2 + variance == pytest.approx(power)
+
+    def test_consistency_with_paper_composite_relation(self):
+        # From (11), (14): E{r} = sigma_r sqrt(pi / (4 - pi)).
+        sigma_r2 = 0.8
+        sigma_g2 = float(envelope_power_to_gaussian_power(sigma_r2))
+        mean = float(rayleigh_mean_from_gaussian_power(sigma_g2))
+        assert mean == pytest.approx(np.sqrt(sigma_r2) * np.sqrt(np.pi / (4 - np.pi)))
+
+    def test_monte_carlo_agreement(self, rng):
+        sigma_g2 = 1.7
+        samples = np.abs(
+            np.sqrt(sigma_g2 / 2)
+            * (rng.normal(size=200_000) + 1j * rng.normal(size=200_000))
+        )
+        assert np.mean(samples) == pytest.approx(
+            rayleigh_mean_from_gaussian_power(sigma_g2), rel=0.01
+        )
+        assert np.var(samples) == pytest.approx(
+            rayleigh_variance_from_gaussian_power(sigma_g2), rel=0.02
+        )

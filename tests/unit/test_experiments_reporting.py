@@ -1,0 +1,122 @@
+"""Unit tests for the experiment reporting containers and paper constants."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import paper_values as pv
+from repro.experiments.reporting import (
+    ExperimentResult,
+    Table,
+    ascii_series,
+    format_complex_matrix,
+)
+
+
+class TestPaperValues:
+    def test_normalized_doppler(self):
+        assert pv.NORMALIZED_DOPPLER == pytest.approx(0.05)
+
+    def test_km_consistency(self):
+        assert int(np.floor(pv.NORMALIZED_DOPPLER * pv.IDFT_POINTS)) == pv.KM_EXPECTED
+
+    def test_eq22_matrix_is_hermitian_and_pd(self):
+        assert np.allclose(pv.EQ22_COVARIANCE, pv.EQ22_COVARIANCE.conj().T)
+        assert np.min(np.linalg.eigvalsh(pv.EQ22_COVARIANCE)) > 0
+
+    def test_eq23_matrix_is_real_symmetric_and_pd(self):
+        assert np.allclose(np.imag(pv.EQ23_COVARIANCE), 0.0)
+        assert np.min(np.linalg.eigvalsh(pv.EQ23_COVARIANCE)) > 0
+
+    def test_scenario_builders_match_matrices(self):
+        ofdm = pv.paper_ofdm_scenario().covariance_spec(np.ones(3)).matrix
+        mimo = pv.paper_mimo_scenario().covariance_spec(np.ones(3)).matrix
+        assert np.allclose(ofdm, pv.EQ22_COVARIANCE, atol=5e-4)
+        assert np.allclose(mimo, pv.EQ23_COVARIANCE, atol=2e-4)
+
+    def test_arrival_delay_matrix_symmetric(self):
+        assert np.allclose(pv.ARRIVAL_DELAYS_S, pv.ARRIVAL_DELAYS_S.T)
+
+
+class TestFormatting:
+    def test_format_complex_matrix_real_only(self):
+        text = format_complex_matrix(np.eye(2))
+        assert "i" not in text
+
+    def test_format_complex_matrix_shows_imaginary(self):
+        text = format_complex_matrix(np.array([[1 + 2j]]))
+        assert "i" in text
+
+    def test_ascii_series_dimensions(self):
+        plot = ascii_series(np.sin(np.linspace(0, 10, 300)), width=40, height=8, label="sine")
+        lines = plot.splitlines()
+        assert lines[0].startswith("sine")
+        assert len(lines) == 9
+        assert all(len(line) <= 40 for line in lines[1:])
+
+    def test_ascii_series_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_series(np.array([]))
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table(title="demo", columns=["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", True)
+        text = table.render()
+        assert "demo" in text
+        assert "2.5" in text
+        assert "yes" in text
+
+    def test_add_row_wrong_arity(self):
+        table = Table(title="demo", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_complex_cell_formatting(self):
+        table = Table(title="t", columns=["value"])
+        table.add_row(0.5 + 0.25j)
+        assert "+0.2500i" in table.render()
+
+
+class TestExperimentResult:
+    @pytest.fixture()
+    def result(self):
+        res = ExperimentResult(
+            experiment_id="demo",
+            paper_artifact="Fig. X",
+            description="A demo result.",
+            parameters={"n": 3},
+            metrics={"error": 0.01},
+            series={"trace": np.arange(10.0)},
+        )
+        table = Table(title="rows", columns=["k", "v"])
+        table.add_row("a", 1)
+        res.add_table(table)
+        return res
+
+    def test_render_contains_sections(self, result):
+        text = result.render()
+        assert "experiment : demo" in text
+        assert "Fig. X" in text
+        assert "n = 3" in text
+        assert "error" in text
+        assert "rows" in text
+
+    def test_render_with_series(self, result):
+        assert "trace" in result.render(include_series=True)
+
+    def test_series_as_csv(self, result):
+        csv = result.series_as_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "index,trace"
+        assert len(lines) == 11
+
+    def test_series_as_csv_unknown_name(self, result):
+        with pytest.raises(KeyError):
+            result.series_as_csv("missing")
+
+    def test_status_line(self, result):
+        assert "PASS" in result.render()
+        result.passed = False
+        assert "FAIL" in result.render()

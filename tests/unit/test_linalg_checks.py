@@ -1,0 +1,91 @@
+"""Unit tests for repro.linalg.checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, NotHermitianError
+from repro.linalg import (
+    assert_hermitian,
+    assert_square,
+    hermitian_part,
+    is_hermitian,
+    is_positive_definite,
+    is_positive_semidefinite,
+    min_eigenvalue,
+)
+
+
+class TestAssertSquare:
+    def test_accepts_square(self):
+        arr = assert_square(np.eye(3))
+        assert arr.shape == (3, 3)
+
+    def test_rejects_vector(self):
+        with pytest.raises(DimensionError):
+            assert_square(np.ones(3))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(DimensionError):
+            assert_square(np.ones((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionError):
+            assert_square(np.zeros((0, 0)))
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionError):
+            assert_square(np.ones((2, 2, 2)))
+
+
+class TestIsHermitian:
+    def test_real_symmetric_is_hermitian(self):
+        assert is_hermitian(np.array([[2.0, 1.0], [1.0, 3.0]]))
+
+    def test_complex_hermitian(self):
+        assert is_hermitian(np.array([[1.0, 1j], [-1j, 2.0]]))
+
+    def test_complex_non_hermitian(self):
+        assert not is_hermitian(np.array([[1.0, 1j], [1j, 2.0]]))
+
+    def test_tiny_asymmetry_tolerated(self):
+        matrix = np.array([[1.0, 0.5 + 1e-13], [0.5, 1.0]])
+        assert is_hermitian(matrix)
+
+    def test_assert_hermitian_raises_with_magnitude(self):
+        with pytest.raises(NotHermitianError, match="not Hermitian"):
+            assert_hermitian(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_hermitian_part_symmetrizes(self):
+        matrix = np.array([[1.0, 2.0], [0.0, 1.0]])
+        sym = hermitian_part(matrix)
+        assert is_hermitian(sym)
+        assert sym[0, 1] == pytest.approx(1.0)
+
+
+class TestDefiniteness:
+    def test_identity_is_pd_and_psd(self):
+        assert is_positive_definite(np.eye(4))
+        assert is_positive_semidefinite(np.eye(4))
+
+    def test_rank_deficient_is_psd_not_pd(self):
+        matrix = np.ones((3, 3))
+        assert is_positive_semidefinite(matrix)
+        assert not is_positive_definite(matrix)
+
+    def test_indefinite_is_neither(self, indefinite_covariance):
+        assert not is_positive_semidefinite(indefinite_covariance)
+        assert not is_positive_definite(indefinite_covariance)
+
+    def test_scaling_invariance(self, indefinite_covariance):
+        assert not is_positive_semidefinite(indefinite_covariance * 1e8)
+        assert is_positive_semidefinite(np.eye(3) * 1e-8)
+
+    def test_min_eigenvalue_identity(self):
+        assert min_eigenvalue(np.eye(3) * 2.0) == pytest.approx(2.0)
+
+    def test_min_eigenvalue_indefinite_is_negative(self, indefinite_covariance):
+        assert min_eigenvalue(indefinite_covariance) < 0
+
+    def test_complex_hermitian_psd(self, eq22_covariance):
+        assert is_positive_semidefinite(eq22_covariance)
+        assert is_positive_definite(eq22_covariance)

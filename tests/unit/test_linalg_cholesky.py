@@ -1,0 +1,61 @@
+"""Unit tests for repro.linalg.cholesky."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CholeskyError
+from repro.linalg import cholesky_factor, try_cholesky
+
+
+class TestCholeskyFactor:
+    def test_factor_reconstructs_matrix(self, eq22_covariance):
+        factor = cholesky_factor(eq22_covariance)
+        assert np.allclose(factor @ factor.conj().T, eq22_covariance, atol=1e-12)
+
+    def test_factor_is_lower_triangular(self, eq22_covariance):
+        factor = cholesky_factor(eq22_covariance)
+        assert np.allclose(np.triu(factor, k=1), 0.0)
+
+    def test_indefinite_raises_cholesky_error(self, indefinite_covariance):
+        with pytest.raises(CholeskyError):
+            cholesky_factor(indefinite_covariance)
+
+    def test_exactly_singular_raises(self):
+        with pytest.raises(CholeskyError):
+            cholesky_factor(np.ones((4, 4)))
+
+    def test_error_message_mentions_eigen_alternative(self, indefinite_covariance):
+        with pytest.raises(CholeskyError, match="eigendecomposition"):
+            cholesky_factor(indefinite_covariance)
+
+
+class TestTryCholesky:
+    def test_success_on_pd_matrix(self, eq23_covariance):
+        result = try_cholesky(eq23_covariance)
+        assert result.success
+        assert result.jitter_used == 0.0
+        assert np.allclose(
+            result.factor @ result.factor.conj().T, eq23_covariance, atol=1e-12
+        )
+
+    def test_failure_without_jitter(self, indefinite_covariance):
+        result = try_cholesky(indefinite_covariance)
+        assert not result.success
+        assert result.factor is None
+        assert result.jitter_used is None
+
+    def test_jitter_cannot_fix_genuinely_indefinite(self, indefinite_covariance):
+        # The smallest eigenvalue is about -0.22; the tiny jitter ladder cannot
+        # reach it, so the factorization still fails.
+        result = try_cholesky(indefinite_covariance, allow_jitter=True)
+        assert not result.success
+
+    def test_jitter_fixes_marginally_singular(self):
+        matrix = np.ones((3, 3)) + 1e-14 * np.eye(3)
+        result = try_cholesky(matrix, allow_jitter=True)
+        # Either the plain call succeeds (rounding) or the jitter repairs it.
+        assert result.success
+
+    def test_message_is_informative(self, indefinite_covariance):
+        result = try_cholesky(indefinite_covariance)
+        assert "failed" in result.message

@@ -1,0 +1,138 @@
+"""Unit tests for the repro.parallel package."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParallelExecutionError, SpecificationError
+from repro.parallel import (
+    ChunkedGenerator,
+    build_worker_tasks,
+    monte_carlo_covariance,
+    partition_counts,
+    run_covariance_ensemble,
+    stream_envelope_statistics,
+)
+
+
+class TestPartitionCounts:
+    def test_even_split(self):
+        assert partition_counts(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_distributed(self):
+        assert partition_counts(10, 3) == [4, 3, 3]
+
+    def test_sum_preserved(self):
+        for total, parts in [(7, 2), (1, 5), (1000, 7), (0, 3)]:
+            assert sum(partition_counts(total, parts)) == total
+
+    def test_counts_differ_by_at_most_one(self):
+        counts = partition_counts(23, 5)
+        assert max(counts) - min(counts) <= 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partition_counts(-1, 2)
+        with pytest.raises(ValueError):
+            partition_counts(10, 0)
+
+
+class TestBuildWorkerTasks:
+    def test_counts_sum_to_total(self):
+        tasks = build_worker_tasks(1000, 4, seed=0)
+        assert sum(t.n_samples for t in tasks) == 1000
+
+    def test_zero_count_workers_dropped(self):
+        tasks = build_worker_tasks(2, 5, seed=0)
+        assert len(tasks) == 2
+
+    def test_seeds_are_distinct(self):
+        tasks = build_worker_tasks(100, 8, seed=0)
+        assert len({t.seed for t in tasks}) == len(tasks)
+
+    def test_reproducible(self):
+        a = build_worker_tasks(100, 4, seed=3)
+        b = build_worker_tasks(100, 4, seed=3)
+        assert [t.seed for t in a] == [t.seed for t in b]
+
+    def test_different_root_seed_changes_worker_seeds(self):
+        a = build_worker_tasks(100, 4, seed=3)
+        b = build_worker_tasks(100, 4, seed=4)
+        assert [t.seed for t in a] != [t.seed for t in b]
+
+
+class TestChunkedGenerator:
+    def test_snapshot_chunks(self, eq22_covariance):
+        generator = ChunkedGenerator(eq22_covariance, chunk_size=128, rng=0)
+        chunks = list(generator.chunks(3))
+        assert len(chunks) == 3
+        assert all(chunk.samples.shape == (3, 128) for chunk in chunks)
+
+    def test_doppler_chunks_use_idft_block_size(self, eq22_covariance):
+        generator = ChunkedGenerator(
+            eq22_covariance, normalized_doppler=0.05, n_points=512, rng=0
+        )
+        chunk = next(iter(generator.chunks(1)))
+        assert chunk.samples.shape == (3, 512)
+        assert generator.chunk_size == 512
+
+    def test_total_samples(self, eq22_covariance):
+        generator = ChunkedGenerator(eq22_covariance, chunk_size=100, rng=0)
+        assert generator.total_samples(7) == 700
+
+    def test_invalid_chunk_size(self, eq22_covariance):
+        with pytest.raises(SpecificationError):
+            ChunkedGenerator(eq22_covariance, chunk_size=0, rng=0)
+
+    def test_invalid_chunk_count(self, eq22_covariance):
+        generator = ChunkedGenerator(eq22_covariance, chunk_size=16, rng=0)
+        with pytest.raises(SpecificationError):
+            list(generator.chunks(0))
+
+    def test_stream_statistics_cover_covariance(self, eq22_covariance):
+        generator = ChunkedGenerator(eq22_covariance, chunk_size=20_000, rng=1)
+        stats = stream_envelope_statistics(generator, n_chunks=10)
+        assert stats.n_samples == 200_000
+        assert np.max(np.abs(stats.covariance - eq22_covariance)) < 0.03
+        assert np.allclose(stats.envelope_power, 1.0, atol=0.03)
+        assert np.allclose(stats.envelope_mean, 0.8862, atol=0.02)
+
+
+class TestEnsemble:
+    def test_sequential_ensemble(self, eq22_covariance):
+        result = run_covariance_ensemble(
+            eq22_covariance, n_replicas=4, samples_per_replica=20_000, seed=0
+        )
+        assert result.n_replicas == 4
+        assert result.total_samples == 80_000
+        assert result.relative_errors.shape == (4,)
+        assert result.mean_relative_error < 0.1
+        assert result.worst_relative_error < 0.2
+        assert np.max(np.abs(result.mean_covariance - eq22_covariance)) < 0.05
+
+    def test_invalid_replica_count(self, eq22_covariance):
+        with pytest.raises(ParallelExecutionError):
+            run_covariance_ensemble(eq22_covariance, n_replicas=0, samples_per_replica=10)
+
+    def test_invalid_sample_count(self, eq22_covariance):
+        with pytest.raises(ParallelExecutionError):
+            run_covariance_ensemble(eq22_covariance, n_replicas=2, samples_per_replica=0)
+
+    def test_monte_carlo_covariance_single_worker(self, eq22_covariance):
+        estimate = monte_carlo_covariance(eq22_covariance, 100_000, n_workers=1, seed=1)
+        assert np.max(np.abs(estimate - eq22_covariance)) < 0.04
+
+    def test_monte_carlo_invalid_total(self, eq22_covariance):
+        with pytest.raises(ParallelExecutionError):
+            monte_carlo_covariance(eq22_covariance, 0)
+
+    @pytest.mark.slow
+    def test_process_pool_ensemble(self, eq22_covariance):
+        result = run_covariance_ensemble(
+            eq22_covariance,
+            n_replicas=4,
+            samples_per_replica=10_000,
+            seed=2,
+            n_workers=2,
+        )
+        assert result.n_replicas == 4
+        assert result.mean_relative_error < 0.15

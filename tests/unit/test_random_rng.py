@@ -1,0 +1,103 @@
+"""Unit tests for repro.random.rng."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULTS
+from repro.random import SeedSequenceFactory, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(42).normal(size=10)
+        b = ensure_rng(42).normal(size=10)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).normal(size=10)
+        b = ensure_rng(2).normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert ensure_rng(gen) is gen
+
+    def test_none_uses_package_default_seed(self):
+        a = ensure_rng(None).normal(size=5)
+        b = ensure_rng(DEFAULTS.default_rng_seed).normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_none_with_default_seed_override(self):
+        a = ensure_rng(None, default_seed=99).normal(size=5)
+        b = ensure_rng(99).normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_invalid_seed_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")  # type: ignore[arg-type]
+
+
+class TestSpawnRngs:
+    def test_returns_requested_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].normal(size=100)
+        b = children[1].normal(size=100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_from_same_seed(self):
+        first = [g.normal(size=4) for g in spawn_rngs(3, 3)]
+        second = [g.normal(size=4) for g in spawn_rngs(3, 3)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+
+    def test_spawning_from_generator(self):
+        parent = np.random.default_rng(5)
+        children = spawn_rngs(parent, 2)
+        assert len(children) == 2
+
+    def test_zero_children_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_seed(self):
+        factory = SeedSequenceFactory(10)
+        assert factory.seed_for("doppler") == factory.seed_for("doppler")
+
+    def test_different_names_different_seeds(self):
+        factory = SeedSequenceFactory(10)
+        assert factory.seed_for("a") != factory.seed_for("b")
+
+    def test_name_seed_is_order_independent(self):
+        f1 = SeedSequenceFactory(10)
+        f1.seed_for("a")
+        seed_b_after_a = f1.seed_for("b")
+        f2 = SeedSequenceFactory(10)
+        seed_b_first = f2.seed_for("b")
+        assert seed_b_after_a == seed_b_first
+
+    def test_different_roots_differ(self):
+        assert SeedSequenceFactory(1).seed_for("x") != SeedSequenceFactory(2).seed_for("x")
+
+    def test_rng_for_is_reproducible(self):
+        a = SeedSequenceFactory(3).rng_for("x").normal(size=4)
+        b = SeedSequenceFactory(3).rng_for("x").normal(size=4)
+        assert np.allclose(a, b)
+
+    def test_next_rng_advances(self):
+        factory = SeedSequenceFactory(3)
+        a = factory.next_rng().normal(size=4)
+        b = factory.next_rng().normal(size=4)
+        assert not np.allclose(a, b)
+
+    def test_assigned_names_recorded(self):
+        factory = SeedSequenceFactory(3)
+        factory.seed_for("alpha")
+        assert "alpha" in factory.assigned_names()
+
+    def test_root_seed_property(self):
+        assert SeedSequenceFactory(77).root_seed == 77

@@ -1,0 +1,103 @@
+"""Unit tests for repro.signal.fourier."""
+
+import numpy as np
+import pytest
+
+from repro.signal import dft, dft_matrix, idft, naive_dft, radix2_fft, radix2_ifft
+
+
+@pytest.fixture()
+def random_sequence(rng):
+    return rng.normal(size=64) + 1j * rng.normal(size=64)
+
+
+class TestConventions:
+    def test_idft_carries_1_over_m(self):
+        # IDFT of a constant spectrum M*delta is an impulse of height 1 at l=0
+        spectrum = np.zeros(8, dtype=complex)
+        spectrum[0] = 8.0
+        time = idft(spectrum)
+        assert time[0] == pytest.approx(1.0)
+        assert np.allclose(time[1:], 1.0)  # constant sequence
+
+    def test_round_trip(self, random_sequence):
+        assert np.allclose(idft(dft(random_sequence)), random_sequence)
+
+    def test_matches_paper_synthesis_formula(self):
+        # u[l] = (1/M) sum_k U[k] exp(i 2 pi k l / M)  == numpy ifft
+        rng = np.random.default_rng(0)
+        spectrum = rng.normal(size=16) + 1j * rng.normal(size=16)
+        m = 16
+        manual = np.array(
+            [
+                np.sum(spectrum * np.exp(2j * np.pi * np.arange(m) * l / m)) / m
+                for l in range(m)
+            ]
+        )
+        assert np.allclose(idft(spectrum), manual)
+
+
+class TestNaiveDft:
+    def test_matches_numpy_forward(self, random_sequence):
+        assert np.allclose(naive_dft(random_sequence), np.fft.fft(random_sequence))
+
+    def test_matches_numpy_inverse(self, random_sequence):
+        assert np.allclose(
+            naive_dft(random_sequence, inverse=True), np.fft.ifft(random_sequence)
+        )
+
+    def test_non_power_of_two_length(self):
+        x = np.arange(10, dtype=complex)
+        assert np.allclose(naive_dft(x), np.fft.fft(x))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            naive_dft(np.ones((2, 2)))
+
+
+class TestRadix2Fft:
+    def test_matches_numpy_forward(self, random_sequence):
+        assert np.allclose(radix2_fft(random_sequence), np.fft.fft(random_sequence))
+
+    def test_matches_numpy_inverse(self, random_sequence):
+        assert np.allclose(radix2_ifft(random_sequence), np.fft.ifft(random_sequence))
+
+    def test_round_trip(self, random_sequence):
+        assert np.allclose(radix2_ifft(radix2_fft(random_sequence)), random_sequence)
+
+    @pytest.mark.parametrize("length", [1, 2, 4, 256, 1024])
+    def test_various_power_of_two_lengths(self, length):
+        rng = np.random.default_rng(length)
+        x = rng.normal(size=length) + 1j * rng.normal(size=length)
+        assert np.allclose(radix2_fft(x), np.fft.fft(x))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            radix2_fft(np.ones(12))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            radix2_fft(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            radix2_fft(np.ones((4, 4)))
+
+    def test_real_input_spectrum_is_conjugate_symmetric(self):
+        x = np.random.default_rng(1).normal(size=32)
+        spectrum = radix2_fft(x)
+        assert np.allclose(spectrum[1:], np.conj(spectrum[1:][::-1]))
+
+
+class TestDftMatrix:
+    def test_matches_fft(self):
+        x = np.arange(8, dtype=complex)
+        assert np.allclose(dft_matrix(8) @ x, np.fft.fft(x))
+
+    def test_unitary_up_to_scale(self):
+        w = dft_matrix(6)
+        assert np.allclose(w @ w.conj().T, 6 * np.eye(6))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            dft_matrix(0)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.signal.spectrum and repro.signal.windows."""
+
+import numpy as np
+import pytest
+
+from repro.channels import IDFTRayleighGenerator
+from repro.exceptions import DimensionError
+from repro.signal import (
+    doppler_spectrum_estimate,
+    get_window,
+    hamming_window,
+    hann_window,
+    periodogram,
+    rectangular_window,
+    welch_psd,
+)
+
+
+class TestWindows:
+    def test_rectangular_is_all_ones(self):
+        assert np.allclose(rectangular_window(8), 1.0)
+
+    def test_hann_starts_at_zero(self):
+        assert hann_window(16)[0] == pytest.approx(0.0)
+
+    def test_hann_peak_near_one(self):
+        assert np.max(hann_window(64)) == pytest.approx(1.0, abs=0.01)
+
+    def test_hamming_endpoints(self):
+        window = hamming_window(32)
+        assert window[0] == pytest.approx(0.08, abs=1e-6)
+
+    def test_get_window_by_name(self):
+        assert np.allclose(get_window("hann", 8), hann_window(8))
+        assert np.allclose(get_window("BOXCAR", 8), rectangular_window(8))
+
+    def test_unknown_window_raises(self):
+        with pytest.raises(ValueError):
+            get_window("kaiser", 8)
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ValueError):
+            hann_window(0)
+
+    def test_length_one_window(self):
+        assert np.allclose(hann_window(1), 1.0)
+
+
+class TestPeriodogram:
+    def test_pure_tone_peak_at_tone_frequency(self):
+        n = 1024
+        tone = np.exp(2j * np.pi * 0.1 * np.arange(n))
+        freqs, psd = periodogram(tone)
+        assert freqs[np.argmax(psd)] == pytest.approx(0.1, abs=1.0 / n)
+
+    def test_total_power_parseval(self, rng):
+        x = rng.normal(size=2048) + 1j * rng.normal(size=2048)
+        freqs, psd = periodogram(x)
+        df = freqs[1] - freqs[0]
+        assert np.sum(psd) * df == pytest.approx(np.mean(np.abs(x) ** 2), rel=1e-10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionError):
+            periodogram(np.array([]))
+
+
+class TestWelchPsd:
+    def test_white_noise_flat_spectrum(self, rng):
+        x = rng.normal(size=65536) + 1j * rng.normal(size=65536)
+        freqs, psd = welch_psd(x, segment_length=256)
+        assert np.std(psd) / np.mean(psd) < 0.2
+
+    def test_invalid_segment_length(self, rng):
+        with pytest.raises(ValueError):
+            welch_psd(rng.normal(size=64), segment_length=128)
+
+    def test_invalid_overlap(self, rng):
+        with pytest.raises(ValueError):
+            welch_psd(rng.normal(size=64), segment_length=16, overlap=1.0)
+
+    def test_tone_located(self):
+        n = 8192
+        tone = np.exp(2j * np.pi * 0.2 * np.arange(n))
+        freqs, psd = welch_psd(tone, segment_length=512)
+        assert abs(freqs[np.argmax(psd)] - 0.2) < 0.01
+
+
+class TestDopplerSpectrumEstimate:
+    def test_shaped_fading_is_band_limited(self):
+        generator = IDFTRayleighGenerator(n_points=8192, normalized_doppler=0.05, rng=1)
+        samples = generator.generate_block()
+        _, _, in_band = doppler_spectrum_estimate(samples, normalized_doppler=0.05)
+        assert in_band > 0.95
+
+    def test_white_noise_is_not_band_limited(self, rng):
+        samples = rng.normal(size=8192) + 1j * rng.normal(size=8192)
+        _, _, in_band = doppler_spectrum_estimate(samples, normalized_doppler=0.05)
+        assert in_band < 0.5
+
+    def test_invalid_doppler_raises(self, rng):
+        with pytest.raises(ValueError):
+            doppler_spectrum_estimate(rng.normal(size=1024), normalized_doppler=0.7)

@@ -1,0 +1,58 @@
+"""Batched engine walkthrough: plan -> compile -> execute over a sweep.
+
+Builds a MIMO spacing/spread parameter grid with ScenarioSweep, runs the
+whole grid through the batched engine in one pass, shows the decomposition
+cache paying off on a second run, and verifies the engine's bit-identity
+guarantee against a looped single-spec generator.
+"""
+
+import numpy as np
+
+from repro import (
+    DecompositionCache,
+    MIMOArrayScenario,
+    RayleighFadingGenerator,
+    ScenarioSweep,
+    SimulationEngine,
+)
+
+
+def main() -> None:
+    sweep = ScenarioSweep.product(
+        MIMOArrayScenario,
+        n_antennas=[4],
+        spacing_wavelengths=[0.5, 1.0, 2.0],
+        angular_spread_rad=[np.pi / 36, np.pi / 18, np.pi / 9],
+    )
+    plan = sweep.to_plan([1.0, 1.0, 1.0, 1.0], seed=2005)
+    print(f"sweep of {len(sweep)} scenarios -> plan with {plan.n_entries} entries")
+
+    engine = SimulationEngine(cache=DecompositionCache())
+    result = engine.run(plan, n_samples=20_000)
+    report = result.compile_report
+    print(
+        f"compiled {report.n_entries} entries in {report.n_groups} group(s): "
+        f"{report.cache_misses} decompositions computed, {report.cache_hits} cached"
+    )
+
+    # Per-scenario envelope statistics straight from the batch.
+    for block, label in zip(result.blocks, sweep.labels):
+        envelopes = np.abs(block.samples)
+        print(f"  {label:58s} mean envelope {np.mean(envelopes):.4f}")
+
+    # Second run: every decomposition is served from the cache.
+    rerun = engine.run(plan, n_samples=20_000)
+    print(
+        f"second run: {rerun.compile_report.cache_hits} cache hits, "
+        f"{rerun.compile_report.cache_misses} misses"
+    )
+
+    # Bit-identity: entry 0 regenerated with a standalone generator.
+    entry = plan[0]
+    reference = RayleighFadingGenerator(entry.spec, rng=entry.seed).generate_gaussian(20_000)
+    identical = np.array_equal(reference.samples, result.blocks[0].samples)
+    print(f"batched samples bit-identical to looped generator: {identical}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,10 @@ Package map
 ``repro.channels``
     Spectral (Jakes) and spatial (Salz–Winters) correlation models, Doppler
     filters, the IDFT Rayleigh generator, scenario builders.
+``repro.engine``
+    Batched plan → compile → execute pipeline with stacked-covariance
+    coloring and decomposition caching; the single-spec path is its
+    ``B = 1`` case.
 ``repro.baselines``
     Conventional methods [1]–[6] reviewed in the paper's introduction.
 ``repro.linalg`` / ``repro.signal`` / ``repro.random``
@@ -74,10 +78,20 @@ from .channels import (
     MIMOArrayScenario,
     CustomScenario,
     DopplerSettings,
+    ScenarioSweep,
     SpectralCorrelationModel,
     SpatialCorrelationModel,
     IDFTRayleighGenerator,
     SumOfSinusoidsGenerator,
+)
+from .engine import (
+    BatchResult,
+    CacheStats,
+    DecompositionCache,
+    PlanEntry,
+    SimulationEngine,
+    SimulationPlan,
+    default_engine,
 )
 
 __all__ = [
@@ -116,8 +130,16 @@ __all__ = [
     "MIMOArrayScenario",
     "CustomScenario",
     "DopplerSettings",
+    "ScenarioSweep",
     "SpectralCorrelationModel",
     "SpatialCorrelationModel",
     "IDFTRayleighGenerator",
     "SumOfSinusoidsGenerator",
+    "BatchResult",
+    "CacheStats",
+    "DecompositionCache",
+    "PlanEntry",
+    "SimulationEngine",
+    "SimulationPlan",
+    "default_engine",
 ]

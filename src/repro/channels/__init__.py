@@ -50,7 +50,13 @@ from .delay_profile import (
     coherence_bandwidth,
 )
 from .autocorrelation import clarke_autocorrelation, autocorrelation_error
-from .scenario import OFDMScenario, MIMOArrayScenario, CustomScenario, DopplerSettings
+from .scenario import (
+    OFDMScenario,
+    MIMOArrayScenario,
+    CustomScenario,
+    DopplerSettings,
+    ScenarioSweep,
+)
 
 __all__ = [
     "wavelength",
@@ -79,4 +85,5 @@ __all__ = [
     "MIMOArrayScenario",
     "CustomScenario",
     "DopplerSettings",
+    "ScenarioSweep",
 ]

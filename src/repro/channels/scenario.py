@@ -16,24 +16,35 @@ generators:
 * :class:`DopplerSettings` — the IDFT-generator parameters (``M``,
   ``sigma_orig^2``, sampling and Doppler frequencies) shared by the real-time
   experiments.
+* :class:`ScenarioSweep` — a parameter-sweep builder that expands a grid of
+  scenario parameters into many scenarios and hands them to the batched
+  engine as one :class:`repro.engine.SimulationPlan`.
 
-The import of ``CovarianceSpec`` is deferred to call time so that
-``repro.channels`` and ``repro.core`` can be imported in either order.
+The imports of ``CovarianceSpec`` and the engine are deferred to call time so
+that ``repro.channels`` and ``repro.core`` can be imported in either order.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..exceptions import DimensionError, SpecificationError
+from ..types import SeedLike
 from .geometry import max_doppler_frequency, normalized_doppler
 from .spatial import SpatialCorrelationModel
 from .spectral import SpectralCorrelationModel
 
-__all__ = ["DopplerSettings", "OFDMScenario", "MIMOArrayScenario", "CustomScenario"]
+__all__ = [
+    "DopplerSettings",
+    "OFDMScenario",
+    "MIMOArrayScenario",
+    "CustomScenario",
+    "ScenarioSweep",
+]
 
 
 @dataclass(frozen=True)
@@ -331,4 +342,163 @@ class CustomScenario:
             np.asarray(self.rxy, dtype=float),
             np.asarray(self.ryx, dtype=float),
             metadata={"scenario": self.description},
+        )
+
+
+class ScenarioSweep:
+    """A parameter sweep over scenario objects, feeding the batched engine.
+
+    A sweep holds an ordered collection of scenario objects (anything with a
+    ``covariance_spec(gaussian_powers)`` method) plus one label per scenario.
+    :meth:`product` expands a cartesian grid of constructor parameters —
+    the typical "vary only spacing and angular spread" study — and
+    :meth:`to_plan` converts the whole sweep into a
+    :class:`repro.engine.SimulationPlan` with independent per-scenario seeds,
+    ready for one batched plan → compile → execute pass.
+
+    Examples
+    --------
+    >>> from repro.channels import MIMOArrayScenario, ScenarioSweep
+    >>> sweep = ScenarioSweep.product(
+    ...     MIMOArrayScenario,
+    ...     n_antennas=[3],
+    ...     spacing_wavelengths=[0.5, 1.0, 2.0],
+    ...     angular_spread_rad=[0.1, 0.2],
+    ... )
+    >>> len(sweep)
+    6
+    >>> plan = sweep.to_plan([1.0, 1.0, 1.0], seed=11)
+    >>> plan.n_entries
+    6
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence[Any],
+        labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise SpecificationError("a ScenarioSweep needs at least one scenario")
+        for scenario in scenarios:
+            if not hasattr(scenario, "covariance_spec"):
+                raise SpecificationError(
+                    "every sweep scenario must expose a covariance_spec(gaussian_powers) "
+                    f"method; got {type(scenario).__name__}"
+                )
+        if labels is None:
+            labels = [f"scenario[{index}]" for index in range(len(scenarios))]
+        else:
+            labels = [str(label) for label in labels]
+            if len(labels) != len(scenarios):
+                raise SpecificationError(
+                    f"labels must have one entry per scenario: got {len(labels)} labels "
+                    f"for {len(scenarios)} scenarios"
+                )
+        self._scenarios: Tuple[Any, ...] = tuple(scenarios)
+        self._labels: Tuple[str, ...] = tuple(labels)
+
+    @classmethod
+    def product(cls, factory: Any, **axes: Sequence[Any]) -> "ScenarioSweep":
+        """Expand the cartesian product of named parameter axes.
+
+        Parameters
+        ----------
+        factory:
+            Callable (usually a scenario dataclass) invoked once per grid
+            point with the axis values as keyword arguments.
+        **axes:
+            Non-empty sequences of values; single (non-swept) parameters can
+            be passed as one-element lists.  Axis order follows keyword
+            order, with the last axis varying fastest.
+        """
+        if not axes:
+            raise SpecificationError("ScenarioSweep.product needs at least one axis")
+        names = list(axes)
+        value_lists = []
+        for name in names:
+            values = list(axes[name])
+            if not values:
+                raise SpecificationError(f"sweep axis {name!r} must be non-empty")
+            value_lists.append(values)
+        scenarios = []
+        labels = []
+        for combo in itertools.product(*value_lists):
+            scenarios.append(factory(**dict(zip(names, combo))))
+            labels.append(",".join(f"{name}={value!r}" for name, value in zip(names, combo)))
+        return cls(scenarios, labels)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def scenarios(self) -> Tuple[Any, ...]:
+        """The swept scenario objects, in grid order."""
+        return self._scenarios
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """One human-readable label per scenario."""
+        return self._labels
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._scenarios)
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def _powers_for(self, gaussian_powers: Union[np.ndarray, Sequence[np.ndarray]]):
+        """Normalize powers into one array per scenario (broadcast a single array)."""
+        first = np.asarray(
+            gaussian_powers[0] if isinstance(gaussian_powers, (list, tuple)) else gaussian_powers
+        )
+        if isinstance(gaussian_powers, (list, tuple)) and first.ndim >= 1:
+            per_scenario = [np.asarray(p, dtype=float) for p in gaussian_powers]
+            if len(per_scenario) != len(self._scenarios):
+                raise SpecificationError(
+                    f"got {len(per_scenario)} power vectors for {len(self._scenarios)} "
+                    "scenarios; pass one vector to broadcast or one per scenario"
+                )
+            return per_scenario
+        shared = np.asarray(gaussian_powers, dtype=float)
+        return [shared] * len(self._scenarios)
+
+    def specs(self, gaussian_powers: Union[np.ndarray, Sequence[np.ndarray]]):
+        """Covariance specs for every scenario in the sweep.
+
+        ``gaussian_powers`` is either one per-branch power vector shared by
+        all scenarios or a sequence with one vector per scenario.
+        """
+        return [
+            scenario.covariance_spec(powers)
+            for scenario, powers in zip(self._scenarios, self._powers_for(gaussian_powers))
+        ]
+
+    def to_plan(
+        self,
+        gaussian_powers: Union[np.ndarray, Sequence[np.ndarray]],
+        *,
+        seed: SeedLike = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+        coloring_method: str = "eigen",
+        psd_method: str = "clip",
+    ):
+        """Build a :class:`repro.engine.SimulationPlan` covering the sweep.
+
+        Each entry carries its scenario's label and an independent seed
+        derived from ``seed`` (see
+        :meth:`repro.engine.SimulationPlan.from_specs`).
+        """
+        from ..engine import SimulationPlan
+
+        return SimulationPlan.from_specs(
+            self.specs(gaussian_powers),
+            seed=seed,
+            seeds=seeds,
+            coloring_method=coloring_method,
+            psd_method=psd_method,
+            labels=self._labels,
         )

@@ -10,6 +10,11 @@ Subcommands
 ``export <id> --output <dir>``
     Run one experiment and write its report (``.txt``) and any numeric series
     (``.csv``) into the given directory.
+``batch [--batch-sizes 1,16,256] [--branches N] [--samples n] [--repeats k]``
+    Run the batched-engine comparison sweep (the ``scaling-batch``
+    experiment) with custom batch sizes: looped single-spec generation vs.
+    the plan → compile → execute engine, with cache hits and speedups
+    reported.
 
 All output is plain text; the experiments regenerate the paper's tables and
 figures as numbers (and ASCII traces with ``--ascii-plots``).
@@ -62,6 +67,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export_parser.add_argument("--seed", type=int, default=None)
 
+    batch_parser = subparsers.add_parser(
+        "batch", help="run the batched-engine vs. looped-generation sweep"
+    )
+    batch_parser.add_argument(
+        "--batch-sizes",
+        default="1,16,256",
+        help="comma-separated batch sizes B to sweep (default: 1,16,256)",
+    )
+    batch_parser.add_argument(
+        "--branches", type=int, default=4, help="branches N per scenario (default: 4)"
+    )
+    batch_parser.add_argument(
+        "--samples", type=int, default=64, help="time samples per branch (default: 64)"
+    )
+    batch_parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats per timing (default: 3)"
+    )
+    batch_parser.add_argument("--seed", type=int, default=None)
+
     return parser
 
 
@@ -96,6 +120,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             if not result.passed:
                 exit_code = 1
         return exit_code
+
+    if args.command == "batch":
+        from .experiments.scaling import run_batch
+
+        try:
+            batch_sizes = tuple(
+                int(token) for token in str(args.batch_sizes).split(",") if token.strip()
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--batch-sizes must be comma-separated integers, got {args.batch_sizes!r}"
+            )
+        if not batch_sizes or any(size < 1 for size in batch_sizes):
+            raise SystemExit("--batch-sizes must contain positive integers")
+        if args.branches < 1:
+            raise SystemExit(f"--branches must be >= 1, got {args.branches}")
+        if args.samples < 1:
+            raise SystemExit(f"--samples must be >= 1, got {args.samples}")
+        kwargs = {
+            "batch_sizes": batch_sizes,
+            "n_branches": args.branches,
+            "n_samples": args.samples,
+            "repeats": args.repeats,
+        }
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = run_batch(**kwargs)
+        print(result.render())
+        return 0 if result.passed else 1
 
     if args.command == "export":
         kwargs = {} if args.seed is None else {"seed": args.seed}

@@ -46,6 +46,7 @@ from .coloring import (
     coloring_matrix_cholesky,
     coloring_matrix_svd,
     compute_coloring,
+    compute_coloring_batch,
 )
 from .generator import RayleighFadingGenerator
 from .realtime import RealTimeRayleighGenerator
@@ -57,7 +58,7 @@ from .statistics import (
     covariance_match_report,
     envelope_power_report,
 )
-from .pipeline import generate_correlated_envelopes, generate_from_scenario
+from .pipeline import doppler_block_size, generate_correlated_envelopes, generate_from_scenario
 
 __all__ = [
     "envelope_power_to_gaussian_power",
@@ -81,6 +82,7 @@ __all__ = [
     "coloring_matrix_cholesky",
     "coloring_matrix_svd",
     "compute_coloring",
+    "compute_coloring_batch",
     "RayleighFadingGenerator",
     "RealTimeRayleighGenerator",
     "RicianFadingGenerator",
@@ -90,6 +92,7 @@ __all__ = [
     "empirical_covariance",
     "covariance_match_report",
     "envelope_power_report",
+    "doppler_block_size",
     "generate_correlated_envelopes",
     "generate_from_scenario",
 ]

@@ -32,7 +32,6 @@ from ..exceptions import GenerationError, PowerError
 from ..linalg import ColoringDecomposition
 from ..random import complex_gaussian, ensure_rng
 from ..types import ComplexArray, EnvelopeBlock, GaussianBlock, SeedLike
-from .coloring import compute_coloring
 from .covariance import CovarianceSpec
 
 __all__ = ["RayleighFadingGenerator"]
@@ -60,6 +59,16 @@ class RayleighFadingGenerator:
         it to equal the Doppler-filter output variance of Eq. (19).
     rng:
         Seed or generator.
+    cache:
+        Decomposition cache consulted for the coloring matrix.  ``None``
+        (default) uses the process-wide
+        :func:`repro.engine.cache.default_decomposition_cache`, so sweeps
+        that construct many generators over repeated covariance matrices
+        decompose each matrix only once.  Pass a private
+        :class:`repro.engine.cache.DecompositionCache` to isolate (or, with
+        ``maxsize=0``, disable) the reuse.  Cached decompositions are
+        bit-identical to fresh ones, so generation never depends on cache
+        state.
 
     Examples
     --------
@@ -81,6 +90,7 @@ class RayleighFadingGenerator:
         sample_variance: float = 1.0,
         rng: SeedLike = None,
         defaults: NumericDefaults = DEFAULTS,
+        cache=None,
     ) -> None:
         if not isinstance(spec, CovarianceSpec):
             spec = CovarianceSpec.from_covariance_matrix(np.asarray(spec, dtype=complex))
@@ -90,7 +100,13 @@ class RayleighFadingGenerator:
             )
         self._spec = spec
         self._defaults = defaults
-        self._coloring = compute_coloring(
+        # Import at call time: repro.engine builds on repro.core, so the
+        # delegation back to the engine's cache must not run at import time.
+        from ..engine.cache import default_decomposition_cache
+
+        if cache is None:
+            cache = default_decomposition_cache()
+        self._coloring = cache.coloring_for(
             spec.matrix, method=coloring_method, psd_method=psd_method, defaults=defaults
         )
         self._sample_variance = float(sample_variance)

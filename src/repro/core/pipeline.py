@@ -12,10 +12,18 @@ Most users need exactly one of two things:
 Both return the :class:`repro.types.EnvelopeBlock` /
 :class:`repro.types.GaussianBlock` value objects so downstream code has the
 samples, the powers, and the provenance in one place.
+
+The snapshot path routes through the batched engine
+(:func:`repro.engine.default_engine`) as a one-entry plan, so single-spec
+generation is the ``B = 1`` case of batched generation and benefits from the
+shared decomposition cache; results are bit-identical to the pre-engine
+implementation.  The Doppler path computes its IDFT block length in closed
+form via :func:`doppler_block_size`.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Union
 
 import numpy as np
@@ -23,10 +31,69 @@ import numpy as np
 from ..exceptions import SpecificationError
 from ..types import EnvelopeBlock, GaussianBlock, SeedLike
 from .covariance import CovarianceSpec
-from .generator import RayleighFadingGenerator
 from .realtime import RealTimeRayleighGenerator
 
-__all__ = ["generate_correlated_envelopes", "generate_from_scenario"]
+__all__ = [
+    "doppler_block_size",
+    "generate_correlated_envelopes",
+    "generate_from_scenario",
+]
+
+#: Smallest IDFT block the Doppler mode will use (the historical default).
+_MIN_DOPPLER_POINTS = 64
+
+#: Largest IDFT block the Doppler mode will accept before declaring the
+#: passband constraint unsatisfiable (2**26 complex samples per branch is
+#: already a ~1 GiB working set).
+_MAX_DOPPLER_POINTS = 1 << 26
+
+
+def doppler_block_size(
+    n_samples: int,
+    normalized_doppler: float,
+    *,
+    max_points: int = _MAX_DOPPLER_POINTS,
+) -> int:
+    """Smallest power-of-two IDFT block length for the Doppler mode.
+
+    The block must hold ``n_samples`` output samples and keep at least one
+    DFT bin inside the Doppler filter passband
+    (``floor(normalized_doppler * n_points) >= 1``), which requires
+    ``n_points >= 1 / normalized_doppler``.  Both bounds are closed-form
+    powers of two, so no search loop is needed.
+
+    Raises
+    ------
+    SpecificationError
+        If ``normalized_doppler`` is outside ``(0, 0.5)`` or the passband
+        constraint cannot be met with a block of at most ``max_points``
+        samples (tiny normalized Doppler would otherwise grow the block —
+        and the memory footprint — without bound).
+    """
+    doppler = float(normalized_doppler)
+    if not 0.0 < doppler < 0.5:
+        raise SpecificationError(
+            f"normalized_doppler must lie in (0, 0.5), got {normalized_doppler!r}"
+        )
+    if n_samples < 1:
+        raise SpecificationError(f"n_samples must be >= 1, got {n_samples}")
+    exponent = max(
+        _MIN_DOPPLER_POINTS.bit_length() - 1,
+        (int(n_samples) - 1).bit_length(),
+        math.ceil(math.log2(1.0 / doppler)),
+    )
+    n_points = 1 << exponent
+    if doppler * n_points < 1.0:
+        # log2 round-off can land one power of two short of the passband
+        # bound; the next power is exact.
+        n_points <<= 1
+    if n_points > max_points:
+        raise SpecificationError(
+            f"normalized_doppler={doppler!r} needs an IDFT block of {n_points} points "
+            f"to keep one bin in the filter passband, exceeding the limit of "
+            f"{max_points}; increase the Doppler (or the sampling period) instead"
+        )
+    return n_points
 
 
 def generate_correlated_envelopes(
@@ -87,16 +154,15 @@ def generate_correlated_envelopes(
             spec = CovarianceSpec.from_covariance_matrix(matrix)
 
     if normalized_doppler is None:
-        generator = RayleighFadingGenerator(
-            spec, coloring_method=coloring_method, psd_method=psd_method, rng=rng
-        )
-        gaussian = generator.generate_gaussian(n_samples)
+        # The snapshot path is the B = 1 case of the batched engine: one-entry
+        # plan, compiled against the shared decomposition cache.
+        from ..engine import SimulationPlan, default_engine
+
+        plan = SimulationPlan()
+        plan.add(spec, seed=rng, coloring_method=coloring_method, psd_method=psd_method)
+        gaussian = default_engine().run(plan, n_samples).blocks[0]
     else:
-        # Choose the smallest power-of-two block size that is at least
-        # n_samples and large enough for the Doppler filter passband.
-        n_points = 64
-        while n_points < n_samples or int(np.floor(normalized_doppler * n_points)) < 1:
-            n_points *= 2
+        n_points = doppler_block_size(n_samples, normalized_doppler)
         generator = RealTimeRayleighGenerator(
             spec,
             normalized_doppler=normalized_doppler,

@@ -1,0 +1,60 @@
+"""Batched simulation engine: plan → compile → execute.
+
+The classic API generates one covariance specification at a time; every
+:class:`repro.core.generator.RayleighFadingGenerator` eigendecomposes its own
+matrix and experiments loop scenarios serially in Python.  This subpackage
+turns generation into a three-stage pipeline that scales to large parameter
+sweeps and Monte-Carlo grids:
+
+:mod:`repro.engine.plan`
+    :class:`SimulationPlan` collects many :class:`~repro.core.covariance.CovarianceSpec`
+    entries (each with its own seed and algorithm options) before any linear
+    algebra runs.
+:mod:`repro.engine.compile`
+    :func:`compile_plan` groups same-shape entries, deduplicates covariance
+    matrices by content hash against the LRU
+    :class:`~repro.engine.cache.DecompositionCache`, and decomposes the
+    misses with *stacked* ``np.linalg.eigh`` / ``cholesky`` calls
+    (:func:`repro.core.coloring.compute_coloring_batch`).
+:mod:`repro.engine.execute`
+    :func:`execute_plan` draws per-entry seeded white samples and colors each
+    group with one stacked ``np.matmul``; :func:`stream_plan` iterates long
+    records in fixed-size blocks with bounded memory.
+
+**Equivalence guarantee.**  For the same per-entry seeds, batched execution
+is bit-identical to looping single-spec generators — the single-spec path is
+literally the ``B = 1`` case (the :mod:`repro.core.pipeline` helpers route
+through :func:`default_engine`).  The guarantee holds because numpy's stacked
+``eigh``/``cholesky``/``matmul`` gufuncs run the same LAPACK/BLAS routine per
+slice, and the white-sample streams are drawn per entry from the same seeds.
+"""
+
+from .cache import (
+    CacheStats,
+    DecompositionCache,
+    decomposition_cache_key,
+    default_decomposition_cache,
+)
+from .plan import PlanEntry, SimulationPlan
+from .compile import CompiledGroup, CompiledPlan, CompileReport, compile_plan
+from .execute import execute_plan, stream_plan
+from .result import BatchResult
+from .engine import SimulationEngine, default_engine
+
+__all__ = [
+    "CacheStats",
+    "DecompositionCache",
+    "decomposition_cache_key",
+    "default_decomposition_cache",
+    "PlanEntry",
+    "SimulationPlan",
+    "CompiledGroup",
+    "CompiledPlan",
+    "CompileReport",
+    "compile_plan",
+    "execute_plan",
+    "stream_plan",
+    "BatchResult",
+    "SimulationEngine",
+    "default_engine",
+]

@@ -1,0 +1,271 @@
+"""Decomposition cache: content-addressed reuse of coloring decompositions.
+
+Planning a correlated-fading simulation is dominated by the ``O(N^3)``
+eigendecomposition (or Cholesky factorization) of the covariance matrix —
+work that parameter sweeps repeat needlessly whenever two scenarios share a
+covariance matrix (e.g. a Doppler sweep over a fixed antenna geometry, or a
+Monte-Carlo grid that varies only seeds).  :class:`DecompositionCache` is a
+thread-safe LRU cache of :class:`repro.linalg.ColoringDecomposition` objects
+keyed by a *content hash* of the covariance matrix together with every
+parameter that influences the decomposition (coloring method, PSD-forcing
+method, epsilon, numeric tolerances).  Hit/miss/eviction counters are exposed
+for the benchmark harness.
+
+The cache stores the exact object the single-matrix
+:func:`repro.core.coloring.compute_coloring` pipeline produces, so a cache
+hit is bit-identical to a fresh computation — generation results never depend
+on the cache state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import DEFAULTS, NumericDefaults
+from ..linalg import ColoringDecomposition
+
+__all__ = [
+    "decomposition_cache_key",
+    "CacheStats",
+    "DecompositionCache",
+    "default_decomposition_cache",
+]
+
+
+def decomposition_cache_key(
+    matrix: np.ndarray,
+    *,
+    method: str = "eigen",
+    psd_method: str = "clip",
+    epsilon: float = 1e-6,
+    defaults: NumericDefaults = DEFAULTS,
+) -> str:
+    """Content hash identifying one coloring-decomposition computation.
+
+    Two calls receive the same key exactly when they would produce the same
+    decomposition: the covariance matrix bytes (shape, dtype and C-order
+    contents) and every algorithm parameter are folded into a SHA-256 digest.
+    Floating-point matrices that differ in even one ULP hash differently —
+    the cache never equates "close" matrices.
+    """
+    arr = np.ascontiguousarray(np.asarray(matrix, dtype=complex))
+    hasher = hashlib.sha256()
+    hasher.update(repr((arr.shape, arr.dtype.str)).encode("utf8"))
+    hasher.update(arr.tobytes())
+    hasher.update(
+        "|".join(
+            (
+                method,
+                psd_method,
+                repr(float(epsilon)),
+                repr(defaults.eig_clip_tol),
+                repr(defaults.psd_tol),
+                repr(defaults.hermitian_atol),
+                repr(defaults.hermitian_rtol),
+            )
+        ).encode("utf8")
+    )
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of cache activity counters.
+
+    Attributes
+    ----------
+    hits:
+        Lookups that found a stored decomposition.
+    misses:
+        Lookups that found nothing (the caller computed and stored).
+    evictions:
+        Entries dropped to respect ``maxsize``.
+    size:
+        Number of decompositions currently stored.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class DecompositionCache:
+    """Thread-safe LRU cache of coloring decompositions.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of decompositions retained.  ``0`` disables storage
+        entirely (every lookup misses) — useful as an explicit "no caching"
+        baseline in benchmarks.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.engine import DecompositionCache
+    >>> cache = DecompositionCache(maxsize=8)
+    >>> K = np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
+    >>> first = cache.coloring_for(K)
+    >>> second = cache.coloring_for(K)   # served from the cache
+    >>> second is first
+    True
+    >>> cache.stats.hits, cache.stats.misses
+    (1, 1)
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be non-negative, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._entries: "OrderedDict[str, ColoringDecomposition]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def maxsize(self) -> int:
+        """Maximum number of stored decompositions."""
+        return self._maxsize
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: str) -> Optional[ColoringDecomposition]:
+        """Return the cached decomposition for ``key`` or ``None`` (a miss).
+
+        A hit refreshes the entry's LRU position; both outcomes update the
+        counters.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def store(self, key: str, decomposition: ColoringDecomposition) -> None:
+        """Insert (or refresh) a decomposition, evicting the LRU entry if full.
+
+        The stored arrays that the pipeline computes itself (coloring matrix,
+        effective covariance) are frozen read-only: cached decompositions are
+        shared between every generator built from the same matrix, and an
+        in-place mutation through one of them would silently corrupt all the
+        others.  ``requested_covariance`` may alias the caller's own matrix,
+        so it is left untouched.
+        """
+        if self._maxsize == 0:
+            return
+        decomposition.coloring_matrix.flags.writeable = False
+        decomposition.effective_covariance.flags.writeable = False
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = decomposition
+                return
+            self._entries[key] = decomposition
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def coloring_for(
+        self,
+        matrix: np.ndarray,
+        *,
+        method: str = "eigen",
+        psd_method: str = "clip",
+        epsilon: float = 1e-6,
+        defaults: NumericDefaults = DEFAULTS,
+    ) -> ColoringDecomposition:
+        """Return the coloring decomposition for ``matrix``, computing on miss.
+
+        This is the single-matrix entry point used by
+        :class:`repro.core.generator.RayleighFadingGenerator`; the batched
+        compiler uses :meth:`lookup`/:meth:`store` directly so it can batch
+        the misses into one stacked decomposition.
+        """
+        from ..core.coloring import compute_coloring
+
+        key = decomposition_cache_key(
+            matrix, method=method, psd_method=psd_method, epsilon=epsilon, defaults=defaults
+        )
+        cached = self.lookup(key)
+        if cached is not None:
+            return cached
+        decomposition = compute_coloring(
+            matrix, method=method, psd_method=psd_method, epsilon=epsilon, defaults=defaults
+        )
+        self.store(key, decomposition)
+        return decomposition
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every stored decomposition (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (entries are kept)."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+
+#: Process-wide cache shared by the default engine and the generators.
+_DEFAULT_CACHE = DecompositionCache()
+
+
+def default_decomposition_cache() -> DecompositionCache:
+    """The process-wide decomposition cache.
+
+    Shared by :func:`repro.engine.default_engine` and by
+    :class:`repro.core.generator.RayleighFadingGenerator` instances that are
+    not given an explicit cache, so sweeps that construct many generators
+    over repeated covariance matrices decompose each matrix once.
+    """
+    return _DEFAULT_CACHE

@@ -1,0 +1,230 @@
+"""Plan compilation: stacked decompositions with cache-aware deduplication.
+
+Compiling a :class:`repro.engine.plan.SimulationPlan` turns its declarative
+entries into ready-to-execute coloring matrices:
+
+1. entries are grouped by ``(N, coloring_method, psd_method, epsilon)`` so
+   each group stacks into one ``(B, N, N)`` array;
+2. within a group, covariance matrices are deduplicated by content hash and
+   looked up in the :class:`repro.engine.cache.DecompositionCache`;
+3. the remaining *misses* are decomposed together by
+   :func:`repro.core.coloring.compute_coloring_batch` — one stacked
+   ``np.linalg.eigh`` / ``cholesky`` call per group — and stored back in the
+   cache;
+4. per-entry coloring matrices are assembled into a ``(B, N, N)`` stack the
+   executor multiplies white samples through.
+
+Every decomposition is bit-identical to what the single-spec path computes,
+so compiled execution reproduces a loop of
+:class:`repro.core.generator.RayleighFadingGenerator` exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import DEFAULTS, NumericDefaults
+from ..linalg import ColoringDecomposition
+from .cache import DecompositionCache, default_decomposition_cache
+from .plan import PlanEntry, SimulationPlan
+
+__all__ = ["CompileReport", "CompiledGroup", "CompiledPlan", "compile_plan"]
+
+
+@dataclass(frozen=True)
+class CompileReport:
+    """Statistics of one compilation pass.
+
+    Attributes
+    ----------
+    n_entries:
+        Scenarios in the plan.
+    n_groups:
+        Same-shape/same-options groups formed.
+    n_unique_matrices:
+        Distinct covariance computations after content-hash deduplication.
+    cache_hits, cache_misses:
+        Unique matrices served from / absent from the decomposition cache.
+    compile_seconds:
+        Wall-clock time of the compilation pass.
+    """
+
+    n_entries: int
+    n_groups: int
+    n_unique_matrices: int
+    cache_hits: int
+    cache_misses: int
+    compile_seconds: float
+
+    @property
+    def deduplicated(self) -> int:
+        """Entries that reused another entry's decomposition within the batch."""
+        return self.n_entries - self.n_unique_matrices
+
+
+@dataclass(frozen=True)
+class CompiledGroup:
+    """One batch of same-shape entries, ready to execute.
+
+    Attributes
+    ----------
+    indices:
+        Plan indices of the entries, in plan order.
+    entries:
+        The corresponding plan entries.
+    coloring_stack:
+        ``(B, N, N)`` stack of coloring matrices, one per entry.
+    sample_variances:
+        ``(B,)`` white-sample variances ``sigma_w^2`` per entry.
+    decompositions:
+        Full per-entry decompositions (diagnostics: repairs, eigenvalues).
+    """
+
+    indices: Tuple[int, ...]
+    entries: Tuple[PlanEntry, ...]
+    coloring_stack: np.ndarray
+    sample_variances: np.ndarray
+    decompositions: Tuple[ColoringDecomposition, ...]
+
+    @property
+    def batch_size(self) -> int:
+        """Number of entries in this group."""
+        return len(self.indices)
+
+    @property
+    def n_branches(self) -> int:
+        """Number of correlated branches ``N`` shared by the group."""
+        return int(self.coloring_stack.shape[1])
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A fully compiled plan: groups of stacked coloring matrices.
+
+    The executor (:mod:`repro.engine.execute`) consumes this object; it can
+    be executed many times (different sample counts, streaming blocks)
+    without recompiling.
+    """
+
+    plan: SimulationPlan
+    groups: Tuple[CompiledGroup, ...]
+    report: CompileReport
+
+    @property
+    def n_entries(self) -> int:
+        """Number of scenarios in the compiled plan."""
+        return self.plan.n_entries
+
+    def decomposition_for(self, plan_index: int) -> ColoringDecomposition:
+        """The decomposition used for the entry at ``plan_index``."""
+        for group in self.groups:
+            if plan_index in group.indices:
+                return group.decompositions[group.indices.index(plan_index)]
+        raise IndexError(f"plan index {plan_index} out of range")
+
+
+def compile_plan(
+    plan: SimulationPlan,
+    *,
+    cache: Optional[DecompositionCache] = None,
+    defaults: NumericDefaults = DEFAULTS,
+) -> CompiledPlan:
+    """Compile a plan into stacked, cached coloring decompositions.
+
+    Parameters
+    ----------
+    plan:
+        The simulation plan to compile.
+    cache:
+        Decomposition cache to consult and populate; defaults to the
+        process-wide cache.  Pass ``DecompositionCache(maxsize=0)`` to
+        disable reuse (e.g. for cold-path benchmarking).
+    defaults:
+        Numeric tolerance bundle forwarded to the decomposition pipeline.
+    """
+    from ..core.coloring import compute_coloring_batch
+
+    if cache is None:
+        cache = default_decomposition_cache()
+
+    start = time.perf_counter()
+
+    # 1. Group entries by stacking signature, preserving first-seen order.
+    group_members: Dict[Tuple[int, str, str, float], List[int]] = {}
+    for index, entry in enumerate(plan):
+        group_members.setdefault(entry.group_key, []).append(index)
+
+    entries = plan.entries
+    hits = 0
+    misses = 0
+    unique_total = 0
+    groups: List[CompiledGroup] = []
+    for group_key, indices in group_members.items():
+        _, coloring_method, psd_method, epsilon = group_key
+        group_entries = tuple(entries[i] for i in indices)
+
+        # 2. Deduplicate matrices by content hash; consult the cache once
+        #    per unique key.
+        resolved: Dict[str, ColoringDecomposition] = {}
+        missing_keys: List[str] = []
+        missing_set: set = set()
+        missing_matrices: List[np.ndarray] = []
+        entry_keys: List[str] = []
+        for entry in group_entries:
+            key = entry.cache_key(defaults)
+            entry_keys.append(key)
+            if key in resolved or key in missing_set:
+                continue
+            cached = cache.lookup(key)
+            if cached is not None:
+                resolved[key] = cached
+                hits += 1
+            else:
+                missing_keys.append(key)
+                missing_set.add(key)
+                missing_matrices.append(entry.spec.matrix)
+                misses += 1
+        unique_total += len(resolved) + len(missing_keys)
+
+        # 3. Batch-decompose the misses with one stacked call.
+        if missing_matrices:
+            computed = compute_coloring_batch(
+                np.stack(missing_matrices),
+                method=coloring_method,
+                psd_method=psd_method,
+                epsilon=epsilon,
+                defaults=defaults,
+            )
+            for key, decomposition in zip(missing_keys, computed):
+                resolved[key] = decomposition
+                cache.store(key, decomposition)
+
+        # 4. Assemble the per-entry coloring stack.
+        decompositions = tuple(resolved[key] for key in entry_keys)
+        coloring_stack = np.stack([d.coloring_matrix for d in decompositions])
+        sample_variances = np.array(
+            [entry.sample_variance for entry in group_entries], dtype=float
+        )
+        groups.append(
+            CompiledGroup(
+                indices=tuple(indices),
+                entries=group_entries,
+                coloring_stack=coloring_stack,
+                sample_variances=sample_variances,
+                decompositions=decompositions,
+            )
+        )
+
+    report = CompileReport(
+        n_entries=plan.n_entries,
+        n_groups=len(groups),
+        n_unique_matrices=unique_total,
+        cache_hits=hits,
+        cache_misses=misses,
+        compile_seconds=time.perf_counter() - start,
+    )
+    return CompiledPlan(plan=plan, groups=tuple(groups), report=report)

@@ -1,0 +1,107 @@
+"""The simulation engine facade: plan → compile → execute in one object.
+
+:class:`SimulationEngine` binds a decomposition cache and numeric defaults
+to the compile/execute pipeline so callers can hold one engine for a whole
+study and reuse decompositions across runs.  :func:`default_engine` returns
+the process-wide engine backed by the shared cache — the instance the
+one-call pipeline helpers (:mod:`repro.core.pipeline`) route through, which
+makes the classic single-spec API the ``B = 1`` case of the batched one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from ..config import DEFAULTS, NumericDefaults
+from .cache import CacheStats, DecompositionCache, default_decomposition_cache
+from .compile import CompiledPlan, compile_plan
+from .execute import execute_plan, stream_plan
+from .plan import SimulationPlan
+from .result import BatchResult
+
+__all__ = ["SimulationEngine", "default_engine"]
+
+
+class SimulationEngine:
+    """Batched plan → compile → execute pipeline with decomposition caching.
+
+    Parameters
+    ----------
+    cache:
+        Decomposition cache consulted during compilation.  ``None`` uses the
+        process-wide shared cache; pass ``DecompositionCache(maxsize=0)`` for
+        a cache-less engine.
+    defaults:
+        Numeric tolerance bundle for the decomposition pipeline.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.engine import SimulationEngine, SimulationPlan
+    >>> engine = SimulationEngine()
+    >>> K = np.array([[1.0, 0.3], [0.3, 1.0]], dtype=complex)
+    >>> plan = SimulationPlan.from_specs([K, 2 * K, 3 * K], seed=7)
+    >>> result = engine.run(plan, n_samples=500)
+    >>> [block.samples.shape for block in result.blocks]
+    [(2, 500), (2, 500), (2, 500)]
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[DecompositionCache] = None,
+        defaults: NumericDefaults = DEFAULTS,
+    ) -> None:
+        self._cache = default_decomposition_cache() if cache is None else cache
+        self._defaults = defaults
+
+    @property
+    def cache(self) -> DecompositionCache:
+        """The decomposition cache this engine compiles against."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Snapshot of the cache's hit/miss/eviction counters."""
+        return self._cache.stats
+
+    def compile(self, plan: SimulationPlan) -> CompiledPlan:
+        """Compile a plan (stacked decompositions, cache dedup) for reuse."""
+        return compile_plan(plan, cache=self._cache, defaults=self._defaults)
+
+    def _ensure_compiled(
+        self, plan: Union[SimulationPlan, CompiledPlan]
+    ) -> CompiledPlan:
+        if isinstance(plan, CompiledPlan):
+            return plan
+        return self.compile(plan)
+
+    def run(
+        self, plan: Union[SimulationPlan, CompiledPlan], n_samples: int
+    ) -> BatchResult:
+        """Compile (if necessary) and execute a plan in one call."""
+        return execute_plan(self._ensure_compiled(plan), n_samples)
+
+    def stream(
+        self,
+        plan: Union[SimulationPlan, CompiledPlan],
+        *,
+        block_size: int,
+        n_blocks: int,
+    ) -> Iterator[BatchResult]:
+        """Compile (if necessary) and stream fixed-size batched blocks."""
+        return stream_plan(
+            self._ensure_compiled(plan), block_size=block_size, n_blocks=n_blocks
+        )
+
+
+#: Process-wide engine bound to the shared decomposition cache.
+_DEFAULT_ENGINE: Optional[SimulationEngine] = None
+
+
+def default_engine() -> SimulationEngine:
+    """The process-wide engine (shared decomposition cache, default tolerances)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = SimulationEngine()
+    return _DEFAULT_ENGINE

@@ -1,0 +1,340 @@
+"""Simulation plans: declarative batches of covariance specifications.
+
+A :class:`SimulationPlan` collects the covariance specifications of many
+scenarios — a parameter sweep, a Monte-Carlo grid, a heterogeneous mix —
+*before* any linear algebra runs.  Each :class:`PlanEntry` pairs one
+:class:`repro.core.covariance.CovarianceSpec` with its own random seed and
+algorithm options, so the batched engine can later reproduce exactly what a
+loop of single-spec :class:`repro.core.generator.RayleighFadingGenerator`
+instances would produce.
+
+Plans are the unit of work the engine compiles (:mod:`repro.engine.compile`)
+and the unit the parallel layer partitions across processes
+(:func:`repro.parallel.ensemble.run_plan_parallel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.covariance import CovarianceSpec
+from ..exceptions import SpecificationError
+from ..types import SeedLike
+
+__all__ = ["PlanEntry", "SimulationPlan"]
+
+_COLORING_METHODS = ("eigen", "cholesky", "svd")
+_PSD_METHODS = ("clip", "epsilon", "higham")
+
+
+@dataclass(frozen=True, eq=False)
+class PlanEntry:
+    """One scenario inside a :class:`SimulationPlan`.
+
+    Entries compare (and hash) by identity: the spec holds numpy arrays, so
+    an element-wise ``__eq__`` would raise on membership tests like
+    ``entry in plan``.
+
+    Attributes
+    ----------
+    spec:
+        The covariance specification to realize.
+    seed:
+        Seed (or generator) for this entry's white-sample stream.  Feeding
+        the same seed to a standalone
+        :class:`repro.core.generator.RayleighFadingGenerator` yields
+        bit-identical samples.
+    coloring_method, psd_method, epsilon:
+        Algorithm options, as accepted by
+        :func:`repro.core.coloring.compute_coloring`.
+    sample_variance:
+        White-sample variance ``sigma_w^2`` (step 6 of the paper's
+        algorithm); the default 1.0 matches the snapshot generator.
+    label:
+        Optional caller-supplied identifier carried into result metadata.
+    """
+
+    spec: CovarianceSpec
+    seed: SeedLike = None
+    coloring_method: str = "eigen"
+    psd_method: str = "clip"
+    epsilon: float = 1e-6
+    sample_variance: float = 1.0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, CovarianceSpec):
+            raise SpecificationError(
+                f"PlanEntry.spec must be a CovarianceSpec, got {type(self.spec).__name__}"
+            )
+        if self.coloring_method not in _COLORING_METHODS:
+            raise SpecificationError(
+                f"unknown coloring method {self.coloring_method!r}; "
+                f"choose from {_COLORING_METHODS}"
+            )
+        if self.psd_method not in _PSD_METHODS:
+            raise SpecificationError(
+                f"unknown PSD forcing method {self.psd_method!r}; choose from {_PSD_METHODS}"
+            )
+        if self.epsilon <= 0 or not np.isfinite(self.epsilon):
+            raise SpecificationError(
+                f"epsilon must be positive and finite, got {self.epsilon!r}"
+            )
+        if self.sample_variance <= 0 or not np.isfinite(self.sample_variance):
+            raise SpecificationError(
+                f"sample_variance must be positive and finite, got {self.sample_variance!r}"
+            )
+
+    @property
+    def n_branches(self) -> int:
+        """Number of correlated branches of this entry."""
+        return self.spec.n_branches
+
+    def cache_key(self, defaults) -> str:
+        """Content-hash cache key of this entry's decomposition (memoized).
+
+        The entry is frozen and the library treats covariance matrices as
+        immutable, so the hash is computed once per tolerance bundle and
+        reused by subsequent compiles of the same plan object.
+        """
+        from .cache import decomposition_cache_key
+
+        memo_key = (
+            defaults.eig_clip_tol,
+            defaults.psd_tol,
+            defaults.hermitian_atol,
+            defaults.hermitian_rtol,
+        )
+        memo = self.__dict__.get("_cache_key_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_cache_key_memo", memo)
+        key = memo.get(memo_key)
+        if key is None:
+            key = decomposition_cache_key(
+                self.spec.matrix,
+                method=self.coloring_method,
+                psd_method=self.psd_method,
+                epsilon=self.epsilon,
+                defaults=defaults,
+            )
+            memo[memo_key] = key
+        return key
+
+    @property
+    def group_key(self) -> Tuple[int, str, str, float]:
+        """Compilation group: entries sharing it stack into one batch."""
+        return (self.n_branches, self.coloring_method, self.psd_method, float(self.epsilon))
+
+    def with_seed(self, seed: SeedLike) -> "PlanEntry":
+        """Return a copy of this entry with a different seed."""
+        return replace(self, seed=seed)
+
+
+class SimulationPlan:
+    """An ordered collection of scenarios to simulate as one batch.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import CovarianceSpec
+    >>> from repro.engine import SimulationPlan, default_engine
+    >>> plan = SimulationPlan()
+    >>> for power in (0.5, 1.0, 2.0):
+    ...     K = power * np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
+    ...     _ = plan.add(K, seed=int(power * 10))
+    >>> result = default_engine().run(plan, n_samples=1000)
+    >>> result.blocks[0].samples.shape
+    (2, 1000)
+    """
+
+    def __init__(self, entries: Iterable[PlanEntry] = ()) -> None:
+        self._entries: List[PlanEntry] = []
+        for entry in entries:
+            if not isinstance(entry, PlanEntry):
+                raise SpecificationError(
+                    f"SimulationPlan entries must be PlanEntry objects, got "
+                    f"{type(entry).__name__}"
+                )
+            self._entries.append(entry)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        covariance: Union[CovarianceSpec, np.ndarray],
+        *,
+        seed: SeedLike = None,
+        coloring_method: str = "eigen",
+        psd_method: str = "clip",
+        epsilon: float = 1e-6,
+        sample_variance: float = 1.0,
+        label: Optional[str] = None,
+    ) -> int:
+        """Append one scenario and return its plan index.
+
+        ``covariance`` may be a :class:`CovarianceSpec` or a raw complex
+        covariance matrix (branch powers read off the diagonal, as the
+        generators do).
+        """
+        if not isinstance(covariance, CovarianceSpec):
+            covariance = CovarianceSpec.from_covariance_matrix(
+                np.asarray(covariance, dtype=complex)
+            )
+        entry = PlanEntry(
+            spec=covariance,
+            seed=seed,
+            coloring_method=coloring_method,
+            psd_method=psd_method,
+            epsilon=epsilon,
+            sample_variance=sample_variance,
+            label=label,
+        )
+        self._entries.append(entry)
+        return len(self._entries) - 1
+
+    def add_scenario(
+        self,
+        scenario: Any,
+        gaussian_powers: np.ndarray,
+        *,
+        seed: SeedLike = None,
+        coloring_method: str = "eigen",
+        psd_method: str = "clip",
+        epsilon: float = 1e-6,
+        sample_variance: float = 1.0,
+        label: Optional[str] = None,
+    ) -> int:
+        """Append a physical scenario (any object with ``covariance_spec``)."""
+        if not hasattr(scenario, "covariance_spec"):
+            raise SpecificationError(
+                "scenario must expose a covariance_spec(gaussian_powers) method; got "
+                f"{type(scenario).__name__}"
+            )
+        spec = scenario.covariance_spec(np.asarray(gaussian_powers, dtype=float))
+        return self.add(
+            spec,
+            seed=seed,
+            coloring_method=coloring_method,
+            psd_method=psd_method,
+            epsilon=epsilon,
+            sample_variance=sample_variance,
+            label=label,
+        )
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Sequence[Union[CovarianceSpec, np.ndarray]],
+        *,
+        seed: SeedLike = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+        coloring_method: str = "eigen",
+        psd_method: str = "clip",
+        epsilon: float = 1e-6,
+        sample_variance: float = 1.0,
+        labels: Optional[Sequence[Optional[str]]] = None,
+    ) -> "SimulationPlan":
+        """Build a plan from a sequence of specs with derived per-entry seeds.
+
+        Parameters
+        ----------
+        specs:
+            Covariance specs or raw matrices, one per entry.
+        seed:
+            Root seed; when given (and ``seeds`` is not), every entry
+            receives an independent integer seed derived deterministically
+            from it — mirroring
+            :func:`repro.parallel.partition.build_worker_tasks`.
+        seeds:
+            Explicit per-entry seeds (overrides ``seed``); must match
+            ``len(specs)``.
+        """
+        specs = list(specs)
+        if seeds is not None:
+            seeds = list(seeds)
+            if len(seeds) != len(specs):
+                raise SpecificationError(
+                    f"seeds must have one entry per spec: got {len(seeds)} seeds "
+                    f"for {len(specs)} specs"
+                )
+        elif seed is not None and specs:
+            from ..random import spawn_rngs
+
+            children = spawn_rngs(seed, len(specs))
+            # Plain integer seeds keep entries picklable for process pools.
+            seeds = [int(child.integers(0, np.iinfo(np.int64).max)) for child in children]
+        else:
+            seeds = [None] * len(specs)
+        if labels is not None and len(labels) != len(specs):
+            raise SpecificationError(
+                f"labels must have one entry per spec: got {len(labels)} labels "
+                f"for {len(specs)} specs"
+            )
+        plan = cls()
+        for index, spec in enumerate(specs):
+            plan.add(
+                spec,
+                seed=seeds[index],
+                coloring_method=coloring_method,
+                psd_method=psd_method,
+                epsilon=epsilon,
+                sample_variance=sample_variance,
+                label=None if labels is None else labels[index],
+            )
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def entries(self) -> Tuple[PlanEntry, ...]:
+        """The plan entries, in insertion order."""
+        return tuple(self._entries)
+
+    @property
+    def n_entries(self) -> int:
+        """Number of scenarios in the plan."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[PlanEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> PlanEntry:
+        return self._entries[index]
+
+    def group_sizes(self) -> Dict[Tuple[int, str, str, float], int]:
+        """Entries per compilation group (diagnostic)."""
+        sizes: Dict[Tuple[int, str, str, float], int] = {}
+        for entry in self._entries:
+            sizes[entry.group_key] = sizes.get(entry.group_key, 0) + 1
+        return sizes
+
+    # ------------------------------------------------------------------ #
+    # Partitioning (for the parallel layer)
+    # ------------------------------------------------------------------ #
+    def partition(self, n_parts: int) -> List["SimulationPlan"]:
+        """Split the plan into at most ``n_parts`` contiguous sub-plans.
+
+        Entry order is preserved (sub-plan ``k`` holds a contiguous slice),
+        counts differ by at most one, and empty sub-plans are dropped — the
+        same contract as :func:`repro.parallel.partition.partition_counts`.
+        """
+        from ..parallel.partition import partition_counts
+
+        counts = partition_counts(len(self._entries), n_parts)
+        plans: List[SimulationPlan] = []
+        cursor = 0
+        for count in counts:
+            if count == 0:
+                continue
+            plans.append(SimulationPlan(self._entries[cursor : cursor + count]))
+            cursor += count
+        return plans

@@ -1,0 +1,66 @@
+"""Result container for batched execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from ..types import EnvelopeBlock, GaussianBlock
+from .compile import CompileReport
+
+__all__ = ["BatchResult"]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Samples for every entry of an executed plan.
+
+    Attributes
+    ----------
+    blocks:
+        One :class:`repro.types.GaussianBlock` per plan entry, in plan
+        order.  Each block is bit-identical to what a standalone
+        :class:`repro.core.generator.RayleighFadingGenerator` seeded with the
+        entry's seed would produce.
+    n_samples:
+        Time samples per branch in this result.
+    compile_report:
+        Statistics of the compilation pass that produced the coloring
+        matrices (cache hits/misses, dedup counts).
+    execute_seconds:
+        Wall-clock time of the execution pass.
+    """
+
+    blocks: Tuple[GaussianBlock, ...]
+    n_samples: int
+    compile_report: CompileReport
+    execute_seconds: float
+
+    @property
+    def n_entries(self) -> int:
+        """Number of plan entries in this result."""
+        return len(self.blocks)
+
+    def block(self, index: int) -> GaussianBlock:
+        """The Gaussian block of the entry at ``index``."""
+        return self.blocks[index]
+
+    def envelopes(self) -> Tuple[EnvelopeBlock, ...]:
+        """Rayleigh envelope blocks for every entry."""
+        return tuple(block.envelopes() for block in self.blocks)
+
+    def stacked_samples(self) -> np.ndarray:
+        """All samples as one ``(B, N, n_samples)`` array.
+
+        Only defined when every entry has the same number of branches.
+        """
+        shapes = {block.samples.shape for block in self.blocks}
+        if len(shapes) != 1:
+            raise DimensionError(
+                f"entries have heterogeneous shapes {sorted(shapes)}; "
+                "stacking requires a homogeneous plan"
+            )
+        return np.stack([block.samples for block in self.blocks])

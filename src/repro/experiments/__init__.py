@@ -21,6 +21,7 @@ Experiments
 ``coloring-methods``           Section 4.3: eigen vs. Cholesky vs. SVD coloring.
 ``baseline-comparison``        Section 1: shortcomings of methods [1]-[6].
 ``scaling-n``                  Throughput scaling with the number of branches.
+``scaling-batch``              Batched engine vs. looped single-spec generation.
 """
 
 from .reporting import ExperimentResult, Table

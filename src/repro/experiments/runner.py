@@ -44,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "coloring-methods": coloring_methods.run,
     "baseline-comparison": baseline_comparison.run,
     "scaling-n": scaling.run,
+    "scaling-batch": scaling.run_batch,
 }
 
 

@@ -1,10 +1,20 @@
-"""Experiment ``scaling-n`` — throughput scaling with the number of branches.
+"""Experiments ``scaling-n`` and ``scaling-batch`` — throughput scaling.
 
 The paper presents the algorithm as applicable "for an arbitrary number N of
-Rayleigh envelopes"; this experiment measures how the generation cost scales
-with ``N`` for both modes (snapshot and real-time) and confirms that the
+Rayleigh envelopes"; :func:`run` measures how the generation cost scales with
+``N`` for both modes (snapshot and real-time) and confirms that the
 statistical accuracy does not degrade as ``N`` grows.  It doubles as the
 kernel behind the ``bench_scaling`` benchmark.
+
+:func:`run_batch` measures the batched engine (:mod:`repro.engine`) against
+the looped single-spec path over a sweep of batch sizes ``B``: the same
+``B`` scenarios are generated once by looping
+:class:`repro.core.generator.RayleighFadingGenerator` and once through
+plan → compile → execute, cold (empty decomposition cache) and warm (all
+decompositions cached).  The experiment's *acceptance criterion* is
+bit-identity of the batched and looped samples — deterministic, so the
+registry sweep never depends on host timing; the speedups and cache counters
+are reported as metrics and exercised by ``bench_engine_batch``.
 """
 
 from __future__ import annotations
@@ -16,11 +26,12 @@ import numpy as np
 from ..core.covariance import CovarianceSpec
 from ..core.generator import RayleighFadingGenerator
 from ..core.realtime import RealTimeRayleighGenerator
+from ..engine import DecompositionCache, SimulationEngine, SimulationPlan
 from ..validation.metrics import relative_frobenius_error
 from . import paper_values as pv
 from .reporting import ExperimentResult, Table
 
-__all__ = ["run", "exponential_correlation_covariance"]
+__all__ = ["run", "run_batch", "batch_sweep_specs", "exponential_correlation_covariance"]
 
 
 def exponential_correlation_covariance(n: int, rho: complex = 0.5 + 0.3j) -> np.ndarray:
@@ -111,6 +122,183 @@ def run(
         notes=(
             "Timings are informational (they depend on the host); the acceptance "
             "criterion is that the covariance accuracy does not degrade with N."
+        ),
+    )
+    result.add_table(table)
+    return result
+
+
+def batch_sweep_specs(batch_size: int, n_branches: int = 4):
+    """``batch_size`` distinct small covariance specs for the batch sweep.
+
+    Each spec scales the same exponential-correlation profile by a distinct
+    per-branch power vector (a power sweep), so every matrix in the batch is
+    unique — the decomposition cache gets no free intra-batch hits and the
+    cold-path comparison is honest.
+    """
+    base = exponential_correlation_covariance(n_branches)
+    specs = []
+    for index in range(batch_size):
+        powers = 1.0 + (index + 1) / batch_size * np.linspace(0.5, 1.5, n_branches)
+        matrix = base * np.sqrt(np.outer(powers, powers))
+        specs.append(CovarianceSpec.from_covariance_matrix(matrix))
+    return specs
+
+
+def _best_time(kernel, repeats: int):
+    """Best-of-``repeats`` wall-clock time of ``kernel`` plus its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, int(repeats))):
+        start = time.perf_counter()
+        result = kernel()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_batch(
+    seed: int = 20050413,
+    batch_sizes=(1, 16, 256),
+    n_branches: int = 4,
+    n_samples: int = 64,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Run the batched-engine vs. looped-generation sweep.
+
+    For every batch size ``B`` the same scenarios (distinct matrices,
+    independent derived seeds) are generated four ways:
+
+    * **looped** — one :class:`RayleighFadingGenerator` per spec, each with a
+      disabled cache (every construction pays its own decomposition), the
+      pre-engine execution model;
+    * **batched cold** — one plan → compile → execute pass against an empty
+      decomposition cache (stacked decompositions, all misses);
+    * **batched warm** — the same pass again (compile is all cache hits);
+    * **execute only** — re-executing the already-compiled plan (the
+      compile-once / execute-many usage the pipeline split exists for).
+
+    Passing requires the batched samples to be bit-identical to the looped
+    samples for every entry at every ``B``.  Speedups and cache hit/miss
+    counts are recorded as metrics.
+    """
+    table = Table(
+        title="Batched engine vs. looped generation",
+        columns=[
+            "B",
+            "looped [s]",
+            "batch cold [s]",
+            "batch warm [s]",
+            "execute only [s]",
+            "speedup warm",
+            "speedup execute",
+            "cache hits",
+            "cache misses",
+            "identical",
+        ],
+    )
+    metrics = {}
+    all_identical = True
+
+    for batch_size in batch_sizes:
+        specs = batch_sweep_specs(batch_size, n_branches)
+        plan = SimulationPlan.from_specs(specs, seed=seed + batch_size)
+        entry_seeds = [entry.seed for entry in plan]
+
+        # Looped baseline: per-spec generators with caching disabled (the
+        # pre-engine execution model pays one decomposition per generator).
+        looped_time, looped_blocks = _best_time(
+            lambda: [
+                RayleighFadingGenerator(
+                    spec, rng=entry_seed, cache=DecompositionCache(maxsize=0)
+                ).generate_gaussian(n_samples)
+                for spec, entry_seed in zip(specs, entry_seeds)
+            ],
+            repeats,
+        )
+
+        # Cold: a fresh cache per repeat, so every repeat pays the stacked
+        # decomposition (the best-of timing stays a true cold measurement).
+        cold_time, cold = _best_time(
+            lambda: SimulationEngine(cache=DecompositionCache()).run(plan, n_samples),
+            repeats,
+        )
+
+        engine = SimulationEngine(cache=DecompositionCache())
+        engine.run(plan, n_samples)  # populate the cache
+        engine.cache.reset_stats()
+        warm_time, warm = _best_time(lambda: engine.run(plan, n_samples), repeats)
+
+        compiled = engine.compile(plan)
+        execute_time, executed = _best_time(
+            lambda: engine.run(compiled, n_samples), repeats
+        )
+
+        identical = all(
+            np.array_equal(looped.samples, batched.samples)
+            and np.array_equal(looped.samples, rerun.samples)
+            and np.array_equal(looped.samples, direct.samples)
+            for looped, batched, rerun, direct in zip(
+                looped_blocks, cold.blocks, warm.blocks, executed.blocks
+            )
+        )
+        all_identical &= identical
+
+        speedup_cold = looped_time / cold_time
+        speedup_warm = looped_time / warm_time
+        speedup_execute = looped_time / execute_time
+        # Per-compile cache counters: the warm compile serves every entry
+        # from the cache, the cold compile misses every unique matrix.
+        warm_hits = warm.compile_report.cache_hits
+        cold_misses = cold.compile_report.cache_misses
+        table.add_row(
+            batch_size,
+            looped_time,
+            cold_time,
+            warm_time,
+            execute_time,
+            speedup_warm,
+            speedup_execute,
+            warm_hits,
+            cold_misses,
+            identical,
+        )
+        metrics[f"looped_time_b{batch_size}"] = looped_time
+        metrics[f"batch_cold_time_b{batch_size}"] = cold_time
+        metrics[f"batch_warm_time_b{batch_size}"] = warm_time
+        metrics[f"execute_only_time_b{batch_size}"] = execute_time
+        metrics[f"speedup_cold_b{batch_size}"] = speedup_cold
+        metrics[f"speedup_warm_b{batch_size}"] = speedup_warm
+        metrics[f"speedup_execute_b{batch_size}"] = speedup_execute
+        metrics[f"warm_cache_hits_b{batch_size}"] = float(warm_hits)
+        metrics[f"cold_cache_misses_b{batch_size}"] = float(cold_misses)
+
+    result = ExperimentResult(
+        experiment_id="scaling-batch",
+        paper_artifact=(
+            "Scaling extension: plan/compile/execute engine over the Section 4.4 "
+            "snapshot algorithm"
+        ),
+        description=(
+            "Wall-clock comparison of the batched engine (stacked eigendecomposition "
+            "+ decomposition cache + stacked coloring matmul) against looping the "
+            "single-spec generator over B scenarios, with bit-identity of the two "
+            "paths as the acceptance criterion."
+        ),
+        parameters={
+            "batch_sizes": list(batch_sizes),
+            "n_branches": n_branches,
+            "n_samples": n_samples,
+            "seed": seed,
+        },
+        metrics=metrics,
+        passed=all_identical,
+        notes=(
+            "Speedups are informational (host-dependent); the acceptance criterion "
+            "is bit-identity of batched and looped samples for the same per-entry "
+            "seeds. The defaults sit in the decomposition-bound regime (small "
+            "matrices, short blocks) the engine targets; as blocks grow, both paths "
+            "converge to the RNG-bound cost and the ratio approaches 1. The "
+            "bench_engine_batch benchmark tracks the >=5x speedup target at B=256."
         ),
     )
     result.add_table(table)

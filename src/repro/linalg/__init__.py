@@ -28,6 +28,16 @@ from .nearest import (
     frobenius_distance,
 )
 from .decomposition import ColoringDecomposition
+from .batched import (
+    BatchedEigenDecomposition,
+    assert_matrix_stack,
+    batched_hermitian_part,
+    batched_hermitian_eigendecomposition,
+    batched_cholesky_factor,
+    batched_reconstruct_from_eigen,
+    batched_clip_negative_eigenvalues,
+    batched_force_positive_semidefinite,
+)
 
 __all__ = [
     "is_hermitian",
@@ -48,4 +58,12 @@ __all__ = [
     "nearest_psd_higham",
     "frobenius_distance",
     "ColoringDecomposition",
+    "BatchedEigenDecomposition",
+    "assert_matrix_stack",
+    "batched_hermitian_part",
+    "batched_hermitian_eigendecomposition",
+    "batched_cholesky_factor",
+    "batched_reconstruct_from_eigen",
+    "batched_clip_negative_eigenvalues",
+    "batched_force_positive_semidefinite",
 ]

@@ -16,7 +16,12 @@ the parallel result is reproducible and statistically sound.
 
 from .partition import partition_counts, WorkerTask, build_worker_tasks
 from .chunked import ChunkedGenerator, stream_envelope_statistics
-from .ensemble import EnsembleResult, run_covariance_ensemble, monte_carlo_covariance
+from .ensemble import (
+    EnsembleResult,
+    run_covariance_ensemble,
+    monte_carlo_covariance,
+    run_plan_parallel,
+)
 
 __all__ = [
     "partition_counts",
@@ -27,4 +32,5 @@ __all__ = [
     "EnsembleResult",
     "run_covariance_ensemble",
     "monte_carlo_covariance",
+    "run_plan_parallel",
 ]

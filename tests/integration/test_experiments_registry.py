@@ -17,6 +17,7 @@ FAST_KWARGS = {
     "unequal-power": {"n_samples": 150_000, "n_blocks": 3},
     "baseline-comparison": {},
     "scaling-n": {"branch_counts": (2, 8, 32), "snapshot_samples": 20_000},
+    "scaling-batch": {"batch_sizes": (1, 8), "n_samples": 128},
 }
 
 
@@ -36,6 +37,7 @@ class TestRegistry:
             "coloring-methods",
             "baseline-comparison",
             "scaling-n",
+            "scaling-batch",
         }
         assert expected == set(list_experiments())
 

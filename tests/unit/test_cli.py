@@ -25,6 +25,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_batch_command_parses(self):
+        args = build_parser().parse_args(
+            ["batch", "--batch-sizes", "1,8", "--branches", "3", "--samples", "32"]
+        )
+        assert args.command == "batch"
+        assert args.batch_sizes == "1,8"
+        assert args.branches == 3
+        assert args.samples == 32
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -43,6 +52,19 @@ class TestMain:
     def test_run_unknown_experiment_exits(self):
         with pytest.raises(SystemExit):
             main(["run", "does-not-exist"])
+
+    def test_batch_runs_and_reports(self, capsys):
+        code = main(["batch", "--batch-sizes", "1,4", "--samples", "16", "--repeats", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scaling-batch" in out
+        assert "cache hits" in out
+
+    def test_batch_rejects_malformed_sizes(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--batch-sizes", "1,x"])
+        with pytest.raises(SystemExit):
+            main(["batch", "--batch-sizes", "0,4"])
 
     def test_export_writes_report_and_csv(self, tmp_path, capsys):
         code = main(

@@ -1,0 +1,126 @@
+"""Unit tests for the decomposition cache: keys, LRU behaviour, counters."""
+
+import numpy as np
+import pytest
+
+from repro.config import with_overrides
+from repro.core.coloring import compute_coloring
+from repro.engine import DecompositionCache, decomposition_cache_key
+
+
+@pytest.fixture()
+def matrix():
+    return np.array([[1.0, 0.4 + 0.1j], [0.4 - 0.1j, 2.0]], dtype=complex)
+
+
+class TestCacheKey:
+    def test_deterministic(self, matrix):
+        assert decomposition_cache_key(matrix) == decomposition_cache_key(matrix.copy())
+
+    def test_sensitive_to_matrix_content(self, matrix):
+        other = matrix.copy()
+        other[0, 1] += 1e-15
+        assert decomposition_cache_key(matrix) != decomposition_cache_key(other)
+
+    def test_sensitive_to_methods(self, matrix):
+        base = decomposition_cache_key(matrix)
+        assert decomposition_cache_key(matrix, method="cholesky") != base
+        assert decomposition_cache_key(matrix, psd_method="epsilon") != base
+        assert decomposition_cache_key(matrix, epsilon=1e-3) != base
+
+    def test_sensitive_to_tolerances(self, matrix):
+        overridden = with_overrides(eig_clip_tol=1e-9)
+        assert decomposition_cache_key(matrix) != decomposition_cache_key(
+            matrix, defaults=overridden
+        )
+
+    def test_sensitive_to_shape(self):
+        flat = np.eye(4, dtype=complex)
+        assert decomposition_cache_key(flat) != decomposition_cache_key(np.eye(2, dtype=complex))
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self, matrix):
+        cache = DecompositionCache()
+        first = cache.coloring_for(matrix)
+        second = cache.coloring_for(matrix)
+        assert second is first
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.lookups == 2
+        assert stats.hit_rate == 0.5
+
+    def test_cached_equals_fresh_computation(self, matrix):
+        cache = DecompositionCache()
+        cached = cache.coloring_for(matrix)
+        fresh = compute_coloring(matrix)
+        assert np.array_equal(cached.coloring_matrix, fresh.coloring_matrix)
+        assert np.array_equal(cached.effective_covariance, fresh.effective_covariance)
+
+    def test_different_methods_cached_separately(self, matrix):
+        cache = DecompositionCache()
+        eigen = cache.coloring_for(matrix, method="eigen")
+        cholesky = cache.coloring_for(matrix, method="cholesky")
+        assert eigen.method == "eigen"
+        assert cholesky.method == "cholesky"
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        cache = DecompositionCache(maxsize=2)
+        matrices = [np.eye(2, dtype=complex) * (index + 1) for index in range(3)]
+        for m in matrices:
+            cache.coloring_for(m)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The first (least recently used) matrix was evicted: re-requesting
+        # it misses again.
+        cache.coloring_for(matrices[0])
+        assert cache.stats.misses == 4
+
+    def test_lru_refresh_on_hit(self):
+        cache = DecompositionCache(maxsize=2)
+        a = np.eye(2, dtype=complex)
+        b = 2.0 * np.eye(2, dtype=complex)
+        c = 3.0 * np.eye(2, dtype=complex)
+        cache.coloring_for(a)
+        cache.coloring_for(b)
+        cache.coloring_for(a)  # refresh a; b becomes LRU
+        cache.coloring_for(c)  # evicts b
+        cache.coloring_for(a)
+        assert cache.stats.hits == 2
+
+    def test_maxsize_zero_disables_storage(self, matrix):
+        cache = DecompositionCache(maxsize=0)
+        cache.coloring_for(matrix)
+        cache.coloring_for(matrix)
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (0, 2)
+        assert len(cache) == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            DecompositionCache(maxsize=-1)
+
+    def test_clear_keeps_counters(self, matrix):
+        cache = DecompositionCache()
+        cache.coloring_for(matrix)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_reset_stats_keeps_entries(self, matrix):
+        cache = DecompositionCache()
+        cache.coloring_for(matrix)
+        cache.reset_stats()
+        assert cache.stats.lookups == 0
+        assert len(cache) == 1
+        cache.coloring_for(matrix)
+        assert cache.stats.hits == 1
+
+    def test_contains_by_key(self, matrix):
+        cache = DecompositionCache()
+        key = decomposition_cache_key(matrix)
+        assert key not in cache
+        cache.coloring_for(matrix)
+        assert key in cache

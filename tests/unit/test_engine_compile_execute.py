@@ -1,0 +1,172 @@
+"""Unit tests for plan compilation and execution (grouping, caching, streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CovarianceSpec
+from repro.engine import (
+    DecompositionCache,
+    SimulationEngine,
+    SimulationPlan,
+    compile_plan,
+    default_engine,
+    execute_plan,
+    stream_plan,
+)
+from repro.exceptions import DimensionError, GenerationError
+from repro.parallel import run_plan_parallel
+from repro.exceptions import ParallelExecutionError
+
+
+def _matrix(power, size=2):
+    base = np.full((size, size), 0.3, dtype=complex)
+    np.fill_diagonal(base, 1.0)
+    return power * base
+
+
+@pytest.fixture()
+def mixed_plan():
+    """Entries with two shapes and one repeated matrix."""
+    plan = SimulationPlan()
+    plan.add(_matrix(1.0), seed=1)
+    plan.add(_matrix(2.0), seed=2)
+    plan.add(_matrix(1.0, size=3), seed=3)
+    plan.add(_matrix(1.0), seed=4)  # duplicate of entry 0, different seed
+    return plan
+
+
+class TestCompile:
+    def test_groups_by_shape(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        assert compiled.report.n_groups == 2
+        assert compiled.report.n_entries == 4
+        sizes = sorted(group.batch_size for group in compiled.groups)
+        assert sizes == [1, 3]
+
+    def test_intra_batch_deduplication(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        # Entries 0 and 3 share a matrix: 3 unique decompositions for 4 entries.
+        assert compiled.report.n_unique_matrices == 3
+        assert compiled.report.deduplicated == 1
+        assert compiled.decomposition_for(0) is compiled.decomposition_for(3)
+
+    def test_cache_hits_across_compiles(self, mixed_plan):
+        cache = DecompositionCache()
+        first = compile_plan(mixed_plan, cache=cache)
+        second = compile_plan(mixed_plan, cache=cache)
+        assert first.report.cache_misses == 3
+        assert first.report.cache_hits == 0
+        assert second.report.cache_hits == 3
+        assert second.report.cache_misses == 0
+
+    def test_coloring_stack_shape(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        for group in compiled.groups:
+            assert group.coloring_stack.shape == (
+                group.batch_size,
+                group.n_branches,
+                group.n_branches,
+            )
+
+    def test_decomposition_for_unknown_index(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        with pytest.raises(IndexError):
+            compiled.decomposition_for(99)
+
+
+class TestExecute:
+    def test_blocks_in_plan_order(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        result = execute_plan(compiled, 10)
+        assert result.n_entries == 4
+        assert [block.metadata["plan_index"] for block in result.blocks] == [0, 1, 2, 3]
+        assert result.blocks[2].samples.shape == (3, 10)
+
+    def test_metadata_fields(self, mixed_plan):
+        result = default_engine().run(mixed_plan, 5)
+        block = result.blocks[0]
+        assert block.metadata["method"] == "snapshot"
+        assert block.metadata["engine"] == "batch"
+        assert block.metadata["coloring_method"] == "eigen"
+
+    def test_rejects_bad_sample_count(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        with pytest.raises(GenerationError):
+            execute_plan(compiled, 0)
+
+    def test_stacked_samples_requires_homogeneous_plan(self, mixed_plan):
+        result = default_engine().run(mixed_plan, 4)
+        with pytest.raises(DimensionError):
+            result.stacked_samples()
+
+    def test_stacked_samples_on_homogeneous_plan(self):
+        plan = SimulationPlan.from_specs([_matrix(1.0), _matrix(2.0)], seed=0)
+        result = default_engine().run(plan, 6)
+        assert result.stacked_samples().shape == (2, 2, 6)
+
+    def test_envelopes(self, mixed_plan):
+        result = default_engine().run(mixed_plan, 4)
+        envelopes = result.envelopes()
+        assert len(envelopes) == 4
+        assert np.all(envelopes[0].envelopes >= 0)
+
+
+class TestStreaming:
+    def test_block_count_and_shape(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        batches = list(stream_plan(compiled, block_size=8, n_blocks=3))
+        assert len(batches) == 3
+        assert all(batch.blocks[0].samples.shape == (2, 8) for batch in batches)
+
+    def test_blocks_advance_the_stream(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        batches = list(stream_plan(compiled, block_size=8, n_blocks=2))
+        assert not np.array_equal(
+            batches[0].blocks[0].samples, batches[1].blocks[0].samples
+        )
+
+    def test_rejects_bad_parameters(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        with pytest.raises(GenerationError):
+            list(stream_plan(compiled, block_size=0, n_blocks=1))
+        with pytest.raises(GenerationError):
+            list(stream_plan(compiled, block_size=1, n_blocks=0))
+
+
+class TestEngineFacade:
+    def test_run_accepts_compiled_plans(self, mixed_plan):
+        engine = SimulationEngine(cache=DecompositionCache())
+        compiled = engine.compile(mixed_plan)
+        a = engine.run(compiled, 4)
+        b = engine.run(mixed_plan, 4)
+        for block_a, block_b in zip(a.blocks, b.blocks):
+            assert np.array_equal(block_a.samples, block_b.samples)
+
+    def test_default_engine_is_singleton(self):
+        assert default_engine() is default_engine()
+
+    def test_cache_stats_exposed(self, mixed_plan):
+        engine = SimulationEngine(cache=DecompositionCache())
+        engine.run(mixed_plan, 2)
+        assert engine.cache_stats.misses == 3
+
+
+class TestPlanParallel:
+    def test_serial_equals_parallel(self, mixed_plan):
+        serial = run_plan_parallel(mixed_plan, 16, n_workers=1)
+        parallel = run_plan_parallel(mixed_plan, 16, n_workers=2)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.samples, b.samples)
+
+    def test_rejects_empty_plan(self):
+        with pytest.raises(ParallelExecutionError):
+            run_plan_parallel(SimulationPlan(), 4)
+
+    def test_rejects_non_plan(self):
+        with pytest.raises(ParallelExecutionError):
+            run_plan_parallel([np.eye(2)], 4)
+
+    def test_rejects_bad_sample_count(self, mixed_plan):
+        with pytest.raises(ParallelExecutionError):
+            run_plan_parallel(mixed_plan, 0)

@@ -1,0 +1,171 @@
+"""Unit tests for simulation plans: construction, validation, partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.channels import MIMOArrayScenario, ScenarioSweep
+from repro.core import CovarianceSpec
+from repro.engine import PlanEntry, SimulationPlan
+from repro.exceptions import SpecificationError
+
+
+@pytest.fixture()
+def spec():
+    return CovarianceSpec.from_covariance_matrix(
+        np.array([[1.0, 0.3], [0.3, 1.0]], dtype=complex)
+    )
+
+
+class TestPlanEntry:
+    def test_requires_covariance_spec(self):
+        with pytest.raises(SpecificationError):
+            PlanEntry(spec=np.eye(2))
+
+    def test_rejects_unknown_coloring_method(self, spec):
+        with pytest.raises(SpecificationError):
+            PlanEntry(spec=spec, coloring_method="qr")
+
+    def test_rejects_unknown_psd_method(self, spec):
+        with pytest.raises(SpecificationError):
+            PlanEntry(spec=spec, psd_method="magic")
+
+    def test_rejects_bad_sample_variance(self, spec):
+        with pytest.raises(SpecificationError):
+            PlanEntry(spec=spec, sample_variance=0.0)
+
+    def test_rejects_bad_epsilon(self, spec):
+        with pytest.raises(SpecificationError):
+            PlanEntry(spec=spec, epsilon=-1.0)
+
+    def test_group_key_contents(self, spec):
+        entry = PlanEntry(spec=spec, coloring_method="svd", psd_method="epsilon")
+        assert entry.group_key == (2, "svd", "epsilon", 1e-6)
+
+    def test_with_seed_copies(self, spec):
+        entry = PlanEntry(spec=spec, seed=1)
+        other = entry.with_seed(2)
+        assert other.seed == 2 and entry.seed == 1
+        assert other.spec is entry.spec
+
+
+class TestSimulationPlan:
+    def test_add_accepts_raw_matrix(self):
+        plan = SimulationPlan()
+        index = plan.add(np.eye(3, dtype=complex), seed=5)
+        assert index == 0
+        assert plan[0].spec.n_branches == 3
+        assert plan[0].seed == 5
+
+    def test_add_scenario(self):
+        plan = SimulationPlan()
+        scenario = MIMOArrayScenario(n_antennas=3, spacing_wavelengths=0.5)
+        plan.add_scenario(scenario, np.ones(3), label="mimo")
+        assert plan.n_entries == 1
+        assert plan[0].label == "mimo"
+        assert plan[0].spec.metadata["scenario"] == "mimo-spatial"
+
+    def test_add_scenario_requires_interface(self):
+        with pytest.raises(SpecificationError):
+            SimulationPlan().add_scenario(object(), np.ones(2))
+
+    def test_from_specs_derives_independent_integer_seeds(self):
+        matrices = [np.eye(2, dtype=complex)] * 4
+        plan = SimulationPlan.from_specs(matrices, seed=42)
+        seeds = [entry.seed for entry in plan]
+        assert all(isinstance(seed, int) for seed in seeds)
+        assert len(set(seeds)) == 4
+        # Deterministic: rebuilding from the same root seed gives the same seeds.
+        again = SimulationPlan.from_specs(matrices, seed=42)
+        assert seeds == [entry.seed for entry in again]
+
+    def test_from_specs_explicit_seeds_must_match_length(self):
+        with pytest.raises(SpecificationError):
+            SimulationPlan.from_specs([np.eye(2, dtype=complex)], seeds=[1, 2])
+
+    def test_from_specs_labels_must_match_length(self):
+        with pytest.raises(SpecificationError):
+            SimulationPlan.from_specs([np.eye(2, dtype=complex)], labels=["a", "b"])
+
+    def test_group_sizes(self, spec):
+        plan = SimulationPlan()
+        plan.add(spec)
+        plan.add(spec, coloring_method="svd")
+        plan.add(np.eye(3, dtype=complex))
+        sizes = plan.group_sizes()
+        assert sizes[(2, "eigen", "clip", 1e-6)] == 1
+        assert sizes[(2, "svd", "clip", 1e-6)] == 1
+        assert sizes[(3, "eigen", "clip", 1e-6)] == 1
+
+    def test_iteration_and_len(self, spec):
+        plan = SimulationPlan()
+        plan.add(spec)
+        plan.add(spec)
+        assert len(plan) == 2
+        assert [entry.spec for entry in plan] == [spec, spec]
+
+    def test_rejects_non_entry_in_constructor(self):
+        with pytest.raises(SpecificationError):
+            SimulationPlan(entries=[object()])
+
+
+class TestPartition:
+    def test_contiguous_balanced_split(self):
+        matrices = [np.eye(2, dtype=complex) * (index + 1) for index in range(5)]
+        plan = SimulationPlan.from_specs(matrices, seed=0)
+        parts = plan.partition(2)
+        assert [len(part) for part in parts] == [3, 2]
+        reassembled = [entry for part in parts for entry in part]
+        assert [e.seed for e in reassembled] == [e.seed for e in plan]
+
+    def test_drops_empty_parts(self):
+        plan = SimulationPlan.from_specs([np.eye(2, dtype=complex)], seed=0)
+        parts = plan.partition(4)
+        assert len(parts) == 1
+
+
+class TestScenarioSweep:
+    def test_product_expands_grid(self):
+        sweep = ScenarioSweep.product(
+            MIMOArrayScenario,
+            n_antennas=[2],
+            spacing_wavelengths=[0.5, 1.0],
+            angular_spread_rad=[0.1, 0.2, 0.3],
+        )
+        assert len(sweep) == 6
+        assert "spacing_wavelengths=0.5" in sweep.labels[0]
+
+    def test_product_rejects_empty_axis(self):
+        with pytest.raises(SpecificationError):
+            ScenarioSweep.product(MIMOArrayScenario, n_antennas=[])
+
+    def test_product_requires_axes(self):
+        with pytest.raises(SpecificationError):
+            ScenarioSweep.product(MIMOArrayScenario)
+
+    def test_to_plan_carries_labels_and_seeds(self):
+        sweep = ScenarioSweep.product(
+            MIMOArrayScenario, n_antennas=[2], spacing_wavelengths=[0.5, 1.5]
+        )
+        plan = sweep.to_plan(np.ones(2), seed=3)
+        assert plan.n_entries == 2
+        assert plan[0].label == sweep.labels[0]
+        assert plan[0].seed != plan[1].seed
+
+    def test_per_scenario_power_vectors(self):
+        sweep = ScenarioSweep.product(
+            MIMOArrayScenario, n_antennas=[2], spacing_wavelengths=[0.5, 1.5]
+        )
+        specs = sweep.specs([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert np.allclose(specs[0].gaussian_variances, [1.0, 2.0])
+        assert np.allclose(specs[1].gaussian_variances, [3.0, 4.0])
+
+    def test_power_vector_count_mismatch_rejected(self):
+        sweep = ScenarioSweep.product(
+            MIMOArrayScenario, n_antennas=[2], spacing_wavelengths=[0.5, 1.5]
+        )
+        with pytest.raises(SpecificationError):
+            sweep.specs([np.array([1.0, 2.0])] * 3)
+
+    def test_rejects_scenarios_without_interface(self):
+        with pytest.raises(SpecificationError):
+            ScenarioSweep([object()])

@@ -10,13 +10,17 @@ is compared against, and the experiments reproducing the paper's evaluation.
 Quick start
 -----------
 >>> import numpy as np
->>> from repro import CovarianceSpec, RayleighFadingGenerator
+>>> from repro import Simulator
 >>> K = np.array([[1.0, 0.5 + 0.2j], [0.5 - 0.2j, 1.0]])
->>> gen = RayleighFadingGenerator(CovarianceSpec.from_covariance_matrix(K), rng=1)
->>> envelopes = gen.generate_envelopes(100_000).envelopes
+>>> sim = Simulator()   # or Simulator(backend="scipy", max_workers=4, cache=...)
+>>> envelopes = sim.envelopes(K, 100_000, seed=1).envelopes
 
 Package map
 -----------
+``repro.api``
+    The unified session front door: :class:`Simulator` (one-call
+    generation, batched runs, streaming, async submission, pluggable
+    linalg backends).
 ``repro.core``
     The paper's algorithm: covariance assembly, forced PSD, eigen coloring,
     snapshot and real-time generators.
@@ -88,11 +92,16 @@ from .engine import (
     BatchResult,
     CacheStats,
     DecompositionCache,
+    LinalgBackend,
     PlanEntry,
     SimulationEngine,
     SimulationPlan,
+    available_backends,
     default_engine,
+    get_backend,
+    register_backend,
 )
+from .api import Simulator, default_simulator
 
 __all__ = [
     "__version__",
@@ -138,8 +147,14 @@ __all__ = [
     "BatchResult",
     "CacheStats",
     "DecompositionCache",
+    "LinalgBackend",
     "PlanEntry",
     "SimulationEngine",
     "SimulationPlan",
+    "available_backends",
     "default_engine",
+    "get_backend",
+    "register_backend",
+    "Simulator",
+    "default_simulator",
 ]

@@ -1,0 +1,521 @@
+"""The unified session API: one :class:`Simulator` in front of the engine.
+
+Before this module the package had several parallel front doors — the
+one-call helpers in :mod:`repro.core.pipeline`, the plan/compile/execute
+engine in :mod:`repro.engine`, :class:`repro.channels.scenario.ScenarioSweep`
+for sweeps, and :func:`repro.parallel.ensemble.run_plan_parallel` for
+process-pool runs.  A :class:`Simulator` is the single public entry point
+that fronts all of them:
+
+>>> import numpy as np
+>>> from repro.api import Simulator
+>>> sim = Simulator(backend="numpy")
+>>> K = np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
+>>> envelopes = sim.envelopes(K, 1000, seed=7)          # one-call generation
+>>> from repro.engine import SimulationPlan
+>>> plan = SimulationPlan.from_specs([K, 2 * K], seed=3)
+>>> result = sim.run(plan, 500)                          # batched execution
+>>> blocks = list(sim.stream(plan, block_size=128, n_blocks=4))  # bounded memory
+
+Sessions own three resources:
+
+* a **linalg backend** (``backend=``) — the pluggable decompose-stack /
+  matmul implementation from :mod:`repro.engine.backends`;
+* a **decomposition cache** (``cache=``) — shared across every run the
+  session executes (``None`` uses the process-wide cache);
+* a **worker budget** (``max_workers=``) — ``run`` partitions plans across
+  a process pool when the budget exceeds one, and ``submit`` sizes its
+  thread pool from it for async multiplexing.
+
+``await sim.submit(plan, n)`` makes the session awaitable-friendly: many
+concurrent studies can be multiplexed over one session with
+``asyncio.gather``, each submit executing in the session's thread pool while
+numpy releases the GIL inside BLAS.
+
+The classic helpers remain as thin delegating wrappers
+(:func:`repro.core.pipeline.generate_correlated_envelopes` /
+``generate_from_scenario``), and :func:`default_simulator` is the
+process-wide session they route through — so the old API is literally the
+new one with the default session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .config import DEFAULTS, NumericDefaults
+from .engine import (
+    BackendSpec,
+    BatchResult,
+    CompiledPlan,
+    CompileReport,
+    DecompositionCache,
+    LinalgBackend,
+    SimulationEngine,
+    SimulationPlan,
+)
+from .exceptions import ParallelExecutionError, SpecificationError
+from .types import EnvelopeBlock, GaussianBlock, SeedLike
+
+__all__ = ["Simulator", "default_simulator"]
+
+#: What :meth:`Simulator.run` accepts as work.
+RunnableWork = Union[SimulationPlan, CompiledPlan, "ScenarioSweepLike"]
+
+
+def _run_subplan(
+    subplan: SimulationPlan, n_samples: int, backend: LinalgBackend
+) -> BatchResult:
+    """Worker: compile and execute one sub-plan with a private engine.
+
+    Module-level so it is picklable by :class:`ProcessPoolExecutor`.  The
+    backend instance itself travels to the worker (the built-in backends
+    reduce to their constructor arguments), so unregistered instances —
+    custom subclasses, non-default scipy drivers — work identically in
+    parallel and in-process runs.  Each worker uses its own decomposition
+    cache (process-wide caches are not shared across processes).
+    """
+    engine = SimulationEngine(cache=DecompositionCache(), backend=backend)
+    return engine.run(subplan, n_samples)
+
+
+def _merge_results(
+    partials: Sequence[BatchResult],
+    n_samples: int,
+    wall_seconds: float,
+    backend_name: str,
+) -> BatchResult:
+    """Reassemble worker results into one plan-ordered :class:`BatchResult`.
+
+    Cache and dedup counters are summed across workers (each worker compiled
+    against a private cache); ``compile_seconds`` is the maximum over
+    workers because the compiles ran concurrently, and ``execute_seconds``
+    is the caller-observed wall clock of the whole pool.
+    """
+    blocks: List[GaussianBlock] = []
+    for partial in partials:
+        blocks.extend(partial.blocks)
+    # Workers saw sub-plan-local indices; restore whole-plan indexing so
+    # metadata maps blocks back to the caller's plan entries.
+    for index, block in enumerate(blocks):
+        block.metadata["plan_index"] = index
+    report = CompileReport(
+        n_entries=sum(p.compile_report.n_entries for p in partials),
+        n_groups=sum(p.compile_report.n_groups for p in partials),
+        n_unique_matrices=sum(p.compile_report.n_unique_matrices for p in partials),
+        cache_hits=sum(p.compile_report.cache_hits for p in partials),
+        cache_misses=sum(p.compile_report.cache_misses for p in partials),
+        compile_seconds=max(p.compile_report.compile_seconds for p in partials),
+    )
+    return BatchResult(
+        blocks=tuple(blocks),
+        n_samples=int(n_samples),
+        compile_report=report,
+        execute_seconds=wall_seconds,
+        backend=backend_name,
+    )
+
+
+class Simulator:
+    """A simulation session: one entry point over the batched engine.
+
+    Parameters
+    ----------
+    backend:
+        Linalg backend name (``"numpy"``, ``"scipy"``, import-gated GPU
+        backends), a :class:`repro.engine.backends.LinalgBackend` instance,
+        or ``None`` for the numpy default.  With the numpy backend, every
+        result is bit-identical to the pre-session helpers and to looping
+        single-spec generators with the same seeds.
+    cache:
+        Decomposition cache shared by every run of this session.  ``None``
+        uses the process-wide cache; pass ``DecompositionCache(maxsize=0)``
+        to disable reuse.
+    max_workers:
+        Worker budget.  ``None`` or 1 keeps everything in-process;
+        larger values let :meth:`run` partition plans across a process pool
+        (the old ``run_plan_parallel``) and size :meth:`submit`'s thread
+        pool for async multiplexing.
+    defaults:
+        Numeric tolerance bundle for the decomposition pipeline.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import Simulator
+    >>> sim = Simulator()
+    >>> K = np.array([[1.0, 0.3], [0.3, 1.0]], dtype=complex)
+    >>> sim.envelopes(K, 100, seed=5).envelopes.shape
+    (2, 100)
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: BackendSpec = None,
+        cache: Optional[DecompositionCache] = None,
+        max_workers: Optional[int] = None,
+        defaults: NumericDefaults = DEFAULTS,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise SpecificationError(f"max_workers must be >= 1, got {max_workers}")
+        self._engine = SimulationEngine(cache=cache, defaults=defaults, backend=backend)
+        self._defaults = defaults
+        self._max_workers = max_workers
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> LinalgBackend:
+        """The linalg backend this session compiles and executes on."""
+        return self._engine.backend
+
+    @property
+    def cache(self) -> DecompositionCache:
+        """The decomposition cache shared by this session's runs."""
+        return self._engine.cache
+
+    @property
+    def cache_stats(self):
+        """Snapshot of the session cache's hit/miss/eviction counters."""
+        return self._engine.cache_stats
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        """The session's worker budget (``None`` means in-process)."""
+        return self._max_workers
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The underlying engine (compile/execute seam) of this session."""
+        return self._engine
+
+    # ------------------------------------------------------------------ #
+    # Compilation and batched execution
+    # ------------------------------------------------------------------ #
+    def compile(self, plan: SimulationPlan) -> CompiledPlan:
+        """Compile a plan once for repeated :meth:`run` / :meth:`stream` calls."""
+        return self._engine.compile(plan)
+
+    def _coerce_plan(
+        self,
+        work: RunnableWork,
+        *,
+        gaussian_powers=None,
+        seed: SeedLike = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> Union[SimulationPlan, CompiledPlan]:
+        """Accept a plan, a compiled plan, or a scenario sweep as work."""
+        if isinstance(work, (SimulationPlan, CompiledPlan)):
+            return work
+        if hasattr(work, "to_plan"):  # ScenarioSweep (or anything sweep-shaped)
+            if gaussian_powers is None:
+                raise SpecificationError(
+                    "running a scenario sweep requires gaussian_powers (one "
+                    "per-branch power vector, or one per scenario)"
+                )
+            return work.to_plan(gaussian_powers, seed=seed, seeds=seeds)
+        raise SpecificationError(
+            "work must be a SimulationPlan, a CompiledPlan, or a ScenarioSweep; "
+            f"got {type(work).__name__}"
+        )
+
+    def run(
+        self,
+        work: RunnableWork,
+        n_samples: int,
+        *,
+        gaussian_powers=None,
+        seed: SeedLike = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> BatchResult:
+        """Execute a plan, compiled plan, or scenario sweep as one batch.
+
+        With ``max_workers > 1`` and a multi-entry (un-compiled) plan, the
+        plan is partitioned into contiguous sub-plans executed across a
+        process pool — the session form of the old ``run_plan_parallel`` —
+        and the blocks are reassembled in plan order.  Results are
+        bit-identical to the in-process path because every entry draws from
+        its own seeded stream; the worker count is a pure throughput knob.
+
+        Parameters
+        ----------
+        work:
+            A :class:`SimulationPlan`, a :class:`CompiledPlan` (always
+            executed in-process: its coloring matrices are already bound to
+            this session's backend), or a
+            :class:`repro.channels.scenario.ScenarioSweep`.
+        n_samples:
+            Time samples per branch for every entry.
+        gaussian_powers, seed, seeds:
+            Only used when ``work`` is a scenario sweep (forwarded to
+            :meth:`~repro.channels.scenario.ScenarioSweep.to_plan`).
+        """
+        plan = self._coerce_plan(
+            work, gaussian_powers=gaussian_powers, seed=seed, seeds=seeds
+        )
+        workers = self._max_workers or 1
+        if (
+            workers <= 1
+            or isinstance(plan, CompiledPlan)
+            or plan.n_entries <= 1
+        ):
+            return self._engine.run(plan, n_samples)
+        return self._run_parallel(plan, n_samples, workers)
+
+    def _run_parallel(
+        self, plan: SimulationPlan, n_samples: int, workers: int
+    ) -> BatchResult:
+        """Partition ``plan`` across a process pool and merge the results."""
+        import time
+
+        if n_samples < 1:
+            raise ParallelExecutionError(f"n_samples must be >= 1, got {n_samples}")
+        subplans = plan.partition(int(workers))
+        backend = self.backend
+        start = time.perf_counter()
+        try:
+            with ProcessPoolExecutor(max_workers=len(subplans)) as pool:
+                futures = [
+                    pool.submit(_run_subplan, subplan, n_samples, backend)
+                    for subplan in subplans
+                ]
+                partials = [future.result() for future in futures]
+        except Exception as exc:  # pragma: no cover - depends on pool environment
+            raise ParallelExecutionError(f"parallel plan execution failed: {exc}") from exc
+        return _merge_results(
+            partials, n_samples, time.perf_counter() - start, backend.name
+        )
+
+    def stream(
+        self,
+        work: Union[SimulationPlan, CompiledPlan],
+        *,
+        block_size: int,
+        n_blocks: int,
+    ) -> Iterator[BatchResult]:
+        """Stream fixed-size batched blocks with bounded memory.
+
+        Per-entry generators persist across blocks, so concatenating an
+        entry's streamed blocks equals repeated ``generate_gaussian``
+        calls on one standalone generator — for any block size, divisible
+        into the record length or not.
+        """
+        return self._engine.stream(work, block_size=block_size, n_blocks=n_blocks)
+
+    # ------------------------------------------------------------------ #
+    # Async multiplexing
+    # ------------------------------------------------------------------ #
+    def _executor(self) -> Executor:
+        with self._pool_lock:
+            if self._closed:
+                raise ParallelExecutionError("this Simulator session has been closed")
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-simulator",
+                )
+            return self._thread_pool
+
+    async def submit(
+        self,
+        work: RunnableWork,
+        n_samples: int,
+        *,
+        gaussian_powers=None,
+        seed: SeedLike = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> BatchResult:
+        """Awaitable :meth:`run`: execute a plan in the session's thread pool.
+
+        Many concurrent studies can be multiplexed over one session::
+
+            results = await asyncio.gather(
+                sim.submit(plan_a, 1000),
+                sim.submit(plan_b, 1000),
+                sim.submit(plan_c, 1000),
+            )
+
+        Each submit produces exactly the :class:`BatchResult` the
+        synchronous :meth:`run` would (the thread pool only changes *when*
+        the work happens, never what it computes: every entry draws from its
+        own seeded stream and the decomposition cache is thread-safe).
+        """
+        loop = asyncio.get_running_loop()
+        call = functools.partial(
+            self.run,
+            work,
+            n_samples,
+            gaussian_powers=gaussian_powers,
+            seed=seed,
+            seeds=seeds,
+        )
+        return await loop.run_in_executor(self._executor(), call)
+
+    # ------------------------------------------------------------------ #
+    # One-call generation (the classic helpers, session-scoped)
+    # ------------------------------------------------------------------ #
+    def envelopes(
+        self,
+        source,
+        n_samples: int,
+        *,
+        seed: SeedLike = None,
+        gaussian_powers=None,
+        envelope_powers: bool = False,
+        normalized_doppler: Optional[float] = None,
+        coloring_method: str = "eigen",
+        psd_method: str = "clip",
+        return_gaussian: bool = False,
+    ) -> Union[EnvelopeBlock, GaussianBlock]:
+        """Generate correlated Rayleigh envelopes for one specification.
+
+        The session form of the classic one-call helpers: pass a
+        :class:`repro.core.covariance.CovarianceSpec`, a raw covariance
+        matrix, or a scenario object exposing
+        ``covariance_spec(gaussian_powers)`` (the OFDM / MIMO scenario
+        dataclasses), and get the envelope (or Gaussian) block back.
+
+        Parameters
+        ----------
+        source:
+            Covariance spec, raw complex covariance matrix, or scenario
+            object.  Scenario objects require ``gaussian_powers``.
+        n_samples:
+            Time samples per branch.  In Doppler mode this is rounded up to
+            a whole number of IDFT blocks and then truncated.
+        seed:
+            Seed or generator for the white-sample stream.  The same seed
+            fed to a standalone generator (or the old helpers) produces
+            bit-identical samples on the numpy backend.
+        gaussian_powers:
+            Per-branch complex-Gaussian powers, required when ``source`` is
+            a scenario object.
+        envelope_powers:
+            For raw matrices: interpret diagonal powers as *envelope*
+            variances and convert through Eq. (11).
+        normalized_doppler:
+            If given (``0 < f_m < 0.5``), use the real-time Doppler-shaped
+            generator of the paper's Section 5; scenarios carrying their own
+            Doppler settings supply it implicitly.  The Doppler IDFT
+            substrate always runs on numpy — backend choice affects the
+            snapshot (coloring) path.
+        coloring_method, psd_method:
+            Algorithm variants (defaults are the paper's choices).
+        return_gaussian:
+            Return the complex :class:`GaussianBlock` instead of envelopes.
+        """
+        from .core.covariance import CovarianceSpec
+        from .core.pipeline import doppler_block_size
+        from .core.realtime import RealTimeRayleighGenerator
+
+        if n_samples < 1:
+            raise SpecificationError(f"n_samples must be >= 1, got {n_samples}")
+
+        if isinstance(source, CovarianceSpec):
+            spec = source
+        elif hasattr(source, "covariance_spec"):
+            if gaussian_powers is None:
+                raise SpecificationError(
+                    "scenario sources require gaussian_powers (per-branch "
+                    "complex-Gaussian powers)"
+                )
+            spec = source.covariance_spec(np.asarray(gaussian_powers, dtype=float))
+            if normalized_doppler is None:
+                normalized_doppler = getattr(source, "default_normalized_doppler", None)
+        else:
+            matrix = np.asarray(source, dtype=complex)
+            if envelope_powers:
+                from .core.covariance import correlation_coefficient_matrix
+
+                env_powers = np.real(np.diag(matrix)).copy()
+                rho = correlation_coefficient_matrix(matrix)
+                spec = CovarianceSpec.from_envelope_variances(env_powers, rho)
+            else:
+                spec = CovarianceSpec.from_covariance_matrix(matrix)
+
+        if normalized_doppler is None:
+            # The snapshot path is the B = 1 case of the batched engine: a
+            # one-entry plan compiled against the session cache and backend.
+            plan = SimulationPlan()
+            plan.add(
+                spec,
+                seed=seed,
+                coloring_method=coloring_method,
+                psd_method=psd_method,
+            )
+            gaussian = self._engine.run(plan, n_samples).blocks[0]
+        else:
+            n_points = doppler_block_size(n_samples, normalized_doppler)
+            generator = RealTimeRayleighGenerator(
+                spec,
+                normalized_doppler=normalized_doppler,
+                n_points=n_points,
+                coloring_method=coloring_method,
+                psd_method=psd_method,
+                rng=seed,
+            )
+            gaussian = generator.generate_gaussian(1)
+            gaussian = GaussianBlock(
+                samples=gaussian.samples[:, :n_samples],
+                variances=gaussian.variances,
+                metadata=gaussian.metadata,
+            )
+
+        return gaussian if return_gaussian else gaussian.envelopes()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the session's thread pool (idempotent).
+
+        Closed sessions still :meth:`run` synchronously — only
+        :meth:`submit` needs the pool.
+        """
+        with self._pool_lock:
+            pool, self._thread_pool = self._thread_pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Simulator(backend={self.backend.name!r}, "
+            f"max_workers={self._max_workers!r}, cache_size={len(self.cache)})"
+        )
+
+
+#: Process-wide session backing the classic one-call helpers.
+_DEFAULT_SIMULATOR: Optional[Simulator] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_simulator() -> Simulator:
+    """The process-wide session (numpy backend, shared decomposition cache).
+
+    The classic helpers (:func:`repro.core.pipeline.generate_correlated_envelopes`
+    and friends) route through this session, which makes the old API the
+    default-session case of the new one — and bit-identical to it.
+    """
+    global _DEFAULT_SIMULATOR
+    with _DEFAULT_LOCK:
+        if _DEFAULT_SIMULATOR is None:
+            _DEFAULT_SIMULATOR = Simulator()
+        return _DEFAULT_SIMULATOR

@@ -356,6 +356,12 @@ class ScenarioSweep:
     :class:`repro.engine.SimulationPlan` with independent per-scenario seeds,
     ready for one batched plan → compile → execute pass.
 
+    Sweeps are directly runnable through the session API:
+    :meth:`repro.api.Simulator.run` accepts a sweep (plus
+    ``gaussian_powers`` and an optional root ``seed``) and converts it via
+    :meth:`to_plan` internally, so the grid-expansion → plan → engine chain
+    is one call.
+
     Examples
     --------
     >>> from repro.channels import MIMOArrayScenario, ScenarioSweep
@@ -369,6 +375,10 @@ class ScenarioSweep:
     6
     >>> plan = sweep.to_plan([1.0, 1.0, 1.0], seed=11)
     >>> plan.n_entries
+    6
+    >>> from repro.api import Simulator
+    >>> result = Simulator().run(sweep, 64, gaussian_powers=[1.0, 1.0, 1.0], seed=11)
+    >>> result.n_entries
     6
     """
 
@@ -451,11 +461,17 @@ class ScenarioSweep:
     # Conversion
     # ------------------------------------------------------------------ #
     def _powers_for(self, gaussian_powers: Union[np.ndarray, Sequence[np.ndarray]]):
-        """Normalize powers into one array per scenario (broadcast a single array)."""
-        first = np.asarray(
-            gaussian_powers[0] if isinstance(gaussian_powers, (list, tuple)) else gaussian_powers
-        )
-        if isinstance(gaussian_powers, (list, tuple)) and first.ndim >= 1:
+        """Normalize powers into one array per scenario (broadcast a single vector).
+
+        Per-scenario form: a list/tuple of power vectors, or a 2-D array of
+        shape ``(n_scenarios, n_branches)``.  Anything 1-D is broadcast to
+        every scenario.
+        """
+        if isinstance(gaussian_powers, (list, tuple)):
+            per_scenario_form = np.ndim(gaussian_powers[0]) >= 1
+        else:
+            per_scenario_form = np.ndim(gaussian_powers) >= 2
+        if per_scenario_form:
             per_scenario = [np.asarray(p, dtype=float) for p in gaussian_powers]
             if len(per_scenario) != len(self._scenarios):
                 raise SpecificationError(

@@ -18,6 +18,12 @@ Subcommands
 
 All output is plain text; the experiments regenerate the paper's tables and
 figures as numbers (and ASCII traces with ``--ascii-plots``).
+
+``--version`` prints the package version.  ``run`` and ``batch`` accept
+``--backend`` to select the engine's linalg backend (``numpy`` default,
+``scipy``, import-gated GPU backends); experiments that never touch the
+batched engine ignore it.  The ``batch`` summary ends with the
+decomposition cache's aggregate hit/miss counters for the run.
 """
 
 from __future__ import annotations
@@ -27,9 +33,20 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ._version import __version__
 from .experiments import list_experiments, run_experiment
 
 __all__ = ["main", "build_parser"]
+
+
+def _backend_argument(parser: argparse.ArgumentParser) -> None:
+    """Add the shared ``--backend`` option (engine linalg backend)."""
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="linalg backend for the batched engine (e.g. numpy, scipy); "
+        "see repro.engine.available_backends()",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiments",
         description="Reproduce the evaluation of Tran et al., IPDPS 2005 "
         "(correlated Rayleigh fading envelope generation).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -57,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render numeric series as ASCII plots in the report",
     )
+    _backend_argument(run_parser)
 
     export_parser = subparsers.add_parser(
         "export", help="run an experiment and write its report and series to files"
@@ -85,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3, help="best-of repeats per timing (default: 3)"
     )
     batch_parser.add_argument("--seed", type=int, default=None)
+    _backend_argument(batch_parser)
 
     return parser
 
@@ -114,6 +136,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         exit_code = 0
         for experiment_id in _run_ids(list(args.experiments)):
             kwargs = {} if args.seed is None else {"seed": args.seed}
+            if args.backend is not None:
+                kwargs["backend"] = args.backend
             result = run_experiment(experiment_id, **kwargs)
             print(result.render(include_series=args.ascii_plots))
             print("=" * 78)
@@ -146,8 +170,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         }
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        if args.backend is not None:
+            kwargs["backend"] = args.backend
         result = run_batch(**kwargs)
         print(result.render())
+        warm_hits = int(result.metrics.get("warm_cache_hits_total", 0))
+        warm_misses = int(result.metrics.get("warm_cache_misses_total", 0))
+        cold_misses = int(result.metrics.get("cold_cache_misses_total", 0))
+        warm_lookups = warm_hits + warm_misses
+        warm_rate = warm_hits / warm_lookups if warm_lookups else 0.0
+        print(
+            f"decomposition cache: cold compiles paid {cold_misses} decompositions; "
+            f"warm compiles served {warm_hits}/{warm_lookups} lookups from cache "
+            f"({warm_rate:.1%} warm hit rate)"
+        )
         return 0 if result.passed else 1
 
     if args.command == "export":

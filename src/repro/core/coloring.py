@@ -192,6 +192,7 @@ def compute_coloring_batch(
     psd_method: str = "clip",
     epsilon: float = 1e-6,
     defaults: NumericDefaults = DEFAULTS,
+    backend=None,
 ) -> List[ColoringDecomposition]:
     """Force PSD and color every covariance matrix in a ``(B, N, N)`` stack.
 
@@ -205,6 +206,12 @@ def compute_coloring_batch(
     The ``"svd"`` strategy falls back to a per-slice loop (its verification
     step is inherently per-matrix); ``"eigen"`` (the paper's method) and
     ``"cholesky"`` are fully batched.
+
+    ``backend`` is an optional :class:`repro.engine.backends.LinalgBackend`
+    supplying the stacked ``eigh`` / ``cholesky`` / ``matmul``; ``None``
+    (default) runs numpy directly, byte-for-byte the pre-backend path.  The
+    ``"svd"`` strategy and the ``"higham"`` PSD iteration always run on
+    numpy regardless of the backend (neither has a stacked formulation).
     """
     if method not in _STRATEGIES:
         raise ValueError(
@@ -212,12 +219,12 @@ def compute_coloring_batch(
         )
     arr = assert_matrix_stack(np.asarray(stack, dtype=complex), "covariance stack")
     forcings = batched_force_positive_semidefinite(
-        arr, method=psd_method, epsilon=epsilon, defaults=defaults
+        arr, method=psd_method, epsilon=epsilon, defaults=defaults, backend=backend
     )
     forced_stack = np.stack([forcing.matrix for forcing in forcings])
 
     if method == "eigen":
-        decomp = batched_hermitian_eigendecomposition(forced_stack)
+        decomp = batched_hermitian_eigendecomposition(forced_stack, backend=backend)
         scales = np.maximum(np.abs(decomp.max_eigenvalues), 1.0)
         tols = defaults.eig_clip_tol * scales
         for index in range(arr.shape[0]):
@@ -231,7 +238,7 @@ def compute_coloring_batch(
         eigenvalues = np.clip(decomp.eigenvalues, 0.0, None)
         factors = decomp.eigenvectors * np.sqrt(eigenvalues)[:, np.newaxis, :]
     elif method == "cholesky":
-        factors = batched_cholesky_factor(forced_stack)
+        factors = batched_cholesky_factor(forced_stack, backend=backend)
     else:  # svd
         factors = np.stack(
             [coloring_matrix_svd(forced_stack[index]) for index in range(arr.shape[0])]

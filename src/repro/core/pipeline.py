@@ -1,5 +1,14 @@
 """One-call convenience wrappers around the full generation pipeline.
 
+.. deprecated::
+    These helpers are kept as thin delegating wrappers around the unified
+    session API — :class:`repro.api.Simulator` — and route through the
+    process-wide :func:`repro.api.default_simulator`.  New code should hold
+    a session instead (``sim = Simulator(backend=...)`` then
+    ``sim.envelopes(...)``), which adds backend choice, a private cache,
+    process-pool runs, and async submission; results here are bit-identical
+    to the session calls with the same seeds.
+
 Most users need exactly one of two things:
 
 * "give me ``n`` samples of ``N`` correlated Rayleigh envelopes for this
@@ -13,12 +22,12 @@ Both return the :class:`repro.types.EnvelopeBlock` /
 :class:`repro.types.GaussianBlock` value objects so downstream code has the
 samples, the powers, and the provenance in one place.
 
-The snapshot path routes through the batched engine
-(:func:`repro.engine.default_engine`) as a one-entry plan, so single-spec
-generation is the ``B = 1`` case of batched generation and benefits from the
-shared decomposition cache; results are bit-identical to the pre-engine
-implementation.  The Doppler path computes its IDFT block length in closed
-form via :func:`doppler_block_size`.
+The snapshot path runs through the default session's engine as a one-entry
+plan, so single-spec generation is the ``B = 1`` case of batched generation
+and benefits from the shared decomposition cache; results are bit-identical
+to the pre-engine implementation.  The Doppler path computes its IDFT block
+length in closed form via :func:`doppler_block_size`, which keeps living
+here.
 """
 
 from __future__ import annotations
@@ -31,7 +40,6 @@ import numpy as np
 from ..exceptions import SpecificationError
 from ..types import EnvelopeBlock, GaussianBlock, SeedLike
 from .covariance import CovarianceSpec
-from .realtime import RealTimeRayleighGenerator
 
 __all__ = [
     "doppler_block_size",
@@ -136,49 +144,24 @@ def generate_correlated_envelopes(
     Returns
     -------
     EnvelopeBlock or GaussianBlock
+
+    .. deprecated::
+        Delegates to :meth:`repro.api.Simulator.envelopes` on the
+        process-wide default session; prefer holding a
+        :class:`repro.api.Simulator` directly.
     """
-    if n_samples < 1:
-        raise SpecificationError(f"n_samples must be >= 1, got {n_samples}")
+    from ..api import default_simulator
 
-    if isinstance(covariance, CovarianceSpec):
-        spec = covariance
-    else:
-        matrix = np.asarray(covariance, dtype=complex)
-        if envelope_powers:
-            from .covariance import correlation_coefficient_matrix
-
-            env_powers = np.real(np.diag(matrix)).copy()
-            rho = correlation_coefficient_matrix(matrix)
-            spec = CovarianceSpec.from_envelope_variances(env_powers, rho)
-        else:
-            spec = CovarianceSpec.from_covariance_matrix(matrix)
-
-    if normalized_doppler is None:
-        # The snapshot path is the B = 1 case of the batched engine: one-entry
-        # plan, compiled against the shared decomposition cache.
-        from ..engine import SimulationPlan, default_engine
-
-        plan = SimulationPlan()
-        plan.add(spec, seed=rng, coloring_method=coloring_method, psd_method=psd_method)
-        gaussian = default_engine().run(plan, n_samples).blocks[0]
-    else:
-        n_points = doppler_block_size(n_samples, normalized_doppler)
-        generator = RealTimeRayleighGenerator(
-            spec,
-            normalized_doppler=normalized_doppler,
-            n_points=n_points,
-            coloring_method=coloring_method,
-            psd_method=psd_method,
-            rng=rng,
-        )
-        gaussian = generator.generate_gaussian(1)
-        gaussian = GaussianBlock(
-            samples=gaussian.samples[:, :n_samples],
-            variances=gaussian.variances,
-            metadata=gaussian.metadata,
-        )
-
-    return gaussian if return_gaussian else gaussian.envelopes()
+    return default_simulator().envelopes(
+        covariance,
+        n_samples,
+        seed=rng,
+        envelope_powers=envelope_powers,
+        normalized_doppler=normalized_doppler,
+        coloring_method=coloring_method,
+        psd_method=psd_method,
+        return_gaussian=return_gaussian,
+    )
 
 
 def generate_from_scenario(
@@ -211,19 +194,24 @@ def generate_from_scenario(
         Seed or generator.
     return_gaussian:
         Return the complex samples instead of envelopes.
+
+    .. deprecated::
+        Delegates to :meth:`repro.api.Simulator.envelopes` on the
+        process-wide default session; prefer holding a
+        :class:`repro.api.Simulator` directly.
     """
+    from ..api import default_simulator
+
     if not hasattr(scenario, "covariance_spec"):
         raise SpecificationError(
             "scenario must expose a covariance_spec(gaussian_powers) method; got "
             f"{type(scenario).__name__}"
         )
-    spec = scenario.covariance_spec(np.asarray(gaussian_powers, dtype=float))
-    if normalized_doppler is None:
-        normalized_doppler = getattr(scenario, "default_normalized_doppler", None)
-    return generate_correlated_envelopes(
-        spec,
+    return default_simulator().envelopes(
+        scenario,
         n_samples,
+        seed=rng,
+        gaussian_powers=gaussian_powers,
         normalized_doppler=normalized_doppler,
-        rng=rng,
         return_gaussian=return_gaussian,
     )

@@ -20,6 +20,12 @@ sweeps and Monte-Carlo grids:
     :func:`execute_plan` draws per-entry seeded white samples and colors each
     group with one stacked ``np.matmul``; :func:`stream_plan` iterates long
     records in fixed-size blocks with bounded memory.
+:mod:`repro.engine.backends`
+    The :class:`LinalgBackend` decompose-stack / matmul contract the compile
+    and execute steps run on, with a registry of implementations
+    (``"numpy"`` default, ``"scipy"`` LAPACK-driver variant, import-gated
+    GPU backends) so backend choice is a constructor argument of
+    :class:`SimulationEngine` / :class:`repro.api.Simulator`.
 
 **Equivalence guarantee.**  For the same per-entry seeds, batched execution
 is bit-identical to looping single-spec generators — the single-spec path is
@@ -29,6 +35,18 @@ through :func:`default_engine`).  The guarantee holds because numpy's stacked
 slice, and the white-sample streams are drawn per entry from the same seeds.
 """
 
+from .backends import (
+    BackendSpec,
+    CupyBackend,
+    LinalgBackend,
+    NumpyBackend,
+    ScipyBackend,
+    TorchBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from .cache import (
     CacheStats,
     DecompositionCache,
@@ -42,6 +60,16 @@ from .result import BatchResult
 from .engine import SimulationEngine, default_engine
 
 __all__ = [
+    "BackendSpec",
+    "CupyBackend",
+    "LinalgBackend",
+    "NumpyBackend",
+    "ScipyBackend",
+    "TorchBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "CacheStats",
     "DecompositionCache",
     "decomposition_cache_key",

@@ -1,0 +1,380 @@
+"""Pluggable linear-algebra backends for the batched engine.
+
+The engine's compile step reduces to two stacked decompositions —
+``eigh`` over a ``(B, N, N)`` covariance stack and ``cholesky`` over the
+same shape — and the execute step to one stacked ``matmul``.  A
+:class:`LinalgBackend` supplies exactly those three operations, which makes
+backend choice a constructor argument of
+:class:`repro.api.Simulator` / :class:`repro.engine.SimulationEngine`
+instead of a code path:
+
+* ``"numpy"`` (default) — ``np.linalg`` gufuncs, the reference
+  implementation every other backend is measured against;
+* ``"scipy"`` — per-slice :func:`scipy.linalg.eigh` with an explicit LAPACK
+  driver.  The default ``"evd"`` driver calls the same LAPACK routine
+  (``?heevd``) as numpy's ``eigh``, so its results are expected
+  bit-identical and it shares the numpy decomposition cache; other drivers
+  (``"ev"``, ``"evr"``, ``"evx"``) produce valid but not bitwise-equal
+  decompositions and are cached under their own key;
+* ``"cupy"`` / ``"torch"`` — GPU backends, gated on import and registered
+  lazily; they carry a documented elementwise tolerance instead of the
+  bitwise guarantee (device math is not bit-identical to the CPU path).
+
+Backends are registered by name in a process-wide registry
+(:func:`register_backend` / :func:`get_backend` /
+:func:`available_backends`), so downstream code — and tests — can add new
+implementations without touching the engine.
+
+**Contract.**  All arguments and results are host (numpy) arrays; backends
+that compute elsewhere transfer internally.  ``eigh`` must return
+eigenvalues in ascending order per slice (numpy's convention — the engine
+flips to the paper's descending order itself), and ``cholesky`` must raise
+``np.linalg.LinAlgError`` on a non-positive-definite slice so the engine's
+error translation keeps working.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import BackendError
+
+__all__ = [
+    "LinalgBackend",
+    "NumpyBackend",
+    "ScipyBackend",
+    "CupyBackend",
+    "TorchBackend",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "available_backends",
+    "BackendSpec",
+]
+
+#: What callers may pass wherever a backend is expected: a registered name,
+#: a ready instance, or ``None`` for the numpy default.
+BackendSpec = Union[None, str, "LinalgBackend"]
+
+
+class LinalgBackend(abc.ABC):
+    """Decompose-stack / matmul contract the engine compiles and executes on.
+
+    Attributes
+    ----------
+    name:
+        Registry name, also recorded in result metadata.
+    tolerance:
+        Documented elementwise deviation from the numpy backend for the
+        same inputs.  ``0.0`` means bit-identical (the backend runs the same
+        LAPACK routine); ``None`` means no sample-level parity guarantee at
+        all (e.g. a LAPACK driver that may flip eigenvector signs — the
+        decomposition is still a valid coloring, ``L L^H = K``, but raw
+        samples are not comparable).  Positive values are the per-element
+        absolute tolerance GPU parity tests check against.
+    """
+
+    name: str = "abstract"
+    tolerance: Optional[float] = 0.0
+
+    @property
+    def cache_token(self) -> str:
+        """Decomposition-cache namespace for this backend.
+
+        Backends that are bit-identical to numpy (``tolerance == 0.0``)
+        share the ``"numpy"`` namespace — a cached decomposition is the same
+        bytes no matter which of them computed it.  Everything else is
+        cached under its own name so a GPU decomposition can never be
+        served to a numpy run (or vice versa).
+        """
+        return "numpy" if self.tolerance == 0.0 else self.name
+
+    @abc.abstractmethod
+    def eigh(self, stack: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Eigendecompose every Hermitian matrix in a ``(B, N, N)`` stack.
+
+        Returns ``(eigenvalues, eigenvectors)`` with eigenvalues ascending
+        per slice, exactly like ``np.linalg.eigh``.
+        """
+
+    @abc.abstractmethod
+    def cholesky(self, stack: np.ndarray) -> np.ndarray:
+        """Lower-triangular Cholesky factors of a ``(B, N, N)`` stack.
+
+        Must raise ``np.linalg.LinAlgError`` when a slice is not positive
+        definite.
+        """
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Stacked matrix product (the execute step's coloring multiply)."""
+        return np.matmul(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} tolerance={self.tolerance!r}>"
+
+
+class NumpyBackend(LinalgBackend):
+    """The reference backend: numpy's stacked LAPACK/BLAS gufuncs."""
+
+    name = "numpy"
+    tolerance: Optional[float] = 0.0
+
+    def eigh(self, stack: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        eigenvalues, eigenvectors = np.linalg.eigh(stack)
+        return eigenvalues, eigenvectors
+
+    def cholesky(self, stack: np.ndarray) -> np.ndarray:
+        return np.linalg.cholesky(stack)
+
+
+class ScipyBackend(LinalgBackend):
+    """Per-slice :func:`scipy.linalg.eigh` with an explicit LAPACK driver.
+
+    Parameters
+    ----------
+    driver:
+        LAPACK eigensolver driver (``"evd"``, ``"ev"``, ``"evr"``,
+        ``"evx"``).  The default ``"evd"`` calls the divide-and-conquer
+        ``?heevd`` — the routine numpy's ``eigh`` uses — so its output is
+        expected bit-identical to the numpy backend and it shares the numpy
+        cache namespace.  Other drivers run different eigensolvers whose
+        eigenvectors can differ by sign/phase; they get ``tolerance = None``
+        (valid coloring, no raw-sample parity) and a private cache
+        namespace.
+
+    Raises
+    ------
+    BackendError
+        If scipy is not installed.
+    """
+
+    _DRIVERS = ("evd", "ev", "evr", "evx")
+
+    def __init__(self, driver: str = "evd") -> None:
+        if driver not in self._DRIVERS:
+            raise BackendError(
+                f"unknown scipy eigh driver {driver!r}; choose from {self._DRIVERS}"
+            )
+        try:
+            import scipy.linalg as _scipy_linalg
+        except ImportError as exc:  # pragma: no cover - scipy ships in the image
+            raise BackendError(
+                "the 'scipy' backend requires scipy, which is not installed"
+            ) from exc
+        self._linalg = _scipy_linalg
+        self.driver = driver
+        self.name = "scipy" if driver == "evd" else f"scipy-{driver}"
+        self.tolerance = 0.0 if driver == "evd" else None
+
+    def eigh(self, stack: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        # scipy.linalg.eigh is 2-D only; loop the slices with the chosen
+        # LAPACK driver (the decompositions are independent).
+        values = np.empty(stack.shape[:2], dtype=float)
+        vectors = np.empty(stack.shape, dtype=stack.dtype)
+        for index in range(stack.shape[0]):
+            values[index], vectors[index] = self._linalg.eigh(
+                stack[index], driver=self.driver, check_finite=False
+            )
+        return values, vectors
+
+    def cholesky(self, stack: np.ndarray) -> np.ndarray:
+        factors = np.empty_like(stack)
+        for index in range(stack.shape[0]):
+            # scipy raises scipy.linalg.LinAlgError, which *is*
+            # np.linalg.LinAlgError, satisfying the contract.
+            factors[index] = self._linalg.cholesky(
+                stack[index], lower=True, check_finite=False
+            )
+        return factors
+
+    def __reduce__(self):
+        # The held scipy.linalg module is not picklable; reduce to the
+        # constructor arguments so instances can cross process boundaries
+        # (Simulator's parallel runs ship the backend to workers).
+        return (type(self), (self.driver,))
+
+
+class CupyBackend(LinalgBackend):  # pragma: no cover - requires a GPU runtime
+    """GPU backend on cupy, gated on import.
+
+    Stacks are transferred to the device, decomposed with cusolver, and
+    transferred back.  Device math is not bit-identical to LAPACK on the
+    host, so parity against the numpy backend is only guaranteed within
+    :attr:`tolerance` — and the backend is cached under its own namespace.
+    """
+
+    name = "cupy"
+    tolerance: Optional[float] = 1e-8
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+        except ImportError as exc:
+            raise BackendError(
+                "the 'cupy' backend requires cupy, which is not installed"
+            ) from exc
+        self._cupy = cupy
+
+    def eigh(self, stack: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        cp = self._cupy
+        device = cp.asarray(stack)
+        values = cp.empty(stack.shape[:2], dtype=cp.float64)
+        vectors = cp.empty(stack.shape, dtype=device.dtype)
+        for index in range(stack.shape[0]):
+            values[index], vectors[index] = cp.linalg.eigh(device[index])
+        return cp.asnumpy(values), cp.asnumpy(vectors)
+
+    def cholesky(self, stack: np.ndarray) -> np.ndarray:
+        cp = self._cupy
+        factors = cp.linalg.cholesky(cp.asarray(stack))
+        host = cp.asnumpy(factors)
+        if not np.all(np.isfinite(host)):
+            # cusolver signals failure through NaNs rather than raising.
+            raise np.linalg.LinAlgError("matrix is not positive definite")
+        return host
+
+    def __reduce__(self):
+        return (type(self), ())
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        cp = self._cupy
+        return cp.asnumpy(cp.matmul(cp.asarray(a), cp.asarray(b)))
+
+
+class TorchBackend(LinalgBackend):  # pragma: no cover - requires torch
+    """Torch backend (CPU or GPU), gated on import.
+
+    Uses ``torch.linalg`` batched kernels in double precision and converts
+    results back to numpy.  Carries an elementwise tolerance, not the
+    bitwise guarantee.
+    """
+
+    name = "torch"
+    tolerance: Optional[float] = 1e-8
+
+    def __init__(self, device: Optional[str] = None) -> None:
+        try:
+            import torch
+        except ImportError as exc:
+            raise BackendError(
+                "the 'torch' backend requires torch, which is not installed"
+            ) from exc
+        self._torch = torch
+        self.device = device or ("cuda" if torch.cuda.is_available() else "cpu")
+
+    def _to_device(self, array: np.ndarray):
+        return self._torch.as_tensor(np.ascontiguousarray(array), device=self.device)
+
+    def eigh(self, stack: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        values, vectors = self._torch.linalg.eigh(self._to_device(stack))
+        return values.cpu().numpy(), vectors.cpu().numpy()
+
+    def cholesky(self, stack: np.ndarray) -> np.ndarray:
+        try:
+            factors = self._torch.linalg.cholesky(self._to_device(stack))
+        except Exception as exc:
+            raise np.linalg.LinAlgError(str(exc)) from exc
+        return factors.cpu().numpy()
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._torch.matmul(self._to_device(a), self._to_device(b)).cpu().numpy()
+
+    def __reduce__(self):
+        return (type(self), (self.device,))
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+_REGISTRY: Dict[str, Callable[[], LinalgBackend]] = {}
+_INSTANCES: Dict[str, LinalgBackend] = {}
+_LOCK = threading.Lock()
+
+
+def register_backend(
+    name: str, factory: Callable[[], LinalgBackend], *, replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory is called lazily on first :func:`get_backend` lookup and may
+    raise :class:`repro.exceptions.BackendError` for missing dependencies —
+    which is how the GPU backends stay registered but unavailable on
+    CPU-only hosts.
+    """
+    if not name or not isinstance(name, str):
+        raise BackendError(f"backend name must be a non-empty string, got {name!r}")
+    with _LOCK:
+        if name in _REGISTRY and not replace:
+            raise BackendError(
+                f"backend {name!r} is already registered; pass replace=True to override"
+            )
+        _REGISTRY[name] = factory
+        _INSTANCES.pop(name, None)
+
+
+def get_backend(spec: BackendSpec = None) -> LinalgBackend:
+    """Resolve a backend name (or instance, or ``None``) to an instance.
+
+    Instances are memoized per name, so every engine asking for ``"numpy"``
+    shares one stateless backend object.
+
+    Raises
+    ------
+    BackendError
+        For unregistered names, or when the backend's dependency is missing
+        (the underlying cause is chained).
+    """
+    if spec is None:
+        spec = "numpy"
+    if isinstance(spec, LinalgBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise BackendError(
+            f"backend must be a name, a LinalgBackend instance, or None; got "
+            f"{type(spec).__name__}"
+        )
+    with _LOCK:
+        instance = _INSTANCES.get(spec)
+        if instance is not None:
+            return instance
+        factory = _REGISTRY.get(spec)
+    if factory is None:
+        raise BackendError(
+            f"unknown backend {spec!r}; registered backends: {sorted(_REGISTRY)}"
+        )
+    instance = factory()  # may raise BackendError for missing dependencies
+    with _LOCK:
+        return _INSTANCES.setdefault(spec, instance)
+
+
+#: Alias used by the engine internals where ``None`` means "numpy default".
+resolve_backend = get_backend
+
+
+def available_backends() -> List[str]:
+    """Names of registered backends whose dependencies import successfully.
+
+    Backends are probed by construction; ones that raise
+    :class:`BackendError` (e.g. cupy/torch on a CPU-only host) are simply
+    omitted rather than raising.
+    """
+    names: List[str] = []
+    for name in sorted(_REGISTRY):
+        try:
+            get_backend(name)
+        except BackendError:
+            continue
+        names.append(name)
+    return names
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("scipy", ScipyBackend)
+register_backend("scipy-evr", lambda: ScipyBackend(driver="evr"))
+register_backend("cupy", CupyBackend)
+register_backend("torch", TorchBackend)

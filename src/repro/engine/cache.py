@@ -45,6 +45,7 @@ def decomposition_cache_key(
     psd_method: str = "clip",
     epsilon: float = 1e-6,
     defaults: NumericDefaults = DEFAULTS,
+    cache_token: str = "numpy",
 ) -> str:
     """Content hash identifying one coloring-decomposition computation.
 
@@ -53,6 +54,13 @@ def decomposition_cache_key(
     contents) and every algorithm parameter are folded into a SHA-256 digest.
     Floating-point matrices that differ in even one ULP hash differently —
     the cache never equates "close" matrices.
+
+    ``cache_token`` namespaces the key by the linalg backend that computes
+    the decomposition (:attr:`repro.engine.backends.LinalgBackend.cache_token`).
+    Backends that are bit-identical to numpy share the default ``"numpy"``
+    token — their decompositions are interchangeable bytes — while every
+    other backend hashes under its own token so, e.g., a GPU decomposition
+    is never served to a numpy run.
     """
     arr = np.ascontiguousarray(np.asarray(matrix, dtype=complex))
     hasher = hashlib.sha256()
@@ -61,6 +69,7 @@ def decomposition_cache_key(
     hasher.update(
         "|".join(
             (
+                cache_token,
                 method,
                 psd_method,
                 repr(float(epsilon)),

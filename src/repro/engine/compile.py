@@ -29,6 +29,7 @@ import numpy as np
 
 from ..config import DEFAULTS, NumericDefaults
 from ..linalg import ColoringDecomposition
+from .backends import BackendSpec, LinalgBackend, resolve_backend
 from .cache import DecompositionCache, default_decomposition_cache
 from .plan import PlanEntry, SimulationPlan
 
@@ -107,12 +108,15 @@ class CompiledPlan:
 
     The executor (:mod:`repro.engine.execute`) consumes this object; it can
     be executed many times (different sample counts, streaming blocks)
-    without recompiling.
+    without recompiling.  ``backend`` records the linalg backend the plan
+    was compiled with; the executor colors samples through the same backend
+    (``None`` means the numpy default).
     """
 
     plan: SimulationPlan
     groups: Tuple[CompiledGroup, ...]
     report: CompileReport
+    backend: Optional[LinalgBackend] = None
 
     @property
     def n_entries(self) -> int:
@@ -132,6 +136,7 @@ def compile_plan(
     *,
     cache: Optional[DecompositionCache] = None,
     defaults: NumericDefaults = DEFAULTS,
+    backend: BackendSpec = None,
 ) -> CompiledPlan:
     """Compile a plan into stacked, cached coloring decompositions.
 
@@ -145,9 +150,18 @@ def compile_plan(
         disable reuse (e.g. for cold-path benchmarking).
     defaults:
         Numeric tolerance bundle forwarded to the decomposition pipeline.
+    backend:
+        Linalg backend performing the stacked decompositions — a registered
+        name, a :class:`repro.engine.backends.LinalgBackend` instance, or
+        ``None`` for the numpy default.  Cache keys are namespaced by the
+        backend's :attr:`~repro.engine.backends.LinalgBackend.cache_token`,
+        so only backends bit-identical to numpy share cached
+        decompositions.
     """
     from ..core.coloring import compute_coloring_batch
 
+    backend_obj = resolve_backend(backend)
+    cache_token = backend_obj.cache_token
     if cache is None:
         cache = default_decomposition_cache()
 
@@ -175,7 +189,7 @@ def compile_plan(
         missing_matrices: List[np.ndarray] = []
         entry_keys: List[str] = []
         for entry in group_entries:
-            key = entry.cache_key(defaults)
+            key = entry.cache_key(defaults, cache_token)
             entry_keys.append(key)
             if key in resolved or key in missing_set:
                 continue
@@ -198,6 +212,7 @@ def compile_plan(
                 psd_method=psd_method,
                 epsilon=epsilon,
                 defaults=defaults,
+                backend=backend_obj,
             )
             for key, decomposition in zip(missing_keys, computed):
                 resolved[key] = decomposition
@@ -227,4 +242,6 @@ def compile_plan(
         cache_misses=misses,
         compile_seconds=time.perf_counter() - start,
     )
-    return CompiledPlan(plan=plan, groups=tuple(groups), report=report)
+    return CompiledPlan(
+        plan=plan, groups=tuple(groups), report=report, backend=backend_obj
+    )

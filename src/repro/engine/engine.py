@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterator, Optional, Union
 
 from ..config import DEFAULTS, NumericDefaults
+from .backends import BackendSpec, LinalgBackend, resolve_backend
 from .cache import CacheStats, DecompositionCache, default_decomposition_cache
 from .compile import CompiledPlan, compile_plan
 from .execute import execute_plan, stream_plan
@@ -33,6 +34,11 @@ class SimulationEngine:
         a cache-less engine.
     defaults:
         Numeric tolerance bundle for the decomposition pipeline.
+    backend:
+        Linalg backend for the stacked decompositions and the coloring
+        multiply — a registered name (``"numpy"``, ``"scipy"``, gated GPU
+        backends), a :class:`repro.engine.backends.LinalgBackend` instance,
+        or ``None`` for the numpy default.
 
     Examples
     --------
@@ -51,14 +57,21 @@ class SimulationEngine:
         *,
         cache: Optional[DecompositionCache] = None,
         defaults: NumericDefaults = DEFAULTS,
+        backend: BackendSpec = None,
     ) -> None:
         self._cache = default_decomposition_cache() if cache is None else cache
         self._defaults = defaults
+        self._backend = resolve_backend(backend)
 
     @property
     def cache(self) -> DecompositionCache:
         """The decomposition cache this engine compiles against."""
         return self._cache
+
+    @property
+    def backend(self) -> LinalgBackend:
+        """The linalg backend this engine compiles and executes on."""
+        return self._backend
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -67,7 +80,9 @@ class SimulationEngine:
 
     def compile(self, plan: SimulationPlan) -> CompiledPlan:
         """Compile a plan (stacked decompositions, cache dedup) for reuse."""
-        return compile_plan(plan, cache=self._cache, defaults=self._defaults)
+        return compile_plan(
+            plan, cache=self._cache, defaults=self._defaults, backend=self._backend
+        )
 
     def _ensure_compiled(
         self, plan: Union[SimulationPlan, CompiledPlan]

@@ -37,8 +37,11 @@ def _generate_block(
 
     ``rngs`` holds one generator per plan entry (plan order); drawing
     advances them, which is what lets :func:`stream_plan` produce
-    consecutive blocks from continuous streams.
+    consecutive blocks from continuous streams.  The coloring multiply runs
+    through the backend the plan was compiled with (numpy when ``None``).
     """
+    backend = compiled.backend
+    backend_name = "numpy" if backend is None else backend.name
     blocks: List[Optional[GaussianBlock]] = [None] * compiled.n_entries
     for group in compiled.groups:
         batch_size = group.batch_size
@@ -53,7 +56,10 @@ def _generate_block(
             )
         # One stacked BLAS dispatch colors the whole group; slice results are
         # bit-identical to per-entry `L @ w`.
-        colored = np.matmul(group.coloring_stack, white)
+        if backend is None:
+            colored = np.matmul(group.coloring_stack, white)
+        else:
+            colored = backend.matmul(group.coloring_stack, white)
         colored /= np.sqrt(group.sample_variances)[:, np.newaxis, np.newaxis]
         for position, (index, entry) in enumerate(zip(group.indices, group.entries)):
             decomposition = group.decompositions[position]
@@ -62,6 +68,7 @@ def _generate_block(
                 "coloring_method": decomposition.method,
                 "was_repaired": decomposition.was_repaired,
                 "engine": "batch",
+                "backend": backend_name,
                 "plan_index": index,
                 "batch_size": batch_size,
             }
@@ -106,6 +113,7 @@ def execute_plan(compiled: CompiledPlan, n_samples: int) -> BatchResult:
         n_samples=int(n_samples),
         compile_report=compiled.report,
         execute_seconds=time.perf_counter() - start,
+        backend="numpy" if compiled.backend is None else compiled.backend.name,
     )
 
 
@@ -129,6 +137,7 @@ def stream_plan(
     if n_blocks < 1:
         raise GenerationError(f"n_blocks must be >= 1, got {n_blocks}")
     rngs = _entry_rngs(compiled)
+    backend_name = "numpy" if compiled.backend is None else compiled.backend.name
     for _ in range(int(n_blocks)):
         start = time.perf_counter()
         blocks = _generate_block(compiled, int(block_size), rngs)
@@ -137,4 +146,5 @@ def stream_plan(
             n_samples=int(block_size),
             compile_report=compiled.report,
             execute_seconds=time.perf_counter() - start,
+            backend=backend_name,
         )

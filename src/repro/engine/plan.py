@@ -93,16 +93,20 @@ class PlanEntry:
         """Number of correlated branches of this entry."""
         return self.spec.n_branches
 
-    def cache_key(self, defaults) -> str:
+    def cache_key(self, defaults, cache_token: str = "numpy") -> str:
         """Content-hash cache key of this entry's decomposition (memoized).
 
         The entry is frozen and the library treats covariance matrices as
-        immutable, so the hash is computed once per tolerance bundle and
-        reused by subsequent compiles of the same plan object.
+        immutable, so the hash is computed once per (tolerance bundle,
+        backend cache token) and reused by subsequent compiles of the same
+        plan object.  ``cache_token`` namespaces the key by the backend
+        computing the decomposition (see
+        :func:`repro.engine.cache.decomposition_cache_key`).
         """
         from .cache import decomposition_cache_key
 
         memo_key = (
+            cache_token,
             defaults.eig_clip_tol,
             defaults.psd_tol,
             defaults.hermitian_atol,
@@ -120,6 +124,7 @@ class PlanEntry:
                 psd_method=self.psd_method,
                 epsilon=self.epsilon,
                 defaults=defaults,
+                cache_token=cache_token,
             )
             memo[memo_key] = key
         return key

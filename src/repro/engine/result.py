@@ -32,12 +32,15 @@ class BatchResult:
         matrices (cache hits/misses, dedup counts).
     execute_seconds:
         Wall-clock time of the execution pass.
+    backend:
+        Name of the linalg backend that compiled and executed the plan.
     """
 
     blocks: Tuple[GaussianBlock, ...]
     n_samples: int
     compile_report: CompileReport
     execute_seconds: float
+    backend: str = "numpy"
 
     @property
     def n_entries(self) -> int:
@@ -51,6 +54,32 @@ class BatchResult:
     def envelopes(self) -> Tuple[EnvelopeBlock, ...]:
         """Rayleigh envelope blocks for every entry."""
         return tuple(block.envelopes() for block in self.blocks)
+
+    def summary(self) -> str:
+        """Human-readable run summary, including decomposition-cache stats.
+
+        One line per pipeline stage: what ran, on which backend, and how the
+        decomposition cache behaved for this run's compile pass (hits,
+        misses, deduplicated entries) — the counters
+        :class:`repro.engine.cache.DecompositionCache` keeps but nothing
+        printed per run before this method existed.
+        """
+        report = self.compile_report
+        lookups = report.cache_hits + report.cache_misses
+        hit_rate = report.cache_hits / lookups if lookups else 0.0
+        return "\n".join(
+            (
+                f"BatchResult: {self.n_entries} entries x {self.n_samples} samples "
+                f"[backend={self.backend}]",
+                f"  compile: {report.n_groups} groups, "
+                f"{report.n_unique_matrices} unique matrices "
+                f"({report.deduplicated} deduplicated), "
+                f"{report.compile_seconds:.6f} s",
+                f"  decomposition cache: {report.cache_hits} hits / "
+                f"{report.cache_misses} misses ({hit_rate:.1%} hit rate)",
+                f"  execute: {self.execute_seconds:.6f} s",
+            )
+        )
 
     def stacked_samples(self) -> np.ndarray:
         """All samples as one ``(B, N, n_samples)`` array.

@@ -26,6 +26,7 @@ __all__ = [
     "ValidationError",
     "ExperimentError",
     "ParallelExecutionError",
+    "BackendError",
 ]
 
 
@@ -106,3 +107,12 @@ class ExperimentError(ReproError, RuntimeError):
 
 class ParallelExecutionError(ReproError, RuntimeError):
     """A parallel/ensemble execution failed in one or more workers."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """A linear-algebra backend is unknown, unavailable, or failed to load.
+
+    Raised by :func:`repro.engine.backends.get_backend` when the requested
+    backend name is not registered or its import-gated dependency (scipy,
+    cupy, torch) is missing from the environment.
+    """

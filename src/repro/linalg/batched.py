@@ -14,6 +14,13 @@ Heavy ``O(N^3)`` work (eigendecomposition, factorization, reconstruction) is
 batched; cheap per-slice scalar diagnostics (Frobenius errors, eigenvalue
 counts) are computed in ordinary Python loops, exactly as the single-matrix
 code paths compute them.
+
+Every heavy entry point accepts an optional ``backend`` — an object
+satisfying the :class:`repro.engine.backends.LinalgBackend` contract
+(``eigh`` / ``cholesky`` / ``matmul`` over host arrays).  ``None`` (the
+default) runs numpy's gufuncs directly, which keeps this module importable
+without the engine package and makes the default path byte-for-byte the
+pre-backend implementation.
 """
 
 from __future__ import annotations
@@ -100,16 +107,22 @@ class BatchedEigenDecomposition:
         return self.eigenvalues[:, 0]
 
 
-def batched_hermitian_eigendecomposition(stack: np.ndarray) -> BatchedEigenDecomposition:
+def batched_hermitian_eigendecomposition(
+    stack: np.ndarray, *, backend=None
+) -> BatchedEigenDecomposition:
     """Eigendecompose every (nearly) Hermitian matrix in a ``(B, N, N)`` stack.
 
-    One ``np.linalg.eigh`` call on the symmetrized stack; each slice of the
-    result is bit-identical to
+    One ``np.linalg.eigh`` call on the symmetrized stack (or the given
+    backend's ``eigh``); each slice of the default-backend result is
+    bit-identical to
     :func:`repro.linalg.eigen.hermitian_eigendecomposition` applied to the
     corresponding single matrix, including the descending eigenvalue order.
     """
     herm = batched_hermitian_part(stack)
-    eigenvalues, eigenvectors = np.linalg.eigh(herm)
+    if backend is None:
+        eigenvalues, eigenvectors = np.linalg.eigh(herm)
+    else:
+        eigenvalues, eigenvectors = backend.eigh(herm)
     # eigh returns ascending order per slice; flip to descending with the
     # same argsort-and-reverse the single-matrix wrapper uses.
     order = np.argsort(eigenvalues, axis=-1)[:, ::-1]
@@ -121,18 +134,21 @@ def batched_hermitian_eigendecomposition(stack: np.ndarray) -> BatchedEigenDecom
     )
 
 
-def batched_cholesky_factor(stack: np.ndarray) -> np.ndarray:
+def batched_cholesky_factor(stack: np.ndarray, *, backend=None) -> np.ndarray:
     """Lower-triangular Cholesky factors of every matrix in a stack.
 
     Raises
     ------
     CholeskyError
         If any matrix in the stack is not positive definite; the message
-        names the offending stack index.
+        names the offending stack index (the diagnosis re-runs numpy
+        slice-wise regardless of the backend).
     """
     herm = batched_hermitian_part(stack)
     try:
-        return np.linalg.cholesky(herm)
+        if backend is None:
+            return np.linalg.cholesky(herm)
+        return backend.cholesky(herm)
     except np.linalg.LinAlgError as exc:
         # The stacked call fails as a whole; find the first offender so the
         # error is as informative as the single-matrix path's.
@@ -151,7 +167,7 @@ def batched_cholesky_factor(stack: np.ndarray) -> np.ndarray:
 
 
 def batched_reconstruct_from_eigen(
-    eigenvalues: np.ndarray, eigenvectors: np.ndarray
+    eigenvalues: np.ndarray, eigenvectors: np.ndarray, *, backend=None
 ) -> np.ndarray:
     """Return ``V_b diag(w_b) V_b^H`` for every matrix in the stack."""
     eigenvalues = np.asarray(eigenvalues)
@@ -160,21 +176,23 @@ def batched_reconstruct_from_eigen(
         raise DimensionError(
             f"eigenvalues must have shape {eigenvectors.shape[:2]}, got {eigenvalues.shape}"
         )
-    return np.matmul(
-        eigenvectors * eigenvalues[:, np.newaxis, :],
-        eigenvectors.conj().transpose(0, 2, 1),
-    )
+    scaled = eigenvectors * eigenvalues[:, np.newaxis, :]
+    adjoint = eigenvectors.conj().transpose(0, 2, 1)
+    if backend is None:
+        return np.matmul(scaled, adjoint)
+    return backend.matmul(scaled, adjoint)
 
 
 def batched_clip_negative_eigenvalues(
     stack: np.ndarray,
     *,
     defaults: NumericDefaults = DEFAULTS,
+    backend=None,
 ) -> np.ndarray:
     """Apply the paper's Section 4.2 clipping to every matrix in a stack."""
-    decomp = batched_hermitian_eigendecomposition(stack)
+    decomp = batched_hermitian_eigendecomposition(stack, backend=backend)
     clipped = np.where(decomp.eigenvalues >= 0.0, decomp.eigenvalues, 0.0)
-    return batched_reconstruct_from_eigen(clipped, decomp.eigenvectors)
+    return batched_reconstruct_from_eigen(clipped, decomp.eigenvectors, backend=backend)
 
 
 def batched_force_positive_semidefinite(
@@ -183,6 +201,7 @@ def batched_force_positive_semidefinite(
     *,
     epsilon: float = 1e-6,
     defaults: NumericDefaults = DEFAULTS,
+    backend=None,
 ) -> List["PSDForcingResult"]:
     """Force every matrix in a ``(B, N, N)`` stack positive semi-definite.
 
@@ -203,17 +222,21 @@ def batched_force_positive_semidefinite(
             f"unknown PSD forcing method {method!r}; choose from ('clip', 'epsilon', 'higham')"
         )
 
-    decomp = batched_hermitian_eigendecomposition(arr)
+    decomp = batched_hermitian_eigendecomposition(arr, backend=backend)
     scales = np.maximum(np.abs(decomp.max_eigenvalues), 1.0)
     negative_mask = decomp.eigenvalues < (-defaults.eig_clip_tol * scales)[:, np.newaxis]
     already_psd = ~np.any(negative_mask, axis=-1)
 
     if method == "clip":
         clipped = np.where(decomp.eigenvalues >= 0.0, decomp.eigenvalues, 0.0)
-        repaired_stack = batched_reconstruct_from_eigen(clipped, decomp.eigenvectors)
+        repaired_stack = batched_reconstruct_from_eigen(
+            clipped, decomp.eigenvectors, backend=backend
+        )
     elif method == "epsilon":
         replaced = np.where(decomp.eigenvalues > 0.0, decomp.eigenvalues, epsilon)
-        repaired_stack = batched_reconstruct_from_eigen(replaced, decomp.eigenvectors)
+        repaired_stack = batched_reconstruct_from_eigen(
+            replaced, decomp.eigenvectors, backend=backend
+        )
     else:  # higham: no batched formulation; delegate slice-wise below.
         repaired_stack = arr
 

@@ -12,7 +12,9 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import Simulator
 from repro.core import CovarianceSpec, RayleighFadingGenerator
+from repro.core.pipeline import generate_correlated_envelopes
 from repro.engine import DecompositionCache, SimulationEngine, SimulationPlan
 
 
@@ -109,6 +111,64 @@ class TestBatchedEqualsLooped:
             )
             expected = np.concatenate(
                 [generator.generate_gaussian(16).samples for _ in range(3)], axis=1
+            )
+            got = np.concatenate(
+                [batch.blocks[index].samples for batch in streamed], axis=1
+            )
+            assert np.array_equal(expected, got)
+
+
+class TestSessionAPIEqualsLooped:
+    """The session API inherits the engine guarantee unchanged.
+
+    ``Simulator(backend="numpy")`` must be bit-identical both to looping
+    single-spec generators and to the pre-redesign one-call helpers for the
+    same seeds — the acceptance criterion of the unified-API redesign.
+    """
+
+    @given(plan_data=random_plans(), n_samples=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_simulator_run_bit_identical_to_looped(self, plan_data, n_samples):
+        specs, seeds = plan_data
+        plan = SimulationPlan.from_specs(specs, seeds=seeds)
+        simulator = Simulator(backend="numpy", cache=DecompositionCache())
+        result = simulator.run(plan, n_samples)
+        for spec, seed, block in zip(specs, seeds, result.blocks):
+            reference = RayleighFadingGenerator(
+                spec, rng=seed, cache=DecompositionCache(maxsize=0)
+            ).generate_gaussian(n_samples)
+            assert np.array_equal(reference.samples, block.samples)
+            assert np.array_equal(reference.variances, block.variances)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_samples=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_simulator_envelopes_bit_identical_to_classic_helper(self, seed, n_samples):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(1, 5))
+        spec = _random_spec(rng, size, non_psd=size >= 2 and bool(rng.integers(0, 2)))
+        entry_seed = int(rng.integers(0, 2**62))
+        via_session = Simulator(backend="numpy", cache=DecompositionCache()).envelopes(
+            spec, n_samples, seed=entry_seed
+        )
+        via_helper = generate_correlated_envelopes(spec, n_samples, rng=entry_seed)
+        assert np.array_equal(via_session.envelopes, via_helper.envelopes)
+
+    @given(plan_data=random_plans(max_entries=4))
+    @settings(max_examples=10, deadline=None)
+    def test_simulator_stream_concatenation_matches_chunked_loop(self, plan_data):
+        specs, seeds = plan_data
+        plan = SimulationPlan.from_specs(specs, seeds=seeds)
+        simulator = Simulator(backend="numpy", cache=DecompositionCache())
+        streamed = list(simulator.stream(plan, block_size=7, n_blocks=3))
+        for index, (spec, seed) in enumerate(zip(specs, seeds)):
+            generator = RayleighFadingGenerator(
+                spec, rng=seed, cache=DecompositionCache(maxsize=0)
+            )
+            expected = np.concatenate(
+                [generator.generate_gaussian(7).samples for _ in range(3)], axis=1
             )
             got = np.concatenate(
                 [batch.blocks[index].samples for batch in streamed], axis=1

@@ -88,3 +88,61 @@ class TestMain:
         csv_path = tmp_path / "series" / "doppler-autocorrelation.csv"
         assert csv_path.exists()
         assert csv_path.read_text(encoding="utf8").startswith("index,")
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_flag_parses_before_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestBackendOption:
+    def test_batch_accepts_backend(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--batch-sizes",
+                "1,4",
+                "--samples",
+                "16",
+                "--repeats",
+                "1",
+                "--backend",
+                "scipy",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend" in out
+        assert "scipy" in out
+
+    def test_batch_rejects_unknown_backend(self):
+        from repro.exceptions import BackendError
+
+        with pytest.raises(BackendError):
+            main(["batch", "--batch-sizes", "1", "--samples", "8", "--repeats", "1",
+                  "--backend", "not-a-backend"])
+
+    def test_run_forwards_backend_only_where_supported(self, capsys):
+        # eq22 has no backend parameter; the runner must drop the kwarg.
+        code = main(["run", "eq22-spectral-covariance", "--backend", "scipy"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestBatchCacheSummary:
+    def test_batch_prints_cache_hit_miss_line(self, capsys):
+        code = main(["batch", "--batch-sizes", "1,4", "--samples", "16", "--repeats", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decomposition cache:" in out
+        assert "hit rate" in out

@@ -1,0 +1,130 @@
+"""Compare two pytest-benchmark JSON files and fail on median regressions.
+
+CI runs the benchmark suites on every push, uploads the
+``--benchmark-json`` output as a workflow artifact, and — before uploading —
+downloads the previous successful run's artifact and compares medians with
+this script:
+
+    python benchmarks/compare_benchmarks.py previous.json current.json \
+        --threshold 0.25
+
+A benchmark *regresses* when its current median exceeds the previous median
+by more than the threshold fraction (default 25%).  Benchmarks that appear
+in only one file are reported but never fail the job (new benchmarks arrive,
+old ones get renamed).  A missing or unreadable *previous* file is not an
+error either — the first run of a repository has nothing to compare against
+— so the job only fails on genuine slowdowns of benchmarks both runs timed.
+
+Exit codes: 0 (no regressions, or nothing to compare), 1 (regressions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["load_medians", "compare_medians", "main"]
+
+
+def load_medians(path: Path) -> Optional[Dict[str, float]]:
+    """Benchmark-name → median-seconds mapping from a pytest-benchmark JSON.
+
+    Returns ``None`` when the file is missing, unreadable, or not a
+    pytest-benchmark report — the "nothing to compare against" cases a first
+    CI run (or a renamed artifact) produces.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf8"))
+    except (OSError, ValueError):
+        return None
+    benchmarks = payload.get("benchmarks") if isinstance(payload, dict) else None
+    if not isinstance(benchmarks, list):
+        return None
+    medians: Dict[str, float] = {}
+    for entry in benchmarks:
+        try:
+            medians[str(entry["name"])] = float(entry["stats"]["median"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return medians
+
+
+def compare_medians(
+    previous: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float = 0.25,
+) -> Tuple[List[str], List[str]]:
+    """Compare two median mappings.
+
+    Returns ``(regressions, notes)``: human-readable regression lines for
+    benchmarks whose current median exceeds the previous by more than
+    ``threshold`` (as a fraction), and informational notes for benchmarks
+    present in only one run.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    regressions: List[str] = []
+    notes: List[str] = []
+    for name in sorted(set(previous) | set(current)):
+        if name not in previous:
+            notes.append(f"new benchmark (no baseline): {name}")
+            continue
+        if name not in current:
+            notes.append(f"benchmark disappeared: {name}")
+            continue
+        before, after = previous[name], current[name]
+        if before <= 0.0:
+            notes.append(f"non-positive baseline median, skipping: {name}")
+            continue
+        ratio = after / before
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{name}: median {before:.6g}s -> {after:.6g}s "
+                f"({(ratio - 1.0):+.1%}, threshold +{threshold:.0%})"
+            )
+    return regressions, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark medians regress beyond a threshold."
+    )
+    parser.add_argument("previous", type=Path, help="baseline pytest-benchmark JSON")
+    parser.add_argument("current", type=Path, help="current pytest-benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed median slowdown as a fraction (default: 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    previous = load_medians(args.previous)
+    if previous is None or not previous:
+        print(f"no usable baseline at {args.previous}; skipping comparison")
+        return 0
+    current = load_medians(args.current)
+    if current is None:
+        print(f"current benchmark file {args.current} is missing or unreadable")
+        return 1
+
+    regressions, notes = compare_medians(previous, current, threshold=args.threshold)
+    for note in notes:
+        print(note)
+    if regressions:
+        print(f"{len(regressions)} benchmark regression(s) beyond +{args.threshold:.0%}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(
+        f"no regressions: {len(set(previous) & set(current))} benchmarks within "
+        f"+{args.threshold:.0%} of baseline medians"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,7 @@ from .engine import (
     BatchResult,
     CacheStats,
     DecompositionCache,
+    DopplerSpec,
     LinalgBackend,
     PlanEntry,
     SimulationEngine,
@@ -151,6 +152,7 @@ __all__ = [
     "PlanEntry",
     "SimulationEngine",
     "SimulationPlan",
+    "DopplerSpec",
     "available_backends",
     "default_engine",
     "get_backend",

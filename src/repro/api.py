@@ -112,6 +112,10 @@ def _merge_results(
         cache_hits=sum(p.compile_report.cache_hits for p in partials),
         cache_misses=sum(p.compile_report.cache_misses for p in partials),
         compile_seconds=max(p.compile_report.compile_seconds for p in partials),
+        doppler_filters_built=sum(
+            p.compile_report.doppler_filters_built for p in partials
+        ),
+        doppler_entries=sum(p.compile_report.doppler_entries for p in partials),
     )
     return BatchResult(
         blocks=tuple(blocks),
@@ -373,7 +377,10 @@ class Simulator:
         seed: SeedLike = None,
         gaussian_powers=None,
         envelope_powers: bool = False,
+        mode: str = "auto",
         normalized_doppler: Optional[float] = None,
+        n_points: Optional[int] = None,
+        compensate_variance: bool = True,
         coloring_method: str = "eigen",
         psd_method: str = "clip",
         return_gaussian: bool = False,
@@ -404,12 +411,27 @@ class Simulator:
         envelope_powers:
             For raw matrices: interpret diagonal powers as *envelope*
             variances and convert through Eq. (11).
+        mode:
+            ``"auto"`` (default) selects Doppler mode exactly when a
+            normalized Doppler is given or inferred; ``"doppler"`` requires
+            one (explicit or scenario-inferred) and raises otherwise;
+            ``"snapshot"`` forbids one.
         normalized_doppler:
             If given (``0 < f_m < 0.5``), use the real-time Doppler-shaped
             generator of the paper's Section 5; scenarios carrying their own
-            Doppler settings supply it implicitly.  The Doppler IDFT
-            substrate always runs on numpy — backend choice affects the
-            snapshot (coloring) path.
+            Doppler settings supply it implicitly.  Both the coloring path
+            and the IDFT substrate run on the session backend (a Doppler
+            one-entry plan of the batched engine).
+        n_points:
+            IDFT block length ``M`` for Doppler mode.  ``None`` picks the
+            smallest valid power of two holding ``n_samples``
+            (:func:`repro.core.pipeline.doppler_block_size`); an explicit
+            smaller value makes the engine concatenate (and truncate)
+            multiple blocks.
+        compensate_variance:
+            Doppler mode only: apply the Eq. (19) variance compensation
+            (default, the paper's algorithm) or reproduce the uncompensated
+            defect of [6].
         coloring_method, psd_method:
             Algorithm variants (defaults are the paper's choices).
         return_gaussian:
@@ -417,10 +439,19 @@ class Simulator:
         """
         from .core.covariance import CovarianceSpec
         from .core.pipeline import doppler_block_size
-        from .core.realtime import RealTimeRayleighGenerator
+        from .engine import DopplerSpec
 
+        if mode not in ("auto", "snapshot", "doppler"):
+            raise SpecificationError(
+                f"mode must be 'auto', 'snapshot', or 'doppler'; got {mode!r}"
+            )
         if n_samples < 1:
             raise SpecificationError(f"n_samples must be >= 1, got {n_samples}")
+        if mode == "snapshot" and normalized_doppler is not None:
+            raise SpecificationError(
+                "mode='snapshot' conflicts with an explicit normalized_doppler; "
+                "drop one of the two"
+            )
 
         if isinstance(source, CovarianceSpec):
             spec = source
@@ -431,7 +462,7 @@ class Simulator:
                     "complex-Gaussian powers)"
                 )
             spec = source.covariance_spec(np.asarray(gaussian_powers, dtype=float))
-            if normalized_doppler is None:
+            if normalized_doppler is None and mode != "snapshot":
                 normalized_doppler = getattr(source, "default_normalized_doppler", None)
         else:
             matrix = np.asarray(source, dtype=complex)
@@ -444,33 +475,55 @@ class Simulator:
             else:
                 spec = CovarianceSpec.from_covariance_matrix(matrix)
 
+        if mode == "doppler" and normalized_doppler is None:
+            raise SpecificationError(
+                "mode='doppler' requires a normalized_doppler (explicitly, or "
+                "inferred from a scenario carrying Doppler settings)"
+            )
+
+        plan = SimulationPlan()
         if normalized_doppler is None:
+            # Doppler-only knobs must not be dropped silently on the
+            # snapshot path — a forgotten normalized_doppler would otherwise
+            # return un-shaped samples with no signal.
+            if n_points is not None:
+                raise SpecificationError(
+                    "n_points applies to Doppler mode only; pass "
+                    "normalized_doppler (or mode='doppler' with a scenario "
+                    "carrying Doppler settings)"
+                )
+            if compensate_variance is not True:
+                raise SpecificationError(
+                    "compensate_variance applies to Doppler mode only; pass "
+                    "normalized_doppler (or mode='doppler' with a scenario "
+                    "carrying Doppler settings)"
+                )
             # The snapshot path is the B = 1 case of the batched engine: a
             # one-entry plan compiled against the session cache and backend.
-            plan = SimulationPlan()
             plan.add(
                 spec,
                 seed=seed,
                 coloring_method=coloring_method,
                 psd_method=psd_method,
             )
-            gaussian = self._engine.run(plan, n_samples).blocks[0]
         else:
-            n_points = doppler_block_size(n_samples, normalized_doppler)
-            generator = RealTimeRayleighGenerator(
+            # Doppler mode is the B = 1 case of the batched Doppler
+            # substrate: bit-identical to a standalone
+            # RealTimeRayleighGenerator with the same seed.
+            if n_points is None:
+                n_points = doppler_block_size(n_samples, normalized_doppler)
+            plan.add(
                 spec,
-                normalized_doppler=normalized_doppler,
-                n_points=n_points,
+                seed=seed,
                 coloring_method=coloring_method,
                 psd_method=psd_method,
-                rng=seed,
+                doppler=DopplerSpec(
+                    normalized_doppler=float(normalized_doppler),
+                    n_points=int(n_points),
+                    compensate_variance=compensate_variance,
+                ),
             )
-            gaussian = generator.generate_gaussian(1)
-            gaussian = GaussianBlock(
-                samples=gaussian.samples[:, :n_samples],
-                variances=gaussian.variances,
-                metadata=gaussian.metadata,
-            )
+        gaussian = self._engine.run(plan, n_samples).blocks[0]
 
         return gaussian if return_gaussian else gaussian.envelopes()
 

@@ -42,7 +42,7 @@ from .doppler import (
     filter_output_variance,
     filter_autocorrelation,
 )
-from .idft_generator import IDFTRayleighGenerator
+from .idft_generator import IDFTRayleighGenerator, batched_doppler_blocks
 from .sum_of_sinusoids import SumOfSinusoidsGenerator
 from .delay_profile import (
     PowerDelayProfile,
@@ -75,6 +75,7 @@ __all__ = [
     "filter_output_variance",
     "filter_autocorrelation",
     "IDFTRayleighGenerator",
+    "batched_doppler_blocks",
     "SumOfSinusoidsGenerator",
     "PowerDelayProfile",
     "exponential_power_delay_profile",

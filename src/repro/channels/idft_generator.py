@@ -21,16 +21,92 @@ generator therefore exposes :attr:`IDFTRayleighGenerator.output_variance`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import DimensionError
-from ..random import complex_gaussian_pair, ensure_rng
+from ..exceptions import DimensionError, DopplerError, FilterDesignError
+from ..random import ensure_rng
 from ..types import ComplexArray, SeedLike
 from .doppler import filter_output_variance, young_beaulieu_filter
 
-__all__ = ["IDFTRayleighGenerator"]
+__all__ = ["IDFTRayleighGenerator", "batched_doppler_blocks"]
+
+
+def batched_doppler_blocks(
+    filter_coefficients: np.ndarray,
+    rngs: Sequence[SeedLike],
+    *,
+    n_blocks: int = 1,
+    input_variance_per_dim: float = 0.5,
+    backend=None,
+) -> ComplexArray:
+    """Generate many Doppler-shaped streams with one stacked IDFT call.
+
+    This is the batched substrate of the Section 5 algorithm: every stream
+    (a branch of a scenario, across many scenarios) draws its Gaussian input
+    sequences from its *own* generator in ``rngs``, all frequency-domain
+    blocks are weighted by the shared filter ``F[k]``, and a single stacked
+    ``(len(rngs) * n_blocks, M)`` IDFT produces every time-domain block at
+    once.  Both the single-branch :class:`IDFTRayleighGenerator` and the
+    batched engine route through this function.
+
+    Per stream, the output is bit-identical to ``n_blocks`` successive
+    :meth:`IDFTRayleighGenerator.generate_block` calls on a generator holding
+    the same rng: the one-shot ``(n_blocks, 2, M)`` Gaussian draw consumes
+    the stream exactly like the historical per-block ``A``/``B`` pair draws
+    (numpy's ziggurat samples value by value), and a stacked IDFT transforms
+    each row exactly like a 1-D IDFT of that row.
+
+    Parameters
+    ----------
+    filter_coefficients:
+        The shared Doppler filter ``F[k]`` of length ``M`` (Eq. 21).
+    rngs:
+        One seed or generator per stream; generators are advanced in place
+        (callers stream consecutive records by passing the same generators
+        again).
+    n_blocks:
+        Number of consecutive ``M``-sample blocks per stream.
+    input_variance_per_dim:
+        Variance ``sigma_orig^2`` of each real input sequence.
+    backend:
+        Optional object providing ``ifft(array, axis=-1)`` (a
+        :class:`repro.engine.backends.LinalgBackend`); ``None`` uses
+        ``np.fft.ifft``.  Duck-typed so this low-level module stays free of
+        engine imports.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex array of shape ``(len(rngs), n_blocks * M)``; consecutive
+        blocks of a stream are mutually independent.
+    """
+    coeffs = np.asarray(filter_coefficients, dtype=float)
+    if coeffs.ndim != 1 or coeffs.shape[0] == 0:
+        raise FilterDesignError("filter coefficients must form a non-empty 1-D array")
+    if n_blocks < 1:
+        raise DimensionError(f"n_blocks must be >= 1, got {n_blocks}")
+    if input_variance_per_dim <= 0 or not np.isfinite(input_variance_per_dim):
+        raise DopplerError(
+            f"input variance per dimension must be positive, got {input_variance_per_dim}"
+        )
+    n_streams = len(rngs)
+    if n_streams == 0:
+        raise DimensionError("batched_doppler_blocks requires at least one stream")
+    m = coeffs.shape[0]
+    scale = np.sqrt(input_variance_per_dim)
+    draws = np.empty((n_streams, n_blocks, 2, m), dtype=float)
+    for index, rng in enumerate(rngs):
+        # (n_blocks, 2, M) fills in C order: block 0's A then B, block 1's A
+        # then B, ... — the exact stream consumption of sequential
+        # complex_gaussian_pair draws.
+        draws[index] = ensure_rng(rng).normal(0.0, scale, size=(n_blocks, 2, m))
+    # One vectorized weighting over every stream and block at once.
+    weighted = coeffs * (draws[:, :, 0, :] - 1j * draws[:, :, 1, :])
+    flat = weighted.reshape(n_streams * n_blocks, m)
+    transformed = np.fft.ifft(flat, axis=-1) if backend is None else backend.ifft(flat, axis=-1)
+    return transformed.reshape(n_streams, n_blocks * m)
 
 
 class IDFTRayleighGenerator:
@@ -115,11 +191,12 @@ class IDFTRayleighGenerator:
             ``abs(u)``.
         """
         gen = self._rng if rng is None else ensure_rng(rng)
-        a, b = complex_gaussian_pair(
-            self._n_points, variance_per_dimension=self._input_variance, rng=gen
-        )
-        weighted = self._filter * (a - 1j * b)
-        return np.fft.ifft(weighted)
+        return batched_doppler_blocks(
+            self._filter,
+            [gen],
+            n_blocks=1,
+            input_variance_per_dim=self._input_variance,
+        )[0]
 
     def generate_envelope_block(self, rng: Optional[SeedLike] = None) -> np.ndarray:
         """Generate one block and return its Rayleigh envelope ``|u[l]|``."""
@@ -139,7 +216,10 @@ class IDFTRayleighGenerator:
         if n_blocks < 1:
             raise DimensionError(f"n_blocks must be >= 1, got {n_blocks}")
         gen = self._rng if rng is None else ensure_rng(rng)
-        out = np.empty((n_blocks, self._n_points), dtype=complex)
-        for index in range(n_blocks):
-            out[index] = self.generate_block(rng=gen)
-        return out
+        stream = batched_doppler_blocks(
+            self._filter,
+            [gen],
+            n_blocks=int(n_blocks),
+            input_variance_per_dim=self._input_variance,
+        )
+        return stream.reshape(int(n_blocks), self._n_points)

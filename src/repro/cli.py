@@ -14,7 +14,11 @@ Subcommands
     Run the batched-engine comparison sweep (the ``scaling-batch``
     experiment) with custom batch sizes: looped single-spec generation vs.
     the plan → compile → execute engine, with cache hits and speedups
-    reported.
+    reported.  With ``--doppler`` (plus optional ``--fm`` and ``--points``)
+    the sweep runs the Doppler-mode analogue (``scaling-doppler-batch``):
+    looped real-time generation vs. the batched IDFT substrate, with the
+    Doppler filter-reuse counters (filters built vs. entries served)
+    reported alongside the speedups.
 
 All output is plain text; the experiments regenerate the paper's tables and
 figures as numbers (and ASCII traces with ``--ascii-plots``).
@@ -100,12 +104,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--branches", type=int, default=4, help="branches N per scenario (default: 4)"
     )
     batch_parser.add_argument(
-        "--samples", type=int, default=64, help="time samples per branch (default: 64)"
+        "--samples",
+        type=int,
+        default=None,
+        help="time samples per branch (default: 64; not accepted with "
+        "--doppler, whose record length is the IDFT block --points)",
     )
     batch_parser.add_argument(
         "--repeats", type=int, default=3, help="best-of repeats per timing (default: 3)"
     )
     batch_parser.add_argument("--seed", type=int, default=None)
+    batch_parser.add_argument(
+        "--doppler",
+        action="store_true",
+        help="run the Doppler-mode sweep (batched IDFT substrate vs. looped "
+        "real-time generation) instead of the snapshot sweep",
+    )
+    batch_parser.add_argument(
+        "--fm",
+        type=float,
+        default=0.05,
+        help="normalized maximum Doppler frequency f_m for --doppler (default: 0.05)",
+    )
+    batch_parser.add_argument(
+        "--points",
+        type=int,
+        default=128,
+        help="IDFT block length M for --doppler (default: 128)",
+    )
     _backend_argument(batch_parser)
 
     return parser
@@ -146,7 +172,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return exit_code
 
     if args.command == "batch":
-        from .experiments.scaling import run_batch
+        from .experiments.scaling import run_batch, run_doppler_batch
 
         try:
             batch_sizes = tuple(
@@ -160,19 +186,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise SystemExit("--batch-sizes must contain positive integers")
         if args.branches < 1:
             raise SystemExit(f"--branches must be >= 1, got {args.branches}")
-        if args.samples < 1:
-            raise SystemExit(f"--samples must be >= 1, got {args.samples}")
         kwargs = {
             "batch_sizes": batch_sizes,
             "n_branches": args.branches,
-            "n_samples": args.samples,
             "repeats": args.repeats,
         }
         if args.seed is not None:
             kwargs["seed"] = args.seed
         if args.backend is not None:
             kwargs["backend"] = args.backend
-        result = run_batch(**kwargs)
+        if args.doppler:
+            if args.samples is not None:
+                raise SystemExit(
+                    "--samples is not accepted with --doppler: the Doppler sweep's "
+                    "record length is the IDFT block length (use --points)"
+                )
+            from .engine import DopplerSpec
+            from .exceptions import ReproError
+
+            try:
+                # Full (M, f_m) validation — passband occupancy, band-edge
+                # overlap — not just the range checks.
+                DopplerSpec(normalized_doppler=args.fm, n_points=args.points)
+            except ReproError as exc:
+                raise SystemExit(f"invalid --fm/--points combination: {exc}")
+            result = run_doppler_batch(
+                normalized_doppler=args.fm, n_points=args.points, **kwargs
+            )
+            print(result.render())
+            filters_built = int(result.metrics.get("doppler_filters_built_total", 0))
+            entries_served = int(result.metrics.get("doppler_entries_total", 0))
+            print(
+                f"doppler filters: {filters_built} built for {entries_served} entries "
+                f"served (looped path would build {entries_served})"
+            )
+            return 0 if result.passed else 1
+        n_samples = 64 if args.samples is None else args.samples
+        if n_samples < 1:
+            raise SystemExit(f"--samples must be >= 1, got {n_samples}")
+        result = run_batch(n_samples=n_samples, **kwargs)
         print(result.render())
         warm_hits = int(result.metrics.get("warm_cache_hits_total", 0))
         warm_misses = int(result.metrics.get("warm_cache_misses_total", 0))

@@ -23,6 +23,14 @@ Setting ``compensate_variance=False`` reproduces the uncompensated behaviour
 of Sorooshyari & Daut [6] (the white-sample variance is *assumed* to be 1
 regardless of the filter), which the ``variance-compensation`` experiment
 uses to demonstrate the resulting covariance error.
+
+The branch substrate runs through the *batched* IDFT path
+(:func:`repro.channels.idft_generator.batched_doppler_blocks`): all ``N``
+branch blocks go through one stacked IDFT call — on the generator's linalg
+backend when one is supplied — instead of ``N`` separate transforms.  The
+samples are bit-identical to the historical per-branch loop, and identical
+to a Doppler-mode plan entry of the batched engine with the same seed (this
+generator *is* the engine's ``B = 1`` reference).
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..channels.doppler import filter_output_variance, young_beaulieu_filter
-from ..channels.idft_generator import IDFTRayleighGenerator
+from ..channels.idft_generator import IDFTRayleighGenerator, batched_doppler_blocks
 from ..config import DEFAULTS, NumericDefaults
 from ..exceptions import GenerationError
 from ..random import ensure_rng, spawn_rngs
@@ -68,6 +76,15 @@ class RealTimeRayleighGenerator:
         Passed through to the underlying snapshot machinery.
     rng:
         Seed or generator; each branch receives an independent child stream.
+    backend:
+        Optional linalg backend (a name or
+        :class:`repro.engine.backends.LinalgBackend`) running the stacked
+        branch IDFT; ``None`` uses numpy.  Backends with ``tolerance == 0.0``
+        are bit-identical to the default.
+    cache:
+        Decomposition cache for the coloring matrix (as in
+        :class:`repro.core.generator.RayleighFadingGenerator`); ``None``
+        uses the process-wide cache.
 
     Examples
     --------
@@ -92,6 +109,8 @@ class RealTimeRayleighGenerator:
         psd_method: str = "clip",
         rng: SeedLike = None,
         defaults: NumericDefaults = DEFAULTS,
+        backend=None,
+        cache=None,
     ) -> None:
         if not isinstance(spec, CovarianceSpec):
             spec = CovarianceSpec.from_covariance_matrix(np.asarray(spec, dtype=complex))
@@ -100,6 +119,14 @@ class RealTimeRayleighGenerator:
         self._normalized_doppler = float(normalized_doppler)
         self._input_variance = float(input_variance_per_dim)
         self._compensate_variance = bool(compensate_variance)
+        if backend is None:
+            self._backend = None
+        else:
+            # Import at call time: repro.engine builds on repro.core, so the
+            # backend resolution must not run at import time.
+            from ..engine.backends import resolve_backend
+
+            self._backend = resolve_backend(backend)
 
         # Design the Doppler filter once; all branches share it (the paper
         # assumes a common Doppler spectrum across branches).
@@ -118,19 +145,34 @@ class RealTimeRayleighGenerator:
             sample_variance=effective_sample_variance,
             rng=rng,
             defaults=defaults,
+            cache=cache,
         )
 
         self._rng = ensure_rng(rng)
-        branch_rngs = spawn_rngs(self._rng, spec.n_branches)
-        self._branch_generators = [
-            IDFTRayleighGenerator(
-                n_points=self._n_points,
-                normalized_doppler=self._normalized_doppler,
-                input_variance_per_dim=self._input_variance,
-                rng=branch_rng,
-            )
-            for branch_rng in branch_rngs
-        ]
+        self._branch_rngs = spawn_rngs(self._rng, spec.n_branches)
+        self._branch_generator_cache: Optional[list] = None
+
+    @property
+    def _branch_generators(self) -> list:
+        """Per-branch single-stream generators, built on first access.
+
+        Generation runs through the batched substrate and never needs these;
+        they exist for callers driving one branch by hand.  Each shares its
+        branch's child stream, so hand-driving a branch advances the same
+        state the batched substrate consumes.  Built lazily because each
+        instance rebuilds the ``M``-length filter.
+        """
+        if self._branch_generator_cache is None:
+            self._branch_generator_cache = [
+                IDFTRayleighGenerator(
+                    n_points=self._n_points,
+                    normalized_doppler=self._normalized_doppler,
+                    input_variance_per_dim=self._input_variance,
+                    rng=branch_rng,
+                )
+                for branch_rng in self._branch_rngs
+            ]
+        return self._branch_generator_cache
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -196,12 +238,16 @@ class RealTimeRayleighGenerator:
         if n_blocks < 1:
             raise GenerationError(f"n_blocks must be >= 1, got {n_blocks}")
 
-        total = n_blocks * self._n_points
-        white = np.empty((self.n_branches, total), dtype=complex)
-        for block_index in range(n_blocks):
-            start = block_index * self._n_points
-            for branch_index, branch_gen in enumerate(self._branch_generators):
-                white[branch_index, start : start + self._n_points] = branch_gen.generate_block()
+        # All branch blocks through one stacked IDFT (each branch still
+        # consumes only its own child stream, so the samples are
+        # bit-identical to the historical per-branch, per-block loop).
+        white = batched_doppler_blocks(
+            self._filter,
+            self._branch_rngs,
+            n_blocks=int(n_blocks),
+            input_variance_per_dim=self._input_variance,
+            backend=self._backend,
+        )
 
         colored = self._snapshot.color(white)
         return GaussianBlock(

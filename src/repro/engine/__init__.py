@@ -19,10 +19,14 @@ sweeps and Monte-Carlo grids:
 :mod:`repro.engine.execute`
     :func:`execute_plan` draws per-entry seeded white samples and colors each
     group with one stacked ``np.matmul``; :func:`stream_plan` iterates long
-    records in fixed-size blocks with bounded memory.
+    records in fixed-size blocks with bounded memory.  Doppler-mode entries
+    (a :class:`DopplerSpec` on the plan entry) draw Young–Beaulieu IDFT
+    branch streams instead — all branches of all entries of a group through
+    one stacked backend ``ifft`` — and normalize the coloring by the
+    Eq. (19) filter-output variance.
 :mod:`repro.engine.backends`
-    The :class:`LinalgBackend` decompose-stack / matmul contract the compile
-    and execute steps run on, with a registry of implementations
+    The :class:`LinalgBackend` decompose-stack / matmul / fft contract the
+    compile and execute steps run on, with a registry of implementations
     (``"numpy"`` default, ``"scipy"`` LAPACK-driver variant, import-gated
     GPU backends) so backend choice is a constructor argument of
     :class:`SimulationEngine` / :class:`repro.api.Simulator`.
@@ -32,7 +36,10 @@ is bit-identical to looping single-spec generators — the single-spec path is
 literally the ``B = 1`` case (the :mod:`repro.core.pipeline` helpers route
 through :func:`default_engine`).  The guarantee holds because numpy's stacked
 ``eigh``/``cholesky``/``matmul`` gufuncs run the same LAPACK/BLAS routine per
-slice, and the white-sample streams are drawn per entry from the same seeds.
+slice, pocketfft transforms each row of a stacked IDFT exactly like a 1-D
+IDFT of that row, and the white-sample streams are drawn per entry (per
+branch, for Doppler entries) from the same seeds.  Doppler entries are
+bit-identical to looping :class:`repro.core.realtime.RealTimeRayleighGenerator`.
 """
 
 from .backends import (
@@ -53,7 +60,7 @@ from .cache import (
     decomposition_cache_key,
     default_decomposition_cache,
 )
-from .plan import PlanEntry, SimulationPlan
+from .plan import DopplerSpec, PlanEntry, SimulationPlan
 from .compile import CompiledGroup, CompiledPlan, CompileReport, compile_plan
 from .execute import execute_plan, stream_plan
 from .result import BatchResult
@@ -74,6 +81,7 @@ __all__ = [
     "DecompositionCache",
     "decomposition_cache_key",
     "default_decomposition_cache",
+    "DopplerSpec",
     "PlanEntry",
     "SimulationPlan",
     "CompiledGroup",

@@ -2,9 +2,10 @@
 
 The engine's compile step reduces to two stacked decompositions —
 ``eigh`` over a ``(B, N, N)`` covariance stack and ``cholesky`` over the
-same shape — and the execute step to one stacked ``matmul``.  A
-:class:`LinalgBackend` supplies exactly those three operations, which makes
-backend choice a constructor argument of
+same shape — and the execute step to one stacked ``matmul`` plus, for
+Doppler-mode entries, one stacked ``fft``/``ifft`` over the frequency-domain
+block stack.  A :class:`LinalgBackend` supplies exactly those operations,
+which makes backend choice a constructor argument of
 :class:`repro.api.Simulator` / :class:`repro.engine.SimulationEngine`
 instead of a code path:
 
@@ -30,7 +31,11 @@ that compute elsewhere transfer internally.  ``eigh`` must return
 eigenvalues in ascending order per slice (numpy's convention — the engine
 flips to the paper's descending order itself), and ``cholesky`` must raise
 ``np.linalg.LinAlgError`` on a non-positive-definite slice so the engine's
-error translation keeps working.
+error translation keeps working.  ``fft``/``ifft`` transform along one axis
+of an arbitrary-rank array with numpy's normalization (``ifft`` carries the
+``1/M`` factor of Eq. 17); for backends claiming ``tolerance == 0.0`` they
+must be bit-identical to ``np.fft`` per slice — scipy's pocketfft satisfies
+this (asserted by the parity suite), device FFTs do not.
 """
 
 from __future__ import annotations
@@ -113,6 +118,17 @@ class LinalgBackend(abc.ABC):
         """Stacked matrix product (the execute step's coloring multiply)."""
         return np.matmul(a, b)
 
+    def fft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Discrete Fourier transform along ``axis`` (numpy normalization)."""
+        return np.fft.fft(array, axis=axis)
+
+    def ifft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Inverse DFT along ``axis`` — the Doppler substrate's stacked IDFT.
+
+        Carries numpy's ``1/M`` factor, i.e. the normalization of Eq. (17).
+        """
+        return np.fft.ifft(array, axis=axis)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r} tolerance={self.tolerance!r}>"
 
@@ -160,12 +176,14 @@ class ScipyBackend(LinalgBackend):
                 f"unknown scipy eigh driver {driver!r}; choose from {self._DRIVERS}"
             )
         try:
+            import scipy.fft as _scipy_fft
             import scipy.linalg as _scipy_linalg
         except ImportError as exc:  # pragma: no cover - scipy ships in the image
             raise BackendError(
                 "the 'scipy' backend requires scipy, which is not installed"
             ) from exc
         self._linalg = _scipy_linalg
+        self._fft = _scipy_fft
         self.driver = driver
         self.name = "scipy" if driver == "evd" else f"scipy-{driver}"
         self.tolerance = 0.0 if driver == "evd" else None
@@ -190,6 +208,15 @@ class ScipyBackend(LinalgBackend):
                 stack[index], lower=True, check_finite=False
             )
         return factors
+
+    def fft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        # scipy.fft and np.fft are both pocketfft: bit-identical per slice,
+        # so the bitwise guarantee (and the shared cache namespace of the
+        # evd driver) extends to the Doppler substrate.
+        return self._fft.fft(array, axis=axis)
+
+    def ifft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self._fft.ifft(array, axis=axis)
 
     def __reduce__(self):
         # The held scipy.linalg module is not picklable; reduce to the
@@ -244,6 +271,16 @@ class CupyBackend(LinalgBackend):  # pragma: no cover - requires a GPU runtime
         cp = self._cupy
         return cp.asnumpy(cp.matmul(cp.asarray(a), cp.asarray(b)))
 
+    def fft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        cp = self._cupy
+        return cp.asnumpy(cp.fft.fft(cp.asarray(array), axis=axis))
+
+    def ifft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        # cuFFT is not bit-identical to pocketfft; parity only within
+        # :attr:`tolerance`, like the decompositions.
+        cp = self._cupy
+        return cp.asnumpy(cp.fft.ifft(cp.asarray(array), axis=axis))
+
 
 class TorchBackend(LinalgBackend):  # pragma: no cover - requires torch
     """Torch backend (CPU or GPU), gated on import.
@@ -282,6 +319,14 @@ class TorchBackend(LinalgBackend):  # pragma: no cover - requires torch
 
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return self._torch.matmul(self._to_device(a), self._to_device(b)).cpu().numpy()
+
+    def fft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self._torch.fft.fft(self._to_device(array), dim=axis).cpu().numpy()
+
+    def ifft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        # torch's FFT is not guaranteed bit-identical to pocketfft; parity
+        # only within :attr:`tolerance`, like the decompositions.
+        return self._torch.fft.ifft(self._to_device(array), dim=axis).cpu().numpy()
 
     def __reduce__(self):
         return (type(self), (self.device,))

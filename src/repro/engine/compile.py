@@ -3,8 +3,9 @@
 Compiling a :class:`repro.engine.plan.SimulationPlan` turns its declarative
 entries into ready-to-execute coloring matrices:
 
-1. entries are grouped by ``(N, coloring_method, psd_method, epsilon)`` so
-   each group stacks into one ``(B, N, N)`` array;
+1. entries are grouped by ``(N, coloring_method, psd_method, epsilon)`` —
+   plus ``(M, f_m, sigma_orig^2)`` for Doppler-mode entries — so each group
+   stacks into one ``(B, N, N)`` array;
 2. within a group, covariance matrices are deduplicated by content hash and
    looked up in the :class:`repro.engine.cache.DecompositionCache`;
 3. the remaining *misses* are decomposed together by
@@ -12,11 +13,20 @@ entries into ready-to-execute coloring matrices:
    ``np.linalg.eigh`` / ``cholesky`` call per group — and stored back in the
    cache;
 4. per-entry coloring matrices are assembled into a ``(B, N, N)`` stack the
-   executor multiplies white samples through.
+   executor multiplies white samples through;
+5. Doppler groups additionally build the Young–Beaulieu filter ``F[k]`` of
+   Eq. (21) **once** per unique ``(M, f_m, sigma_orig^2)`` in the plan (the
+   looped path builds ``N + 1`` filters per scenario), record its Eq. (19)
+   output variance, and set each entry's effective sample variance to that
+   output variance (or 1.0 when the entry opts out of compensation).
 
 Every decomposition is bit-identical to what the single-spec path computes,
 so compiled execution reproduces a loop of
-:class:`repro.core.generator.RayleighFadingGenerator` exactly.
+:class:`repro.core.generator.RayleighFadingGenerator` (or, for Doppler
+entries, :class:`repro.core.realtime.RealTimeRayleighGenerator`) exactly.
+The covariance decomposition does not depend on the Doppler mode, so a
+Doppler entry and a snapshot entry over the same matrix share one cache
+entry (the cache key is Doppler-agnostic).
 """
 
 from __future__ import annotations
@@ -31,7 +41,7 @@ from ..config import DEFAULTS, NumericDefaults
 from ..linalg import ColoringDecomposition
 from .backends import BackendSpec, LinalgBackend, resolve_backend
 from .cache import DecompositionCache, default_decomposition_cache
-from .plan import PlanEntry, SimulationPlan
+from .plan import DopplerSpec, PlanEntry, SimulationPlan
 
 __all__ = ["CompileReport", "CompiledGroup", "CompiledPlan", "compile_plan"]
 
@@ -52,6 +62,12 @@ class CompileReport:
         Unique matrices served from / absent from the decomposition cache.
     compile_seconds:
         Wall-clock time of the compilation pass.
+    doppler_filters_built:
+        Young–Beaulieu filters constructed (one per unique
+        ``(M, f_m, sigma_orig^2)`` in the plan); 0 for snapshot-only plans.
+    doppler_entries:
+        Doppler-mode entries served by those filters — the looped path would
+        have built ``N + 1`` filters for each of them.
     """
 
     n_entries: int
@@ -60,6 +76,8 @@ class CompileReport:
     cache_hits: int
     cache_misses: int
     compile_seconds: float
+    doppler_filters_built: int = 0
+    doppler_entries: int = 0
 
     @property
     def deduplicated(self) -> int:
@@ -80,9 +98,20 @@ class CompiledGroup:
     coloring_stack:
         ``(B, N, N)`` stack of coloring matrices, one per entry.
     sample_variances:
-        ``(B,)`` white-sample variances ``sigma_w^2`` per entry.
+        ``(B,)`` white-sample variances ``sigma_w^2`` per entry.  For
+        Doppler groups these are the *effective* variances of the Section 5
+        coloring step: the Eq. (19) filter-output variance, or 1.0 for
+        entries with ``compensate_variance=False``.
     decompositions:
         Full per-entry decompositions (diagnostics: repairs, eigenvalues).
+    doppler:
+        Group Doppler parameters ``(M, f_m, sigma_orig^2)`` as a
+        :class:`~repro.engine.plan.DopplerSpec`, or ``None`` for snapshot
+        groups.  Per-entry compensation flags live on the entries.
+    doppler_filter:
+        The shared Young–Beaulieu filter ``F[k]`` (Doppler groups only).
+    doppler_output_variance:
+        The Eq. (19) output variance ``sigma_g^2`` of that filter.
     """
 
     indices: Tuple[int, ...]
@@ -90,6 +119,9 @@ class CompiledGroup:
     coloring_stack: np.ndarray
     sample_variances: np.ndarray
     decompositions: Tuple[ColoringDecomposition, ...]
+    doppler: Optional[DopplerSpec] = None
+    doppler_filter: Optional[np.ndarray] = None
+    doppler_output_variance: Optional[float] = None
 
     @property
     def batch_size(self) -> int:
@@ -100,6 +132,11 @@ class CompiledGroup:
     def n_branches(self) -> int:
         """Number of correlated branches ``N`` shared by the group."""
         return int(self.coloring_stack.shape[1])
+
+    @property
+    def is_doppler(self) -> bool:
+        """Whether this group runs the Section 5 real-time algorithm."""
+        return self.doppler is not None
 
 
 @dataclass(frozen=True)
@@ -158,6 +195,7 @@ def compile_plan(
         so only backends bit-identical to numpy share cached
         decompositions.
     """
+    from ..channels.doppler import filter_output_variance, young_beaulieu_filter
     from ..core.coloring import compute_coloring_batch
 
     backend_obj = resolve_backend(backend)
@@ -168,7 +206,7 @@ def compile_plan(
     start = time.perf_counter()
 
     # 1. Group entries by stacking signature, preserving first-seen order.
-    group_members: Dict[Tuple[int, str, str, float], List[int]] = {}
+    group_members: Dict[Tuple, List[int]] = {}
     for index, entry in enumerate(plan):
         group_members.setdefault(entry.group_key, []).append(index)
 
@@ -176,9 +214,13 @@ def compile_plan(
     hits = 0
     misses = 0
     unique_total = 0
+    doppler_entries = 0
+    # Young–Beaulieu filters are built once per unique (M, f_m, sigma_orig^2)
+    # across the whole plan; groups differing only in N share a build.
+    filter_memo: Dict[Tuple[int, float, float], Tuple[np.ndarray, float]] = {}
     groups: List[CompiledGroup] = []
     for group_key, indices in group_members.items():
-        _, coloring_method, psd_method, epsilon = group_key
+        _, coloring_method, psd_method, epsilon, _ = group_key
         group_entries = tuple(entries[i] for i in indices)
 
         # 2. Deduplicate matrices by content hash; consult the cache once
@@ -221,9 +263,38 @@ def compile_plan(
         # 4. Assemble the per-entry coloring stack.
         decompositions = tuple(resolved[key] for key in entry_keys)
         coloring_stack = np.stack([d.coloring_matrix for d in decompositions])
-        sample_variances = np.array(
-            [entry.sample_variance for entry in group_entries], dtype=float
-        )
+
+        # 5. Doppler groups: one shared filter build, per-entry effective
+        #    variances (Eq. 19 compensation, or 1.0 when opted out).
+        group_doppler = group_entries[0].doppler
+        if group_doppler is None:
+            doppler_filter = None
+            output_variance = None
+            sample_variances = np.array(
+                [entry.sample_variance for entry in group_entries], dtype=float
+            )
+        else:
+            memoized = filter_memo.get(group_doppler.filter_key)
+            if memoized is None:
+                coefficients = young_beaulieu_filter(
+                    group_doppler.n_points, group_doppler.normalized_doppler
+                )
+                memoized = (
+                    coefficients,
+                    filter_output_variance(
+                        coefficients, group_doppler.input_variance_per_dim
+                    ),
+                )
+                filter_memo[group_doppler.filter_key] = memoized
+            doppler_filter, output_variance = memoized
+            doppler_entries += len(group_entries)
+            sample_variances = np.array(
+                [
+                    output_variance if entry.doppler.compensate_variance else 1.0
+                    for entry in group_entries
+                ],
+                dtype=float,
+            )
         groups.append(
             CompiledGroup(
                 indices=tuple(indices),
@@ -231,6 +302,9 @@ def compile_plan(
                 coloring_stack=coloring_stack,
                 sample_variances=sample_variances,
                 decompositions=decompositions,
+                doppler=group_doppler,
+                doppler_filter=doppler_filter,
+                doppler_output_variance=output_variance,
             )
         )
 
@@ -241,6 +315,8 @@ def compile_plan(
         cache_hits=hits,
         cache_misses=misses,
         compile_seconds=time.perf_counter() - start,
+        doppler_filters_built=len(filter_memo),
+        doppler_entries=doppler_entries,
     )
     return CompiledPlan(
         plan=plan, groups=tuple(groups), report=report, backend=backend_obj

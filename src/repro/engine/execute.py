@@ -7,71 +7,174 @@ correlated samples:
   stream — exactly the stream a standalone
   :class:`repro.core.generator.RayleighFadingGenerator` would use, which is
   what makes batched and looped generation bit-identical;
+* Doppler-mode entries replace the white draws with Young–Beaulieu IDFT
+  branch streams: every branch of every entry in a group draws its Gaussian
+  input sequences from its own spawned child stream (exactly the streams a
+  standalone :class:`repro.core.realtime.RealTimeRayleighGenerator` would
+  spawn), the group's shared filter weights all frequency-domain blocks, and
+  one stacked ``(B·N·n_blocks, M)`` backend IDFT produces every time-domain
+  block at once (:func:`repro.channels.idft_generator.batched_doppler_blocks`);
 * each compiled group colors all of its entries with a single stacked
-  ``np.matmul`` (one BLAS gufunc dispatch for the whole ``(B, N, n)``
-  batch);
+  ``matmul`` (one BLAS gufunc dispatch for the whole ``(B, N, n)`` batch),
+  normalized per entry by the effective sample variance — for Doppler
+  groups the Eq. (19) filter-output variance;
 * long records stream through :func:`stream_plan` in fixed-size blocks with
   persistent per-entry generators, so memory stays bounded at one block.
+  Doppler groups produce samples in multiples of the IDFT length ``M`` and
+  buffer the remainder, so any ``block_size`` (and any ``n_samples`` not
+  divisible by ``M``) works; the buffered leftover never exceeds ``M - 1``
+  samples per branch.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
+from ..channels.idft_generator import batched_doppler_blocks
 from ..exceptions import GenerationError
-from ..random import complex_gaussian, ensure_rng
+from ..random import complex_gaussian, ensure_rng, spawn_rngs
 from ..types import GaussianBlock
-from .compile import CompiledPlan
+from .compile import CompiledGroup, CompiledPlan
 from .result import BatchResult
 
 __all__ = ["execute_plan", "stream_plan"]
 
 
-def _generate_block(
-    compiled: CompiledPlan, n_samples: int, rngs: List[np.random.Generator]
-) -> List[GaussianBlock]:
-    """Draw and color one block of ``n_samples`` for every entry.
+class _ExecutionState:
+    """Per-execution random streams and Doppler sample buffers.
 
-    ``rngs`` holds one generator per plan entry (plan order); drawing
-    advances them, which is what lets :func:`stream_plan` produce
-    consecutive blocks from continuous streams.  The coloring multiply runs
-    through the backend the plan was compiled with (numpy when ``None``).
+    One state object lives for the duration of an :func:`execute_plan` call
+    or across every block of a :func:`stream_plan` iteration, so streams (and
+    partially consumed Doppler IDFT blocks) persist exactly like the
+    generators of a loop of standalone instances would.
+
+    * ``streams[i]`` is the entry's generator (snapshot entries) or the list
+      of its per-branch child generators (Doppler entries) — spawned from the
+      entry seed exactly like ``RealTimeRayleighGenerator`` spawns its branch
+      streams.
+    * ``buffers[g]`` holds a Doppler group's colored-but-unconsumed samples
+      as a ``(B, N, leftover)`` array (samples are produced in multiples of
+      the IDFT length ``M``; requests need not be).
     """
-    backend = compiled.backend
-    backend_name = "numpy" if backend is None else backend.name
-    blocks: List[Optional[GaussianBlock]] = [None] * compiled.n_entries
-    for group in compiled.groups:
-        batch_size = group.batch_size
-        n_branches = group.n_branches
-        white = np.empty((batch_size, n_branches, n_samples), dtype=complex)
-        for position, (index, entry) in enumerate(zip(group.indices, group.entries)):
-            complex_gaussian(
-                (n_branches, n_samples),
-                variance=entry.sample_variance,
-                rng=rngs[index],
-                out=white[position],
-            )
-        # One stacked BLAS dispatch colors the whole group; slice results are
-        # bit-identical to per-entry `L @ w`.
+
+    def __init__(self, compiled: CompiledPlan) -> None:
+        self.streams: List[Union[np.random.Generator, List[np.random.Generator]]] = []
+        for entry in compiled.plan:
+            if entry.doppler is None:
+                self.streams.append(ensure_rng(entry.seed))
+            else:
+                self.streams.append(
+                    spawn_rngs(ensure_rng(entry.seed), entry.n_branches)
+                )
+        self.buffers: Dict[int, np.ndarray] = {}
+
+
+def _doppler_colored_blocks(
+    group: CompiledGroup,
+    state: _ExecutionState,
+    group_index: int,
+    n_samples: int,
+    backend,
+) -> np.ndarray:
+    """Colored Doppler samples ``(B, N, n_samples)`` for one group.
+
+    Generates whole IDFT blocks (all entries and branches through one
+    stacked backend IDFT), colors each fresh multi-block record with one
+    stacked matmul, and serves the request from the group buffer so
+    arbitrary ``n_samples`` compose into bit-identical continuous streams.
+    """
+    doppler = group.doppler
+    m = doppler.n_points
+    buffer = state.buffers.get(group_index)
+    available = 0 if buffer is None else buffer.shape[2]
+    missing = n_samples - available
+    if missing > 0:
+        n_blocks = -(-missing // m)  # ceil division
+        branch_rngs = [
+            rng for index in group.indices for rng in state.streams[index]
+        ]
+        white = batched_doppler_blocks(
+            group.doppler_filter,
+            branch_rngs,
+            n_blocks=n_blocks,
+            input_variance_per_dim=doppler.input_variance_per_dim,
+            backend=backend,
+        ).reshape(group.batch_size, group.n_branches, n_blocks * m)
         if backend is None:
             colored = np.matmul(group.coloring_stack, white)
         else:
             colored = backend.matmul(group.coloring_stack, white)
         colored /= np.sqrt(group.sample_variances)[:, np.newaxis, np.newaxis]
+        buffer = (
+            colored if buffer is None else np.concatenate([buffer, colored], axis=2)
+        )
+    out = buffer[:, :, :n_samples]
+    state.buffers[group_index] = buffer[:, :, n_samples:]
+    return out
+
+
+def _generate_block(
+    compiled: CompiledPlan, n_samples: int, state: _ExecutionState
+) -> List[GaussianBlock]:
+    """Draw and color one block of ``n_samples`` for every entry.
+
+    ``state`` holds one random stream per plan entry (plan order) plus the
+    Doppler group buffers; drawing advances them, which is what lets
+    :func:`stream_plan` produce consecutive blocks from continuous streams.
+    The IDFT and coloring multiplies run through the backend the plan was
+    compiled with (numpy when ``None``).
+    """
+    backend = compiled.backend
+    backend_name = "numpy" if backend is None else backend.name
+    blocks: List[Optional[GaussianBlock]] = [None] * compiled.n_entries
+    for group_index, group in enumerate(compiled.groups):
+        batch_size = group.batch_size
+        n_branches = group.n_branches
+        if group.is_doppler:
+            colored = _doppler_colored_blocks(
+                group, state, group_index, n_samples, backend
+            )
+        else:
+            white = np.empty((batch_size, n_branches, n_samples), dtype=complex)
+            for position, (index, entry) in enumerate(zip(group.indices, group.entries)):
+                complex_gaussian(
+                    (n_branches, n_samples),
+                    variance=entry.sample_variance,
+                    rng=state.streams[index],
+                    out=white[position],
+                )
+            # One stacked BLAS dispatch colors the whole group; slice results
+            # are bit-identical to per-entry `L @ w`.
+            if backend is None:
+                colored = np.matmul(group.coloring_stack, white)
+            else:
+                colored = backend.matmul(group.coloring_stack, white)
+            colored /= np.sqrt(group.sample_variances)[:, np.newaxis, np.newaxis]
         for position, (index, entry) in enumerate(zip(group.indices, group.entries)):
             decomposition = group.decompositions[position]
-            metadata = {
-                "method": "snapshot",
-                "coloring_method": decomposition.method,
-                "was_repaired": decomposition.was_repaired,
-                "engine": "batch",
-                "backend": backend_name,
-                "plan_index": index,
-                "batch_size": batch_size,
-            }
+            if group.is_doppler:
+                metadata = {
+                    "method": "realtime",
+                    "normalized_doppler": entry.doppler.normalized_doppler,
+                    "n_points": entry.doppler.n_points,
+                    "filter_output_variance": group.doppler_output_variance,
+                    "compensate_variance": entry.doppler.compensate_variance,
+                }
+            else:
+                metadata = {"method": "snapshot"}
+            metadata.update(
+                {
+                    "coloring_method": decomposition.method,
+                    "was_repaired": decomposition.was_repaired,
+                    "engine": "batch",
+                    "backend": backend_name,
+                    "plan_index": index,
+                    "batch_size": batch_size,
+                }
+            )
             if entry.label is not None:
                 metadata["label"] = entry.label
             blocks[index] = GaussianBlock(
@@ -82,11 +185,6 @@ def _generate_block(
     return blocks  # type: ignore[return-value]
 
 
-def _entry_rngs(compiled: CompiledPlan) -> List[np.random.Generator]:
-    """One independent generator per plan entry, from the entries' seeds."""
-    return [ensure_rng(entry.seed) for entry in compiled.plan]
-
-
 def execute_plan(compiled: CompiledPlan, n_samples: int) -> BatchResult:
     """Execute a compiled plan, producing ``n_samples`` per entry.
 
@@ -95,19 +193,22 @@ def execute_plan(compiled: CompiledPlan, n_samples: int) -> BatchResult:
     compiled:
         The compiled plan (see :func:`repro.engine.compile.compile_plan`).
     n_samples:
-        Time samples per branch for every entry.
+        Time samples per branch for every entry.  Doppler entries generate
+        ``ceil(n_samples / M)`` IDFT blocks and truncate.
 
     Returns
     -------
     BatchResult
         Per-entry Gaussian blocks, bit-identical to looping
         ``RayleighFadingGenerator(entry.spec, rng=entry.seed).generate_gaussian(n_samples)``
-        over the plan.
+        — or, for Doppler entries,
+        ``RealTimeRayleighGenerator(...).generate_gaussian(ceil(n_samples / M))``
+        truncated to ``n_samples`` — over the plan.
     """
     if n_samples < 1:
         raise GenerationError(f"n_samples must be >= 1, got {n_samples}")
     start = time.perf_counter()
-    blocks = _generate_block(compiled, int(n_samples), _entry_rngs(compiled))
+    blocks = _generate_block(compiled, int(n_samples), _ExecutionState(compiled))
     return BatchResult(
         blocks=tuple(blocks),
         n_samples=int(n_samples),
@@ -126,21 +227,22 @@ def stream_plan(
     """Yield ``n_blocks`` consecutive batched blocks of ``block_size`` samples.
 
     Memory stays bounded at one ``(B, N, block_size)`` batch regardless of
-    the record length.  Per-entry generators persist across blocks, so
-    concatenating the streamed blocks of an entry equals calling
-    ``generate_gaussian(block_size)`` repeatedly on one standalone generator
-    seeded with the entry's seed — the streaming analogue of the
-    batch/single equivalence guarantee.
+    the record length (plus at most ``M - 1`` buffered samples per Doppler
+    branch).  Per-entry generators persist across blocks, so concatenating
+    the streamed blocks of an entry equals one long :func:`execute_plan`
+    record cut into pieces — the streaming analogue of the batch/single
+    equivalence guarantee, for any block size, divisible into the IDFT
+    length or not.
     """
     if block_size < 1:
         raise GenerationError(f"block_size must be >= 1, got {block_size}")
     if n_blocks < 1:
         raise GenerationError(f"n_blocks must be >= 1, got {n_blocks}")
-    rngs = _entry_rngs(compiled)
+    state = _ExecutionState(compiled)
     backend_name = "numpy" if compiled.backend is None else compiled.backend.name
     for _ in range(int(n_blocks)):
         start = time.perf_counter()
-        blocks = _generate_block(compiled, int(block_size), rngs)
+        blocks = _generate_block(compiled, int(block_size), state)
         yield BatchResult(
             blocks=tuple(blocks),
             n_samples=int(block_size),

@@ -8,6 +8,14 @@ algorithm options, so the batched engine can later reproduce exactly what a
 loop of single-spec :class:`repro.core.generator.RayleighFadingGenerator`
 instances would produce.
 
+Entries may additionally carry a :class:`DopplerSpec`, in which case the
+engine reproduces the Section 5 *real-time* algorithm instead of the
+snapshot one: each branch's white samples are replaced by Young–Beaulieu
+IDFT generator outputs (Doppler-shaped temporal correlation), and the
+coloring step is normalized by the Eq. (19) filter-output variance.  For the
+same per-entry seeds, a Doppler entry is bit-identical to a standalone
+:class:`repro.core.realtime.RealTimeRayleighGenerator`.
+
 Plans are the unit of work the engine compiles (:mod:`repro.engine.compile`)
 and the unit the parallel layer partitions across processes
 (:func:`repro.parallel.ensemble.run_plan_parallel`).
@@ -24,10 +32,84 @@ from ..core.covariance import CovarianceSpec
 from ..exceptions import SpecificationError
 from ..types import SeedLike
 
-__all__ = ["PlanEntry", "SimulationPlan"]
+__all__ = ["DopplerSpec", "PlanEntry", "SimulationPlan"]
 
 _COLORING_METHODS = ("eigen", "cholesky", "svd")
 _PSD_METHODS = ("clip", "epsilon", "higham")
+
+#: What callers may pass wherever a Doppler mode is expected: a ready
+#: :class:`DopplerSpec`, a bare normalized Doppler frequency (defaults for
+#: everything else), or ``None`` for snapshot mode.
+DopplerLike = Union[None, float, "DopplerSpec"]
+
+
+@dataclass(frozen=True)
+class DopplerSpec:
+    """Doppler mode of one plan entry (the paper's Section 5 algorithm).
+
+    Attributes
+    ----------
+    normalized_doppler:
+        Normalized maximum Doppler frequency ``f_m = F_m / F_s`` in
+        ``(0, 0.5)``.
+    n_points:
+        IDFT block length ``M``; samples are produced in multiples of ``M``
+        and truncated to the requested count.  The paper uses 4096.
+    input_variance_per_dim:
+        Variance ``sigma_orig^2`` of the real Gaussian sequences at the
+        Doppler-filter inputs (paper: 1/2).
+    compensate_variance:
+        If ``True`` (the paper's algorithm) the coloring step is normalized
+        by the filter-output variance of Eq. (19); ``False`` reproduces the
+        uncompensated defect of Sorooshyari & Daut [6].
+    """
+
+    normalized_doppler: float
+    n_points: int = 4096
+    input_variance_per_dim: float = 0.5
+    compensate_variance: bool = True
+
+    def __post_init__(self) -> None:
+        from ..channels.doppler import validate_doppler_parameters
+
+        # Raises DopplerError / FilterDesignError on invalid (M, f_m).
+        validate_doppler_parameters(int(self.n_points), self.normalized_doppler)
+        object.__setattr__(self, "n_points", int(self.n_points))
+        object.__setattr__(self, "normalized_doppler", float(self.normalized_doppler))
+        object.__setattr__(
+            self, "input_variance_per_dim", float(self.input_variance_per_dim)
+        )
+        object.__setattr__(self, "compensate_variance", bool(self.compensate_variance))
+        if (
+            self.input_variance_per_dim <= 0
+            or not np.isfinite(self.input_variance_per_dim)
+        ):
+            raise SpecificationError(
+                "input_variance_per_dim must be positive and finite, got "
+                f"{self.input_variance_per_dim!r}"
+            )
+
+    @property
+    def filter_key(self) -> Tuple[int, float, float]:
+        """Parameters determining the Doppler filter and its output variance.
+
+        Entries sharing this key share one Young–Beaulieu filter build (the
+        ``compensate_variance`` flag only affects the per-entry
+        normalization, not the filter).
+        """
+        return (self.n_points, self.normalized_doppler, self.input_variance_per_dim)
+
+
+def coerce_doppler(doppler: DopplerLike) -> Optional[DopplerSpec]:
+    """Normalize a :data:`DopplerLike` value into an optional :class:`DopplerSpec`."""
+    if doppler is None or isinstance(doppler, DopplerSpec):
+        return doppler
+    if isinstance(doppler, (int, float, np.floating)) and not isinstance(doppler, bool):
+        return DopplerSpec(normalized_doppler=float(doppler))
+    raise SpecificationError(
+        "doppler must be None, a normalized Doppler frequency, or a DopplerSpec; "
+        f"got {type(doppler).__name__}"
+    )
 
 
 @dataclass(frozen=True, eq=False)
@@ -52,7 +134,14 @@ class PlanEntry:
         :func:`repro.core.coloring.compute_coloring`.
     sample_variance:
         White-sample variance ``sigma_w^2`` (step 6 of the paper's
-        algorithm); the default 1.0 matches the snapshot generator.
+        algorithm); the default 1.0 matches the snapshot generator.  Doppler
+        entries must leave it at 1.0 — their effective variance is the
+        Eq. (19) filter-output variance, computed at compile time.
+    doppler:
+        Optional :class:`DopplerSpec` switching this entry to the Section 5
+        real-time algorithm.  Feeding the same seed to a standalone
+        :class:`repro.core.realtime.RealTimeRayleighGenerator` yields
+        bit-identical samples.
     label:
         Optional caller-supplied identifier carried into result metadata.
     """
@@ -63,6 +152,7 @@ class PlanEntry:
     psd_method: str = "clip"
     epsilon: float = 1e-6
     sample_variance: float = 1.0
+    doppler: Optional[DopplerSpec] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -87,6 +177,18 @@ class PlanEntry:
             raise SpecificationError(
                 f"sample_variance must be positive and finite, got {self.sample_variance!r}"
             )
+        if self.doppler is not None:
+            if not isinstance(self.doppler, DopplerSpec):
+                raise SpecificationError(
+                    f"PlanEntry.doppler must be a DopplerSpec or None, got "
+                    f"{type(self.doppler).__name__}"
+                )
+            if self.sample_variance != 1.0:
+                raise SpecificationError(
+                    "Doppler entries determine their sample variance from the "
+                    "Eq. (19) filter-output variance; leave sample_variance at 1.0 "
+                    f"(got {self.sample_variance!r})"
+                )
 
     @property
     def n_branches(self) -> int:
@@ -130,9 +232,22 @@ class PlanEntry:
         return key
 
     @property
-    def group_key(self) -> Tuple[int, str, str, float]:
-        """Compilation group: entries sharing it stack into one batch."""
-        return (self.n_branches, self.coloring_method, self.psd_method, float(self.epsilon))
+    def group_key(self) -> Tuple[int, str, str, float, Optional[Tuple[int, float, float]]]:
+        """Compilation group: entries sharing it stack into one batch.
+
+        Doppler entries group by ``(N, M, f_m, sigma_orig^2)`` in addition to
+        the algorithm options, so each group shares one Young–Beaulieu filter
+        build and one stacked IDFT call; the ``compensate_variance`` flag is
+        per-entry and does not split groups.
+        """
+        doppler_key = None if self.doppler is None else self.doppler.filter_key
+        return (
+            self.n_branches,
+            self.coloring_method,
+            self.psd_method,
+            float(self.epsilon),
+            doppler_key,
+        )
 
     def with_seed(self, seed: SeedLike) -> "PlanEntry":
         """Return a copy of this entry with a different seed."""
@@ -178,13 +293,16 @@ class SimulationPlan:
         psd_method: str = "clip",
         epsilon: float = 1e-6,
         sample_variance: float = 1.0,
+        doppler: DopplerLike = None,
         label: Optional[str] = None,
     ) -> int:
         """Append one scenario and return its plan index.
 
         ``covariance`` may be a :class:`CovarianceSpec` or a raw complex
         covariance matrix (branch powers read off the diagonal, as the
-        generators do).
+        generators do).  ``doppler`` may be a :class:`DopplerSpec`, a bare
+        normalized Doppler frequency (defaults for block length and input
+        variance), or ``None`` for snapshot mode.
         """
         if not isinstance(covariance, CovarianceSpec):
             covariance = CovarianceSpec.from_covariance_matrix(
@@ -197,6 +315,7 @@ class SimulationPlan:
             psd_method=psd_method,
             epsilon=epsilon,
             sample_variance=sample_variance,
+            doppler=coerce_doppler(doppler),
             label=label,
         )
         self._entries.append(entry)
@@ -212,6 +331,7 @@ class SimulationPlan:
         psd_method: str = "clip",
         epsilon: float = 1e-6,
         sample_variance: float = 1.0,
+        doppler: DopplerLike = None,
         label: Optional[str] = None,
     ) -> int:
         """Append a physical scenario (any object with ``covariance_spec``)."""
@@ -228,6 +348,7 @@ class SimulationPlan:
             psd_method=psd_method,
             epsilon=epsilon,
             sample_variance=sample_variance,
+            doppler=doppler,
             label=label,
         )
 
@@ -242,6 +363,7 @@ class SimulationPlan:
         psd_method: str = "clip",
         epsilon: float = 1e-6,
         sample_variance: float = 1.0,
+        doppler: DopplerLike = None,
         labels: Optional[Sequence[Optional[str]]] = None,
     ) -> "SimulationPlan":
         """Build a plan from a sequence of specs with derived per-entry seeds.
@@ -258,6 +380,9 @@ class SimulationPlan:
         seeds:
             Explicit per-entry seeds (overrides ``seed``); must match
             ``len(specs)``.
+        doppler:
+            Doppler mode applied to every entry (``None``, a normalized
+            Doppler frequency, or a :class:`DopplerSpec`).
         """
         specs = list(specs)
         if seeds is not None:
@@ -281,6 +406,7 @@ class SimulationPlan:
                 f"for {len(specs)} specs"
             )
         plan = cls()
+        doppler_spec = coerce_doppler(doppler)
         for index, spec in enumerate(specs):
             plan.add(
                 spec,
@@ -289,6 +415,7 @@ class SimulationPlan:
                 psd_method=psd_method,
                 epsilon=epsilon,
                 sample_variance=sample_variance,
+                doppler=doppler_spec,
                 label=None if labels is None else labels[index],
             )
         return plan
@@ -315,9 +442,9 @@ class SimulationPlan:
     def __getitem__(self, index: int) -> PlanEntry:
         return self._entries[index]
 
-    def group_sizes(self) -> Dict[Tuple[int, str, str, float], int]:
+    def group_sizes(self) -> Dict[Tuple, int]:
         """Entries per compilation group (diagnostic)."""
-        sizes: Dict[Tuple[int, str, str, float], int] = {}
+        sizes: Dict[Tuple, int] = {}
         for entry in self._entries:
             sizes[entry.group_key] = sizes.get(entry.group_key, 0) + 1
         return sizes

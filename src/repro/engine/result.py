@@ -67,19 +67,23 @@ class BatchResult:
         report = self.compile_report
         lookups = report.cache_hits + report.cache_misses
         hit_rate = report.cache_hits / lookups if lookups else 0.0
-        return "\n".join(
-            (
-                f"BatchResult: {self.n_entries} entries x {self.n_samples} samples "
-                f"[backend={self.backend}]",
-                f"  compile: {report.n_groups} groups, "
-                f"{report.n_unique_matrices} unique matrices "
-                f"({report.deduplicated} deduplicated), "
-                f"{report.compile_seconds:.6f} s",
-                f"  decomposition cache: {report.cache_hits} hits / "
-                f"{report.cache_misses} misses ({hit_rate:.1%} hit rate)",
-                f"  execute: {self.execute_seconds:.6f} s",
+        lines = [
+            f"BatchResult: {self.n_entries} entries x {self.n_samples} samples "
+            f"[backend={self.backend}]",
+            f"  compile: {report.n_groups} groups, "
+            f"{report.n_unique_matrices} unique matrices "
+            f"({report.deduplicated} deduplicated), "
+            f"{report.compile_seconds:.6f} s",
+            f"  decomposition cache: {report.cache_hits} hits / "
+            f"{report.cache_misses} misses ({hit_rate:.1%} hit rate)",
+        ]
+        if report.doppler_entries:
+            lines.append(
+                f"  doppler filters: {report.doppler_filters_built} built / "
+                f"{report.doppler_entries} entries served"
             )
-        )
+        lines.append(f"  execute: {self.execute_seconds:.6f} s")
+        return "\n".join(lines)
 
     def stacked_samples(self) -> np.ndarray:
         """All samples as one ``(B, N, n_samples)`` array.

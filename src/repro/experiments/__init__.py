@@ -22,6 +22,7 @@ Experiments
 ``baseline-comparison``        Section 1: shortcomings of methods [1]-[6].
 ``scaling-n``                  Throughput scaling with the number of branches.
 ``scaling-batch``              Batched engine vs. looped single-spec generation.
+``scaling-doppler-batch``      Batched Doppler substrate vs. looped real-time generation.
 """
 
 from .reporting import ExperimentResult, Table

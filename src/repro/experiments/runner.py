@@ -46,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "baseline-comparison": baseline_comparison.run,
     "scaling-n": scaling.run,
     "scaling-batch": scaling.run_batch,
+    "scaling-doppler-batch": scaling.run_doppler_batch,
 }
 
 

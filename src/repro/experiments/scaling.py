@@ -1,4 +1,4 @@
-"""Experiments ``scaling-n`` and ``scaling-batch`` — throughput scaling.
+"""Experiments ``scaling-n``, ``scaling-batch``, ``scaling-doppler-batch``.
 
 The paper presents the algorithm as applicable "for an arbitrary number N of
 Rayleigh envelopes"; :func:`run` measures how the generation cost scales with
@@ -15,6 +15,17 @@ decompositions cached).  The experiment's *acceptance criterion* is
 bit-identity of the batched and looped samples — deterministic, so the
 registry sweep never depends on host timing; the speedups and cache counters
 are reported as metrics and exercised by ``bench_engine_batch``.
+
+:func:`run_doppler_batch` is the Doppler-mode analogue: the same ``B``
+scenarios are generated once by looping
+:class:`repro.core.realtime.RealTimeRayleighGenerator` (per scenario: one
+Young–Beaulieu filter build, one decomposition, one ``(N, M)`` IDFT
+dispatch, one coloring matmul) and once as a Doppler plan of the batched
+engine (one shared filter build, stacked decompositions, one stacked IDFT
+over all ``B·N`` branches, one stacked coloring matmul).  Acceptance is
+again bit-identity; the filter-reuse counters (``doppler_filters_built`` vs
+``doppler_entries``) and speedups are metrics, exercised by
+``bench_doppler_batch``.
 """
 
 from __future__ import annotations
@@ -26,12 +37,18 @@ import numpy as np
 from ..core.covariance import CovarianceSpec
 from ..core.generator import RayleighFadingGenerator
 from ..core.realtime import RealTimeRayleighGenerator
-from ..engine import DecompositionCache, SimulationEngine, SimulationPlan
+from ..engine import DecompositionCache, DopplerSpec, SimulationEngine, SimulationPlan
 from ..validation.metrics import relative_frobenius_error
 from . import paper_values as pv
 from .reporting import ExperimentResult, Table
 
-__all__ = ["run", "run_batch", "batch_sweep_specs", "exponential_correlation_covariance"]
+__all__ = [
+    "run",
+    "run_batch",
+    "run_doppler_batch",
+    "batch_sweep_specs",
+    "exponential_correlation_covariance",
+]
 
 
 def exponential_correlation_covariance(n: int, rho: complex = 0.5 + 0.3j) -> np.ndarray:
@@ -322,6 +339,161 @@ def run_batch(
             "matrices, short blocks) the engine targets; as blocks grow, both paths "
             "converge to the RNG-bound cost and the ratio approaches 1. The "
             "bench_engine_batch benchmark tracks the >=5x speedup target at B=256."
+        ),
+    )
+    result.add_table(table)
+    return result
+
+
+def run_doppler_batch(
+    seed: int = 20050413,
+    batch_sizes=(1, 16, 256),
+    n_branches: int = 4,
+    n_points: int = 128,
+    normalized_doppler: float = pv.NORMALIZED_DOPPLER,
+    repeats: int = 3,
+    backend: str = "numpy",
+) -> ExperimentResult:
+    """Run the batched-Doppler vs. looped real-time generation sweep.
+
+    For every batch size ``B`` the same scenarios (distinct matrices,
+    independent derived seeds, a shared Doppler mode) are generated three
+    ways:
+
+    * **looped** — one :class:`RealTimeRayleighGenerator` per spec with a
+      disabled decomposition cache: every scenario pays its own filter
+      build, its own decomposition, its own IDFT dispatch, and its own
+      coloring matmul — the pre-engine execution model;
+    * **batched warm** — one Doppler plan through plan → compile → execute
+      with every decomposition cached (one shared filter build, one stacked
+      IDFT over all ``B·N`` branch blocks, one stacked coloring matmul);
+    * **execute only** — re-executing the already-compiled plan.
+
+    Passing requires the batched samples to be bit-identical to the looped
+    samples for every entry at every ``B``.  Speedups and the Doppler
+    filter-reuse counters (filters built vs. entries served) are recorded as
+    metrics; the CLI ``batch --doppler`` mode prints them.
+    """
+    doppler = DopplerSpec(
+        normalized_doppler=float(normalized_doppler), n_points=int(n_points)
+    )
+    table = Table(
+        title="Batched Doppler substrate vs. looped real-time generation",
+        columns=[
+            "B",
+            "looped [s]",
+            "batch warm [s]",
+            "execute only [s]",
+            "speedup warm",
+            "speedup execute",
+            "filters built",
+            "entries served",
+            "identical",
+        ],
+    )
+    metrics = {}
+    all_identical = True
+    total_filters_built = 0
+    total_entries_served = 0
+
+    for batch_size in batch_sizes:
+        specs = batch_sweep_specs(batch_size, n_branches)
+        plan = SimulationPlan.from_specs(specs, seed=seed + batch_size, doppler=doppler)
+        entry_seeds = [entry.seed for entry in plan]
+
+        # Looped baseline: per-spec real-time generators with caching
+        # disabled (the pre-engine model pays a decomposition and N + 1
+        # filter builds per generator, and runs one IDFT per branch).
+        looped_time, looped_blocks = _best_time(
+            lambda: [
+                RealTimeRayleighGenerator(
+                    spec,
+                    normalized_doppler=doppler.normalized_doppler,
+                    n_points=doppler.n_points,
+                    rng=entry_seed,
+                    cache=DecompositionCache(maxsize=0),
+                ).generate_gaussian(1)
+                for spec, entry_seed in zip(specs, entry_seeds)
+            ],
+            repeats,
+        )
+
+        engine = SimulationEngine(cache=DecompositionCache(), backend=backend)
+        engine.run(plan, n_points)  # populate the decomposition cache
+        warm_time, warm = _best_time(lambda: engine.run(plan, n_points), repeats)
+
+        compiled = engine.compile(plan)
+        execute_time, executed = _best_time(
+            lambda: engine.run(compiled, n_points), repeats
+        )
+
+        identical = all(
+            np.array_equal(looped.samples, batched.samples)
+            and np.array_equal(looped.samples, direct.samples)
+            for looped, batched, direct in zip(
+                looped_blocks, warm.blocks, executed.blocks
+            )
+        )
+        all_identical &= identical
+
+        speedup_warm = looped_time / warm_time
+        speedup_execute = looped_time / execute_time
+        filters_built = warm.compile_report.doppler_filters_built
+        entries_served = warm.compile_report.doppler_entries
+        table.add_row(
+            batch_size,
+            looped_time,
+            warm_time,
+            execute_time,
+            speedup_warm,
+            speedup_execute,
+            filters_built,
+            entries_served,
+            identical,
+        )
+        metrics[f"looped_time_b{batch_size}"] = looped_time
+        metrics[f"batch_warm_time_b{batch_size}"] = warm_time
+        metrics[f"execute_only_time_b{batch_size}"] = execute_time
+        metrics[f"speedup_warm_b{batch_size}"] = speedup_warm
+        metrics[f"speedup_execute_b{batch_size}"] = speedup_execute
+        metrics[f"doppler_filters_built_b{batch_size}"] = float(filters_built)
+        metrics[f"doppler_entries_b{batch_size}"] = float(entries_served)
+        total_filters_built += int(filters_built)
+        total_entries_served += int(entries_served)
+
+    metrics["doppler_filters_built_total"] = float(total_filters_built)
+    metrics["doppler_entries_total"] = float(total_entries_served)
+
+    result = ExperimentResult(
+        experiment_id="scaling-doppler-batch",
+        paper_artifact=(
+            "Scaling extension: batched Doppler substrate (stacked IDFTs) over the "
+            "Section 5 real-time algorithm"
+        ),
+        description=(
+            "Wall-clock comparison of the batched Doppler substrate (one shared "
+            "Young-Beaulieu filter + one stacked IDFT over all branches of all "
+            "scenarios + stacked coloring matmul with Eq. (19) compensation) "
+            "against looping the real-time generator over B scenarios, with "
+            "bit-identity of the two paths as the acceptance criterion."
+        ),
+        parameters={
+            "batch_sizes": list(batch_sizes),
+            "n_branches": n_branches,
+            "n_points": int(n_points),
+            "normalized_doppler": float(normalized_doppler),
+            "seed": seed,
+            "backend": backend,
+        },
+        metrics=metrics,
+        passed=all_identical,
+        notes=(
+            "Speedups are informational (host-dependent); the acceptance criterion "
+            "is bit-identity of batched and looped samples for the same per-entry "
+            "seeds. The looped path pays B filter builds, B decompositions, and B "
+            "separate IDFT dispatches where the batched path pays one build, "
+            "stacked decompositions, and one stacked transform. The "
+            "bench_doppler_batch benchmark tracks the >=3x speedup target at B=256."
         ),
     )
     result.add_table(table)

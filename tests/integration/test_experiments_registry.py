@@ -18,6 +18,7 @@ FAST_KWARGS = {
     "baseline-comparison": {},
     "scaling-n": {"branch_counts": (2, 8, 32), "snapshot_samples": 20_000},
     "scaling-batch": {"batch_sizes": (1, 8), "n_samples": 128},
+    "scaling-doppler-batch": {"batch_sizes": (1, 8), "n_points": 64},
 }
 
 
@@ -38,6 +39,7 @@ class TestRegistry:
             "baseline-comparison",
             "scaling-n",
             "scaling-batch",
+            "scaling-doppler-batch",
         }
         assert expected == set(list_experiments())
 

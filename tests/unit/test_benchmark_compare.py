@@ -1,0 +1,146 @@
+"""Unit tests for the CI benchmark median-regression comparator.
+
+``benchmarks/compare_benchmarks.py`` is the script the CI benchmarks job
+runs against the previous run's artifact; it must fail only on genuine
+median regressions and degrade gracefully when there is nothing to compare.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "compare_benchmarks.py"
+)
+_spec = importlib.util.spec_from_file_location("compare_benchmarks", _MODULE_PATH)
+compare_benchmarks = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_benchmarks)
+
+
+def _write_report(path, medians):
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf8")
+    return path
+
+
+class TestLoadMedians:
+    def test_loads_name_to_median_mapping(self, tmp_path):
+        path = _write_report(tmp_path / "r.json", {"bench_a": 0.5, "bench_b": 1.25})
+        assert compare_benchmarks.load_medians(path) == {
+            "bench_a": 0.5,
+            "bench_b": 1.25,
+        }
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert compare_benchmarks.load_medians(tmp_path / "absent.json") is None
+
+    def test_malformed_json_returns_none(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf8")
+        assert compare_benchmarks.load_medians(path) is None
+
+    def test_non_benchmark_payload_returns_none(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"something": "else"}), encoding="utf8")
+        assert compare_benchmarks.load_medians(path) is None
+
+    def test_entries_without_stats_are_skipped(self, tmp_path):
+        path = tmp_path / "partial.json"
+        payload = {
+            "benchmarks": [
+                {"name": "ok", "stats": {"median": 2.0}},
+                {"name": "broken"},
+            ]
+        }
+        path.write_text(json.dumps(payload), encoding="utf8")
+        assert compare_benchmarks.load_medians(path) == {"ok": 2.0}
+
+
+class TestCompareMedians:
+    def test_within_threshold_passes(self):
+        regressions, notes = compare_benchmarks.compare_medians(
+            {"a": 1.0}, {"a": 1.2}, threshold=0.25
+        )
+        assert regressions == []
+        assert notes == []
+
+    def test_regression_beyond_threshold_reported(self):
+        regressions, _ = compare_benchmarks.compare_medians(
+            {"a": 1.0, "b": 1.0}, {"a": 1.5, "b": 0.9}, threshold=0.25
+        )
+        assert len(regressions) == 1
+        assert regressions[0].startswith("a:")
+
+    def test_speedups_never_fail(self):
+        regressions, _ = compare_benchmarks.compare_medians(
+            {"a": 1.0}, {"a": 0.1}, threshold=0.25
+        )
+        assert regressions == []
+
+    def test_new_and_removed_benchmarks_are_notes_not_failures(self):
+        regressions, notes = compare_benchmarks.compare_medians(
+            {"old": 1.0}, {"new": 1.0}, threshold=0.25
+        )
+        assert regressions == []
+        assert len(notes) == 2
+
+    def test_boundary_is_not_a_regression(self):
+        # Exactly +25% stays within a 25% threshold (strict inequality).
+        regressions, _ = compare_benchmarks.compare_medians(
+            {"a": 1.0}, {"a": 1.25}, threshold=0.25
+        )
+        assert regressions == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_benchmarks.compare_medians({}, {}, threshold=-0.1)
+
+
+class TestMain:
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 2.0})
+        code = compare_benchmarks.main([str(previous), str(current)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "regression" in out
+
+    def test_clean_comparison_exits_zero(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 1.05})
+        code = compare_benchmarks.main([str(previous), str(current)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_missing_baseline_skips_gracefully(self, tmp_path, capsys):
+        current = _write_report(tmp_path / "cur.json", {"a": 1.0})
+        code = compare_benchmarks.main(
+            [str(tmp_path / "absent.json"), str(current)]
+        )
+        assert code == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_missing_current_fails(self, tmp_path):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        code = compare_benchmarks.main(
+            [str(previous), str(tmp_path / "absent.json")]
+        )
+        assert code == 1
+
+    def test_custom_threshold_respected(self, tmp_path):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 1.4})
+        assert compare_benchmarks.main([str(previous), str(current)]) == 1
+        assert (
+            compare_benchmarks.main(
+                [str(previous), str(current), "--threshold", "0.5"]
+            )
+            == 0
+        )

@@ -146,3 +146,47 @@ class TestBatchCacheSummary:
         assert code == 0
         assert "decomposition cache:" in out
         assert "hit rate" in out
+
+
+class TestBatchDopplerMode:
+    def test_doppler_flags_parse(self):
+        args = build_parser().parse_args(
+            ["batch", "--doppler", "--fm", "0.1", "--points", "128"]
+        )
+        assert args.doppler is True
+        assert args.fm == 0.1
+        assert args.points == 128
+
+    def test_doppler_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.doppler is False
+        assert args.fm == 0.05
+        assert args.points == 128
+
+    def test_doppler_batch_runs_and_reports_filter_reuse(self, capsys):
+        code = main(
+            ["batch", "--doppler", "--batch-sizes", "1,4", "--points", "64",
+             "--repeats", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scaling-doppler-batch" in out
+        assert "doppler filters:" in out
+        assert "entries served" in out
+
+    def test_doppler_batch_accepts_backend(self, capsys):
+        code = main(
+            ["batch", "--doppler", "--batch-sizes", "1", "--points", "64",
+             "--repeats", "1", "--backend", "scipy"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scipy" in out
+
+    def test_doppler_rejects_out_of_range_fm(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--doppler", "--fm", "0.6", "--repeats", "1"])
+
+    def test_doppler_rejects_tiny_block(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--doppler", "--points", "4", "--repeats", "1"])

@@ -134,3 +134,44 @@ class TestStatisticalProperties:
         # Powers equal sigma_g^2 * requested ( = sigma_g^2 ), not 1.
         assert np.allclose(powers, sigma_g2, rtol=0.15)
         assert np.all(powers < 0.01)
+
+
+class TestBackendAndCache:
+    """The realtime generator rides the batched substrate and engine seam."""
+
+    def test_scipy_backend_bit_identical(self):
+        pytest.importorskip("scipy")
+        covariance = np.array([[1.0, 0.5 + 0.3j], [0.5 - 0.3j, 1.0]])
+        reference = RealTimeRayleighGenerator(
+            covariance, normalized_doppler=0.05, n_points=256, rng=11
+        ).generate(2)
+        via_scipy = RealTimeRayleighGenerator(
+            covariance, normalized_doppler=0.05, n_points=256, rng=11, backend="scipy"
+        ).generate(2)
+        assert np.array_equal(reference, via_scipy)
+
+    def test_unknown_backend_rejected(self):
+        from repro.exceptions import BackendError
+
+        covariance = np.eye(2, dtype=complex)
+        with pytest.raises(BackendError):
+            RealTimeRayleighGenerator(
+                covariance, normalized_doppler=0.05, n_points=64, backend="nope"
+            )
+
+    def test_private_cache_isolates_decompositions(self):
+        from repro.engine import DecompositionCache
+
+        covariance = np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
+        cache = DecompositionCache()
+        RealTimeRayleighGenerator(
+            covariance, normalized_doppler=0.05, n_points=64, rng=1, cache=cache
+        )
+        assert len(cache) == 1
+        # Disabled cache: construction still works, nothing is stored.
+        disabled = DecompositionCache(maxsize=0)
+        generator = RealTimeRayleighGenerator(
+            covariance, normalized_doppler=0.05, n_points=64, rng=1, cache=disabled
+        )
+        assert len(disabled) == 0
+        assert generator.generate(1).shape == (2, 64)

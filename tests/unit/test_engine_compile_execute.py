@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.channels.doppler import filter_output_variance, young_beaulieu_filter
 from repro.core import CovarianceSpec
 from repro.engine import (
     DecompositionCache,
+    DopplerSpec,
     SimulationEngine,
     SimulationPlan,
     compile_plan,
@@ -72,6 +74,71 @@ class TestCompile:
         compiled = compile_plan(mixed_plan, cache=DecompositionCache())
         with pytest.raises(IndexError):
             compiled.decomposition_for(99)
+
+
+class TestCompileDoppler:
+    @pytest.fixture()
+    def doppler_plan(self):
+        """Two Doppler groups sharing one filter build, plus a snapshot entry."""
+        doppler = DopplerSpec(normalized_doppler=0.05, n_points=64)
+        plan = SimulationPlan()
+        plan.add(_matrix(1.0), seed=1, doppler=doppler)
+        plan.add(_matrix(2.0), seed=2, doppler=doppler)
+        plan.add(_matrix(1.0, size=3), seed=3, doppler=doppler)  # other N, same filter
+        plan.add(_matrix(1.0), seed=4)  # snapshot
+        return plan
+
+    def test_doppler_groups_carry_shared_filter(self, doppler_plan):
+        compiled = compile_plan(doppler_plan, cache=DecompositionCache())
+        doppler_groups = [group for group in compiled.groups if group.is_doppler]
+        assert len(doppler_groups) == 2  # N = 2 and N = 3 stack separately
+        expected = young_beaulieu_filter(64, 0.05)
+        for group in doppler_groups:
+            assert np.array_equal(group.doppler_filter, expected)
+        # Same (M, f_m, sigma_orig^2): the filter is literally shared.
+        assert doppler_groups[0].doppler_filter is doppler_groups[1].doppler_filter
+
+    def test_filter_reuse_counters(self, doppler_plan):
+        compiled = compile_plan(doppler_plan, cache=DecompositionCache())
+        assert compiled.report.doppler_filters_built == 1
+        assert compiled.report.doppler_entries == 3
+
+    def test_snapshot_only_plan_reports_zero_doppler_work(self, mixed_plan):
+        compiled = compile_plan(mixed_plan, cache=DecompositionCache())
+        assert compiled.report.doppler_filters_built == 0
+        assert compiled.report.doppler_entries == 0
+
+    def test_distinct_filter_keys_build_distinct_filters(self):
+        plan = SimulationPlan()
+        plan.add(_matrix(1.0), seed=1, doppler=DopplerSpec(0.05, 64))
+        plan.add(_matrix(2.0), seed=2, doppler=DopplerSpec(0.1, 64))
+        plan.add(_matrix(3.0), seed=3, doppler=DopplerSpec(0.05, 128))
+        compiled = compile_plan(plan, cache=DecompositionCache())
+        assert compiled.report.doppler_filters_built == 3
+        assert compiled.report.doppler_entries == 3
+
+    def test_effective_variances_apply_eq19_compensation(self):
+        plan = SimulationPlan()
+        plan.add(_matrix(1.0), seed=1, doppler=DopplerSpec(0.05, 64))
+        plan.add(
+            _matrix(2.0), seed=2, doppler=DopplerSpec(0.05, 64, compensate_variance=False)
+        )
+        compiled = compile_plan(plan, cache=DecompositionCache())
+        (group,) = compiled.groups
+        expected = filter_output_variance(young_beaulieu_filter(64, 0.05), 0.5)
+        assert group.doppler_output_variance == pytest.approx(expected)
+        assert group.sample_variances[0] == pytest.approx(expected)
+        assert group.sample_variances[1] == 1.0
+
+    def test_summary_reports_filter_reuse(self, doppler_plan):
+        engine = SimulationEngine(cache=DecompositionCache())
+        summary = engine.run(doppler_plan, 8).summary()
+        assert "doppler filters: 1 built / 3 entries served" in summary
+
+    def test_snapshot_summary_omits_doppler_line(self, mixed_plan):
+        engine = SimulationEngine(cache=DecompositionCache())
+        summary = engine.run(mixed_plan, 8).summary()
+        assert "doppler filters" not in summary
 
 
 class TestExecute:

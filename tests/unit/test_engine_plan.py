@@ -5,8 +5,8 @@ import pytest
 
 from repro.channels import MIMOArrayScenario, ScenarioSweep
 from repro.core import CovarianceSpec
-from repro.engine import PlanEntry, SimulationPlan
-from repro.exceptions import SpecificationError
+from repro.engine import DopplerSpec, PlanEntry, SimulationPlan
+from repro.exceptions import DopplerError, FilterDesignError, SpecificationError
 
 
 @pytest.fixture()
@@ -39,13 +39,76 @@ class TestPlanEntry:
 
     def test_group_key_contents(self, spec):
         entry = PlanEntry(spec=spec, coloring_method="svd", psd_method="epsilon")
-        assert entry.group_key == (2, "svd", "epsilon", 1e-6)
+        assert entry.group_key == (2, "svd", "epsilon", 1e-6, None)
 
     def test_with_seed_copies(self, spec):
         entry = PlanEntry(spec=spec, seed=1)
         other = entry.with_seed(2)
         assert other.seed == 2 and entry.seed == 1
         assert other.spec is entry.spec
+
+
+class TestDopplerSpec:
+    def test_defaults_match_the_paper(self):
+        doppler = DopplerSpec(normalized_doppler=0.05)
+        assert doppler.n_points == 4096
+        assert doppler.input_variance_per_dim == 0.5
+        assert doppler.compensate_variance is True
+
+    @pytest.mark.parametrize("bad_fm", [0.0, -0.1, 0.5, 0.7])
+    def test_rejects_out_of_range_doppler(self, bad_fm):
+        with pytest.raises(DopplerError):
+            DopplerSpec(normalized_doppler=bad_fm, n_points=64)
+
+    def test_rejects_empty_passband(self):
+        # f_m * M < 1: no DFT bin inside the Doppler band.
+        with pytest.raises(FilterDesignError):
+            DopplerSpec(normalized_doppler=0.001, n_points=64)
+
+    def test_rejects_bad_input_variance(self):
+        with pytest.raises(SpecificationError):
+            DopplerSpec(normalized_doppler=0.05, n_points=64, input_variance_per_dim=0.0)
+
+    def test_filter_key_excludes_compensation_flag(self):
+        on = DopplerSpec(normalized_doppler=0.05, n_points=64)
+        off = DopplerSpec(normalized_doppler=0.05, n_points=64, compensate_variance=False)
+        assert on.filter_key == off.filter_key == (64, 0.05, 0.5)
+
+    def test_doppler_entry_group_key(self, spec):
+        entry = PlanEntry(spec=spec, doppler=DopplerSpec(0.05, n_points=64))
+        assert entry.group_key == (2, "eigen", "clip", 1e-6, (64, 0.05, 0.5))
+
+    def test_doppler_entry_rejects_custom_sample_variance(self, spec):
+        with pytest.raises(SpecificationError, match="sample variance"):
+            PlanEntry(spec=spec, doppler=DopplerSpec(0.05, n_points=64), sample_variance=2.0)
+
+    def test_doppler_entry_rejects_wrong_type(self, spec):
+        with pytest.raises(SpecificationError):
+            PlanEntry(spec=spec, doppler=0.05)  # only DopplerSpec on the entry itself
+
+    def test_plan_add_coerces_bare_frequency(self, spec):
+        plan = SimulationPlan()
+        plan.add(spec, doppler=0.05)
+        assert plan[0].doppler == DopplerSpec(normalized_doppler=0.05)
+
+    def test_plan_add_rejects_bad_doppler_value(self, spec):
+        plan = SimulationPlan()
+        with pytest.raises(SpecificationError, match="doppler"):
+            plan.add(spec, doppler="fast")
+
+    def test_from_specs_applies_doppler_to_every_entry(self, spec):
+        doppler = DopplerSpec(normalized_doppler=0.1, n_points=128)
+        plan = SimulationPlan.from_specs([spec, spec], seed=3, doppler=doppler)
+        assert all(entry.doppler == doppler for entry in plan)
+
+    def test_doppler_and_snapshot_entries_group_separately(self, spec):
+        plan = SimulationPlan()
+        plan.add(spec)
+        plan.add(spec, doppler=DopplerSpec(0.05, n_points=64))
+        plan.add(spec, doppler=DopplerSpec(0.05, n_points=64))
+        sizes = plan.group_sizes()
+        assert sizes[(2, "eigen", "clip", 1e-6, None)] == 1
+        assert sizes[(2, "eigen", "clip", 1e-6, (64, 0.05, 0.5))] == 2
 
 
 class TestSimulationPlan:
@@ -92,9 +155,9 @@ class TestSimulationPlan:
         plan.add(spec, coloring_method="svd")
         plan.add(np.eye(3, dtype=complex))
         sizes = plan.group_sizes()
-        assert sizes[(2, "eigen", "clip", 1e-6)] == 1
-        assert sizes[(2, "svd", "clip", 1e-6)] == 1
-        assert sizes[(3, "eigen", "clip", 1e-6)] == 1
+        assert sizes[(2, "eigen", "clip", 1e-6, None)] == 1
+        assert sizes[(2, "svd", "clip", 1e-6, None)] == 1
+        assert sizes[(3, "eigen", "clip", 1e-6, None)] == 1
 
     def test_iteration_and_len(self, spec):
         plan = SimulationPlan()

@@ -92,6 +92,7 @@ from .engine import (
     BatchResult,
     CacheStats,
     DecompositionCache,
+    DopplerFilterCache,
     DopplerSpec,
     LinalgBackend,
     PlanEntry,
@@ -148,6 +149,7 @@ __all__ = [
     "BatchResult",
     "CacheStats",
     "DecompositionCache",
+    "DopplerFilterCache",
     "LinalgBackend",
     "PlanEntry",
     "SimulationEngine",

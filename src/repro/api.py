@@ -45,11 +45,12 @@ import asyncio
 import functools
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
-from .config import DEFAULTS, NumericDefaults
+from .config import DEFAULTS, NumericDefaults, cache_dir_from_env
 from .engine import (
     BackendSpec,
     BatchResult,
@@ -70,7 +71,10 @@ RunnableWork = Union[SimulationPlan, CompiledPlan, "ScenarioSweepLike"]
 
 
 def _run_subplan(
-    subplan: SimulationPlan, n_samples: int, backend: LinalgBackend
+    subplan: SimulationPlan,
+    n_samples: int,
+    backend: LinalgBackend,
+    cache_dir: Optional[str] = None,
 ) -> BatchResult:
     """Worker: compile and execute one sub-plan with a private engine.
 
@@ -78,10 +82,20 @@ def _run_subplan(
     backend instance itself travels to the worker (the built-in backends
     reduce to their constructor arguments), so unregistered instances —
     custom subclasses, non-default scipy drivers — work identically in
-    parallel and in-process runs.  Each worker uses its own decomposition
-    cache (process-wide caches are not shared across processes).
+    parallel and in-process runs.  Each worker uses its own in-memory
+    decomposition cache (process-wide caches are not shared across
+    processes), but when the parent session has a persistent ``cache_dir``
+    every worker attaches the same disk tier, so workers *do* share
+    decompositions and Doppler filters through the filesystem (disk writes
+    are atomic and corrupt reads degrade to misses).  The parent decides
+    what to forward — explicit argument, an explicit cache's own disk
+    tier, or ``REPRO_CACHE_DIR`` for default-cache sessions — so an
+    explicitly memory-only session stays memory-only in workers too.
     """
-    engine = SimulationEngine(cache=DecompositionCache(), backend=backend)
+    if cache_dir is None:
+        engine = SimulationEngine(cache=DecompositionCache(), backend=backend)
+    else:
+        engine = SimulationEngine(cache_dir=cache_dir, backend=backend)
     return engine.run(subplan, n_samples)
 
 
@@ -116,6 +130,9 @@ def _merge_results(
             p.compile_report.doppler_filters_built for p in partials
         ),
         doppler_entries=sum(p.compile_report.doppler_entries for p in partials),
+        doppler_filter_cache_hits=sum(
+            p.compile_report.doppler_filter_cache_hits for p in partials
+        ),
     )
     return BatchResult(
         blocks=tuple(blocks),
@@ -141,6 +158,15 @@ class Simulator:
         Decomposition cache shared by every run of this session.  ``None``
         uses the process-wide cache; pass ``DecompositionCache(maxsize=0)``
         to disable reuse.
+    cache_dir:
+        Persistent artifact-cache directory for this session: builds a
+        private :class:`DecompositionCache` and Young–Beaulieu filter cache
+        whose entries spill to disk under it, so repeated processes sharing
+        the directory skip recompilation (see the README's "Caching &
+        persistence").  Conflicts with an explicit ``cache`` — construct
+        ``DecompositionCache(cache_dir=...)`` yourself to mix.  ``None``
+        (default) leaves caching in-memory unless the ``REPRO_CACHE_DIR``
+        environment variable configured the process-wide caches.
     max_workers:
         Worker budget.  ``None`` or 1 keeps everything in-process;
         larger values let :meth:`run` partition plans across a process pool
@@ -164,12 +190,25 @@ class Simulator:
         *,
         backend: BackendSpec = None,
         cache: Optional[DecompositionCache] = None,
+        cache_dir: Union[None, str, "Path"] = None,
         max_workers: Optional[int] = None,
         defaults: NumericDefaults = DEFAULTS,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise SpecificationError(f"max_workers must be >= 1, got {max_workers}")
-        self._engine = SimulationEngine(cache=cache, defaults=defaults, backend=backend)
+        self._engine = SimulationEngine(
+            cache=cache, defaults=defaults, backend=backend, cache_dir=cache_dir
+        )
+        # The directory process-pool workers attach their disk tier to:
+        # the explicit argument; the disk tier a caller-supplied cache
+        # already carries (DecompositionCache(cache_dir=...) mixed in by
+        # hand) — which also keeps an explicitly memory-only cache
+        # memory-only in workers; or, for default-cache sessions only,
+        # REPRO_CACHE_DIR — mirroring what the parent's own default caches
+        # attach.
+        if cache_dir is None:
+            cache_dir = cache.cache_dir if cache is not None else cache_dir_from_env()
+        self._cache_dir = None if cache_dir is None else str(cache_dir)
         self._defaults = defaults
         self._max_workers = max_workers
         self._thread_pool: Optional[ThreadPoolExecutor] = None
@@ -193,6 +232,11 @@ class Simulator:
     def cache_stats(self):
         """Snapshot of the session cache's hit/miss/eviction counters."""
         return self._engine.cache_stats
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        """The session's persistent cache directory (``None`` if in-memory)."""
+        return self._cache_dir
 
     @property
     def max_workers(self) -> Optional[int]:
@@ -291,7 +335,9 @@ class Simulator:
         try:
             with ProcessPoolExecutor(max_workers=len(subplans)) as pool:
                 futures = [
-                    pool.submit(_run_subplan, subplan, n_samples, backend)
+                    pool.submit(
+                        _run_subplan, subplan, n_samples, backend, self._cache_dir
+                    )
                     for subplan in subplans
                 ]
                 partials = [future.result() for future in futures]

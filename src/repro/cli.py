@@ -19,6 +19,11 @@ Subcommands
     looped real-time generation vs. the batched IDFT substrate, with the
     Doppler filter-reuse counters (filters built vs. entries served)
     reported alongside the speedups.
+``cache {stats,clear} [--cache-dir DIR]``
+    Inspect or empty the persistent artifact cache (decomposition and
+    Doppler-filter ``.npz`` spill).  The directory comes from
+    ``--cache-dir`` or, when omitted, the ``REPRO_CACHE_DIR`` environment
+    variable.
 
 All output is plain text; the experiments regenerate the paper's tables and
 figures as numbers (and ASCII traces with ``--ascii-plots``).
@@ -26,8 +31,10 @@ figures as numbers (and ASCII traces with ``--ascii-plots``).
 ``--version`` prints the package version.  ``run`` and ``batch`` accept
 ``--backend`` to select the engine's linalg backend (``numpy`` default,
 ``scipy``, import-gated GPU backends); experiments that never touch the
-batched engine ignore it.  The ``batch`` summary ends with the
-decomposition cache's aggregate hit/miss counters for the run.
+batched engine ignore it, and ``--cache-dir`` to attach the persistent disk
+tier to the process-wide caches for the invocation (equivalent to setting
+``REPRO_CACHE_DIR``).  The ``batch`` summary ends with the decomposition
+cache's aggregate hit/miss counters for the run.
 """
 
 from __future__ import annotations
@@ -51,6 +58,33 @@ def _backend_argument(parser: argparse.ArgumentParser) -> None:
         help="linalg backend for the batched engine (e.g. numpy, scipy); "
         "see repro.engine.available_backends()",
     )
+
+
+def _cache_dir_argument(parser: argparse.ArgumentParser) -> None:
+    """Add the shared ``--cache-dir`` option (persistent artifact cache)."""
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory of the persistent artifact cache (decomposition and "
+        "Doppler-filter spill); defaults to $REPRO_CACHE_DIR when set",
+    )
+
+
+def _attach_cache_dir(cache_dir: Optional[Path]) -> None:
+    """Attach a persistent disk tier to the process-wide caches.
+
+    ``--cache-dir`` is the per-invocation equivalent of exporting
+    ``REPRO_CACHE_DIR`` before the run: the process-wide decomposition and
+    Doppler-filter caches gain (or, with ``None`` and no environment
+    variable, keep their lazily-resolved) disk tier under the directory.
+    """
+    if cache_dir is None:
+        return
+    from .engine import default_decomposition_cache, default_filter_cache
+
+    default_decomposition_cache().set_cache_dir(cache_dir)
+    default_filter_cache().set_cache_dir(cache_dir)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="render numeric series as ASCII plots in the report",
     )
     _backend_argument(run_parser)
+    _cache_dir_argument(run_parser)
 
     export_parser = subparsers.add_parser(
         "export", help="run an experiment and write its report and series to files"
@@ -133,8 +168,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="IDFT block length M for --doppler (default: 128)",
     )
     _backend_argument(batch_parser)
+    _cache_dir_argument(batch_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    cache_parser.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="stats: print per-tier entry counts and sizes; clear: remove "
+        "every persisted entry",
+    )
+    _cache_dir_argument(cache_parser)
 
     return parser
+
+
+def _resolved_cache_dir(cache_dir: Optional[Path]) -> Path:
+    """The cache directory from ``--cache-dir`` or ``REPRO_CACHE_DIR``."""
+    from .config import CACHE_DIR_ENV, cache_dir_from_env
+
+    resolved = cache_dir if cache_dir is not None else cache_dir_from_env()
+    if resolved is None:
+        raise SystemExit(
+            f"no cache directory: pass --cache-dir or set {CACHE_DIR_ENV}"
+        )
+    return resolved
+
+
+def _run_cache_command(action: str, cache_dir: Optional[Path]) -> int:
+    """Implement ``repro-experiments cache {stats,clear}``."""
+    from .engine import DecompositionCache, DopplerFilterCache
+
+    resolved = _resolved_cache_dir(cache_dir)
+    # maxsize=0: these handles only inspect/maintain the disk tier; nothing
+    # is promoted into (or counted against) an in-memory LRU.
+    decompositions = DecompositionCache(maxsize=0, cache_dir=resolved)
+    filters = DopplerFilterCache(cache_dir=resolved)
+
+    if action == "clear":
+        removed = decompositions.clear_disk() + filters.clear_disk()
+        print(f"cache cleared: removed {removed} entries under {resolved}")
+        return 0
+
+    stats = decompositions.stats
+    filter_entries, filter_bytes = filters.disk_usage()
+    print(f"cache directory: {resolved}")
+    print(
+        f"  decompositions: {stats.disk_entries} entries, "
+        f"{stats.disk_bytes / 1024:.1f} KiB"
+    )
+    print(
+        f"  doppler filters: {filter_entries} entries, "
+        f"{filter_bytes / 1024:.1f} KiB"
+    )
+    return 0
 
 
 def _run_ids(requested: List[str]) -> List[str]:
@@ -158,7 +246,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(experiment_id)
         return 0
 
+    if args.command == "cache":
+        return _run_cache_command(args.action, args.cache_dir)
+
     if args.command == "run":
+        _attach_cache_dir(args.cache_dir)
         exit_code = 0
         for experiment_id in _run_ids(list(args.experiments)):
             kwargs = {} if args.seed is None else {"seed": args.seed}
@@ -174,6 +266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "batch":
         from .experiments.scaling import run_batch, run_doppler_batch
 
+        _attach_cache_dir(args.cache_dir)
         try:
             batch_sizes = tuple(
                 int(token) for token in str(args.batch_sizes).split(",") if token.strip()

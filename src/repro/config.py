@@ -1,4 +1,4 @@
-"""Library-wide numeric defaults and tolerances.
+"""Library-wide numeric defaults, tolerances, and environment configuration.
 
 Centralizing the tolerances keeps the numerical behaviour of the package
 consistent:  the same Hermitian-symmetry tolerance is used when *checking*
@@ -10,13 +10,42 @@ The values are module-level constants grouped in a frozen dataclass so they
 can be read as ``config.DEFAULTS.hermitian_atol`` or overridden locally by
 constructing a new :class:`NumericDefaults` and passing it to the few
 functions that accept one.
+
+Environment configuration is read through small helpers so every consumer
+agrees on the variable names: ``REPRO_CACHE_DIR`` selects the directory of
+the persistent artifact cache (decomposition and Doppler-filter spill;
+:func:`cache_dir_from_env`), equivalent to the CLI's ``--cache-dir`` and the
+``cache_dir=`` argument of :class:`repro.api.Simulator`.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional
 
-__all__ = ["NumericDefaults", "DEFAULTS", "with_overrides"]
+__all__ = [
+    "NumericDefaults",
+    "DEFAULTS",
+    "with_overrides",
+    "CACHE_DIR_ENV",
+    "cache_dir_from_env",
+]
+
+#: Environment variable naming the persistent artifact-cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def cache_dir_from_env() -> Optional[Path]:
+    """The persistent cache directory named by ``REPRO_CACHE_DIR``, if any.
+
+    Returns ``None`` when the variable is unset or blank.  The directory is
+    not created here — the cache tiers create it lazily on first write — so
+    merely importing the package never touches the filesystem.
+    """
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(value) if value else None
 
 
 @dataclass(frozen=True)

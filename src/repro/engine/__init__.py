@@ -30,6 +30,14 @@ sweeps and Monte-Carlo grids:
     (``"numpy"`` default, ``"scipy"`` LAPACK-driver variant, import-gated
     GPU backends) so backend choice is a constructor argument of
     :class:`SimulationEngine` / :class:`repro.api.Simulator`.
+:mod:`repro.engine.cache` / :mod:`repro.engine.filters`
+    The two artifact caches compilation leans on: the content-hashed LRU
+    :class:`DecompositionCache` and the process-wide
+    :class:`DopplerFilterCache` of Young–Beaulieu filters.  Both take an
+    optional ``cache_dir`` (CLI ``--cache-dir``, env ``REPRO_CACHE_DIR``)
+    spilling entries as digest-verified ``.npz`` files, so repeated
+    *processes* skip recomputation; a disk hit is bit-identical to a fresh
+    computation and a corrupt file is a miss, never an error.
 
 **Equivalence guarantee.**  For the same per-entry seeds, batched execution
 is bit-identical to looping single-spec generators — the single-spec path is
@@ -60,6 +68,7 @@ from .cache import (
     decomposition_cache_key,
     default_decomposition_cache,
 )
+from .filters import DopplerFilterCache, FilterCacheStats, default_filter_cache
 from .plan import DopplerSpec, PlanEntry, SimulationPlan
 from .compile import CompiledGroup, CompiledPlan, CompileReport, compile_plan
 from .execute import execute_plan, stream_plan
@@ -81,6 +90,9 @@ __all__ = [
     "DecompositionCache",
     "decomposition_cache_key",
     "default_decomposition_cache",
+    "DopplerFilterCache",
+    "FilterCacheStats",
+    "default_filter_cache",
     "DopplerSpec",
     "PlanEntry",
     "SimulationPlan",

@@ -11,23 +11,40 @@ parameter that influences the decomposition (coloring method, PSD-forcing
 method, epsilon, numeric tolerances).  Hit/miss/eviction counters are exposed
 for the benchmark harness.
 
+The cache has two tiers:
+
+* an in-memory LRU (``maxsize`` entries), as before;
+* an optional **disk tier** (``cache_dir``) that spills entries as ``.npz``
+  files so repeated *processes* — CLI invocations, CI phases, process-pool
+  workers — skip recomputation too.  Disk entries embed a SHA-256 digest of
+  their payload which is re-verified on load: a corrupt or truncated file is
+  a *miss*, never an error (the offending file is removed).  The disk tier
+  is LRU-bounded by total bytes (file mtimes order the entries; hits refresh
+  them), and the hit/miss counters are split by tier.
+
 The cache stores the exact object the single-matrix
-:func:`repro.core.coloring.compute_coloring` pipeline produces, so a cache
-hit is bit-identical to a fresh computation — generation results never depend
-on the cache state.
+:func:`repro.core.coloring.compute_coloring` pipeline produces, and the disk
+round-trip preserves every array bit-for-bit (``.npz`` stores the raw float
+binary), so a cache hit — memory or disk — is bit-identical to a fresh
+computation: generation results never depend on the cache state.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
-from ..config import DEFAULTS, NumericDefaults
+from ..config import DEFAULTS, NumericDefaults, cache_dir_from_env
 from ..linalg import ColoringDecomposition
 
 __all__ = [
@@ -35,7 +52,25 @@ __all__ = [
     "CacheStats",
     "DecompositionCache",
     "default_decomposition_cache",
+    "DEFAULT_DISK_MAX_BYTES",
 ]
+
+#: Default byte bound of the disk tier (per cache directory).
+DEFAULT_DISK_MAX_BYTES = 512 * 1024 * 1024
+
+#: Sub-directory of ``cache_dir`` holding spilled decompositions (the
+#: Doppler filter cache uses a sibling directory; see
+#: :mod:`repro.engine.filters`).
+_DISK_SUBDIR = "decompositions"
+
+#: On-disk format version; bumped whenever the payload layout changes so
+#: stale files from older versions read as misses instead of garbage.
+_DISK_FORMAT_VERSION = 1
+
+#: Age after which an orphaned ``.tmp`` file (a writer died between
+#: ``mkstemp`` and the atomic rename) is swept by the eviction pass; old
+#: enough that no live writer can still be producing it.
+_TMP_SWEEP_AGE_SECONDS = 3600.0
 
 
 def decomposition_cache_key(
@@ -60,7 +95,9 @@ def decomposition_cache_key(
     Backends that are bit-identical to numpy share the default ``"numpy"``
     token — their decompositions are interchangeable bytes — while every
     other backend hashes under its own token so, e.g., a GPU decomposition
-    is never served to a numpy run.
+    is never served to a numpy run.  The same namespacing carries over to
+    the disk tier: the key is the file name, so on-disk entries are
+    backend-namespaced too.
     """
     arr = np.ascontiguousarray(np.asarray(matrix, dtype=complex))
     hasher = hashlib.sha256()
@@ -90,19 +127,46 @@ class CacheStats:
     Attributes
     ----------
     hits:
-        Lookups that found a stored decomposition.
+        Lookups that found a stored decomposition in *any* tier.
     misses:
         Lookups that found nothing (the caller computed and stored).
     evictions:
-        Entries dropped to respect ``maxsize``.
+        In-memory entries dropped to respect ``maxsize``.
     size:
-        Number of decompositions currently stored.
+        Number of decompositions currently stored in memory.
+    disk_hits:
+        Lookups served by loading (and verifying) a disk entry after a
+        memory miss.  ``hits - disk_hits`` is the memory-tier hit count.
+    disk_misses:
+        Disk-tier probes that found no usable entry (absent, corrupt, or
+        failing digest verification).  Only counted while a ``cache_dir``
+        is configured.
+    disk_evictions:
+        Disk entries removed to respect the disk byte bound.
+    disk_corruptions:
+        Disk entries rejected by digest/format verification (each one is
+        also a ``disk_miss``; the file is removed).
+    disk_entries:
+        Files currently stored in the disk tier (0 without a ``cache_dir``).
+    disk_bytes:
+        Total size of those files in bytes.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     size: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_evictions: int = 0
+    disk_corruptions: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
+
+    @property
+    def memory_hits(self) -> int:
+        """Lookups served from the in-memory tier."""
+        return self.hits - self.disk_hits
 
     @property
     def lookups(self) -> int:
@@ -116,15 +180,154 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+def _disk_files(disk_dir: Optional[Path]) -> List[Path]:
+    """The ``.npz`` entries under a disk-tier directory (empty if none)."""
+    if disk_dir is None or not disk_dir.is_dir():
+        return []
+    return [p for p in disk_dir.iterdir() if p.suffix == ".npz"]
+
+
+def _freeze(decomposition: ColoringDecomposition) -> ColoringDecomposition:
+    """Make the pipeline-computed arrays of a decomposition read-only.
+
+    Cached decompositions are shared between every generator built from the
+    same matrix, and an in-place mutation through one of them would silently
+    corrupt all the others.  ``requested_covariance`` may alias the caller's
+    own matrix, so it is left untouched.
+    """
+    decomposition.coloring_matrix.flags.writeable = False
+    decomposition.effective_covariance.flags.writeable = False
+    return decomposition
+
+
+def _payload_digest(arrays: List[np.ndarray], meta_json: str) -> str:
+    """SHA-256 over the exact bytes a disk entry stores (verification tag)."""
+    hasher = hashlib.sha256()
+    for arr in arrays:
+        hasher.update(repr((arr.shape, arr.dtype.str)).encode("utf8"))
+        hasher.update(np.ascontiguousarray(arr).tobytes())
+    hasher.update(meta_json.encode("utf8"))
+    return hasher.hexdigest()
+
+
+def _dump_entry(path: Path, key: str, decomposition: ColoringDecomposition) -> bool:
+    """Atomically write one decomposition as ``path`` (``.npz``).
+
+    Returns ``False`` (storing nothing) when the diagnostics ``extra`` dict
+    is not JSON-serializable — exotic strategy diagnostics simply stay
+    memory-only rather than failing the run.
+    """
+    try:
+        meta_json = json.dumps(
+            {
+                "format": _DISK_FORMAT_VERSION,
+                "key": key,
+                "method": decomposition.method,
+                "was_repaired": bool(decomposition.was_repaired),
+                "negative_eigenvalue_count": int(
+                    decomposition.negative_eigenvalue_count
+                ),
+                "min_eigenvalue": float(decomposition.min_eigenvalue),
+                "extra": decomposition.extra,
+            },
+            sort_keys=True,
+        )
+    except (TypeError, ValueError):
+        return False
+    arrays = [
+        np.ascontiguousarray(decomposition.coloring_matrix),
+        np.ascontiguousarray(decomposition.effective_covariance),
+        np.ascontiguousarray(decomposition.requested_covariance),
+    ]
+    digest = _payload_digest(arrays, meta_json)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a concurrent reader (another process sharing
+        # the cache_dir) never observes a half-written file.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+        )
+    except OSError:
+        # An unusable cache_dir (a regular file in the way, no permission,
+        # full disk) degrades to memory-only caching, never an error.
+        return False
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(
+                handle,
+                coloring_matrix=arrays[0],
+                effective_covariance=arrays[1],
+                requested_covariance=arrays[2],
+                meta=np.frombuffer(meta_json.encode("utf8"), dtype=np.uint8),
+                digest=np.frombuffer(digest.encode("ascii"), dtype=np.uint8),
+            )
+        os.replace(tmp_name, path)
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        return False
+    return True
+
+
+def _load_entry(path: Path, key: str) -> Optional[ColoringDecomposition]:
+    """Load and verify one disk entry; ``None`` on any defect.
+
+    Truncated archives, non-npz garbage, missing fields, key mismatches and
+    digest mismatches all return ``None`` — the caller treats every failure
+    as a miss and removes the file.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as payload:
+            coloring = payload["coloring_matrix"]
+            effective = payload["effective_covariance"]
+            requested = payload["requested_covariance"]
+            meta_json = bytes(payload["meta"].tobytes()).decode("utf8")
+            digest = bytes(payload["digest"].tobytes()).decode("ascii")
+    except Exception:
+        # np.load raises zipfile/OSError/KeyError/ValueError flavors on
+        # corruption; all of them mean "not a usable entry".
+        return None
+    if _payload_digest([coloring, effective, requested], meta_json) != digest:
+        return None
+    try:
+        meta = json.loads(meta_json)
+    except ValueError:
+        return None
+    if meta.get("format") != _DISK_FORMAT_VERSION or meta.get("key") != key:
+        return None
+    return ColoringDecomposition(
+        coloring_matrix=coloring,
+        effective_covariance=effective,
+        requested_covariance=requested,
+        method=str(meta["method"]),
+        was_repaired=bool(meta["was_repaired"]),
+        negative_eigenvalue_count=int(meta["negative_eigenvalue_count"]),
+        min_eigenvalue=float(meta["min_eigenvalue"]),
+        extra=dict(meta.get("extra") or {}),
+    )
+
+
 class DecompositionCache:
-    """Thread-safe LRU cache of coloring decompositions.
+    """Thread-safe two-tier (memory LRU + optional disk) decomposition cache.
 
     Parameters
     ----------
     maxsize:
-        Maximum number of decompositions retained.  ``0`` disables storage
-        entirely (every lookup misses) — useful as an explicit "no caching"
-        baseline in benchmarks.
+        Maximum number of decompositions retained *in memory*.  ``0``
+        disables the memory tier (useful as an explicit "no caching"
+        baseline in benchmarks — and, combined with ``cache_dir``, yields a
+        disk-only cache).
+    cache_dir:
+        Directory of the persistent disk tier, or ``None`` (default) for a
+        memory-only cache.  Entries are spilled as
+        ``<cache_dir>/decompositions/<key>.npz``; multiple processes may
+        share one directory (writes are atomic, corrupt files read as
+        misses).
+    disk_max_bytes:
+        LRU byte bound of the disk tier (least-recently-used files are
+        removed once the total exceeds it).
 
     Examples
     --------
@@ -140,34 +343,93 @@ class DecompositionCache:
     (1, 1)
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(
+        self,
+        maxsize: int = 256,
+        *,
+        cache_dir: Union[None, str, Path] = None,
+        disk_max_bytes: int = DEFAULT_DISK_MAX_BYTES,
+    ) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be non-negative, got {maxsize}")
+        if disk_max_bytes < 0:
+            raise ValueError(
+                f"disk_max_bytes must be non-negative, got {disk_max_bytes}"
+            )
         self._maxsize = int(maxsize)
         self._entries: "OrderedDict[str, ColoringDecomposition]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+        self._disk_evictions = 0
+        self._disk_corruptions = 0
+        self._disk_max_bytes = int(disk_max_bytes)
+        self._disk_dir: Optional[Path] = None
+        # Keys this instance will not spill again: known to be on disk, or a
+        # spill already failed (an unwritable tier must not re-pay payload
+        # serialization and hashing on every memory hit).  Memory hits on
+        # keys outside this set spill lazily, so a cache warmed before
+        # set_cache_dir still persists what it holds.  Reset whenever the
+        # tier is (re)attached, so a new directory gets fresh attempts.
+        self._no_spill: set = set()
+        # Running byte total of the disk tier (None = unknown, recalibrated
+        # by the next eviction pass), so stores do not re-scan the directory.
+        self._disk_total: Optional[int] = None
+        self.set_cache_dir(cache_dir)
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
     def maxsize(self) -> int:
-        """Maximum number of stored decompositions."""
+        """Maximum number of decompositions stored in memory."""
         return self._maxsize
 
     @property
-    def stats(self) -> CacheStats:
-        """Snapshot of the hit/miss/eviction counters."""
+    def cache_dir(self) -> Optional[Path]:
+        """Root directory of the disk tier (``None`` when memory-only)."""
         with self._lock:
-            return CacheStats(
+            return None if self._disk_dir is None else self._disk_dir.parent
+
+    @property
+    def disk_max_bytes(self) -> int:
+        """Byte bound of the disk tier."""
+        return self._disk_max_bytes
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the per-tier hit/miss/eviction counters.
+
+        Disk usage is measured by scanning the directory (outside the lock —
+        stats are maintenance, lookups must not queue behind them), so the
+        numbers reflect every process sharing the ``cache_dir``.
+        """
+        with self._lock:
+            counters = dict(
                 hits=self._hits,
                 misses=self._misses,
                 evictions=self._evictions,
                 size=len(self._entries),
+                disk_hits=self._disk_hits,
+                disk_misses=self._disk_misses,
+                disk_evictions=self._disk_evictions,
+                disk_corruptions=self._disk_corruptions,
             )
+            disk_dir = self._disk_dir
+        disk_entries = 0
+        disk_bytes = 0
+        for path in _disk_files(disk_dir):
+            try:
+                disk_bytes += path.stat().st_size
+            except OSError:
+                continue
+            disk_entries += 1
+        return CacheStats(
+            disk_entries=disk_entries, disk_bytes=disk_bytes, **counters
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -178,46 +440,220 @@ class DecompositionCache:
             return key in self._entries
 
     # ------------------------------------------------------------------ #
+    # Disk tier plumbing
+    # ------------------------------------------------------------------ #
+    def set_cache_dir(self, cache_dir: Union[None, str, Path]) -> None:
+        """Attach (or detach, with ``None``) the persistent disk tier.
+
+        Existing files under the directory become immediately visible as
+        disk entries; counters are kept.  The process-wide default cache is
+        configured this way by the CLI's ``--cache-dir`` option.
+        """
+        with self._lock:
+            self._no_spill = set()
+            self._disk_total = None
+            if cache_dir is None:
+                self._disk_dir = None
+                return
+            self._disk_dir = Path(cache_dir) / _DISK_SUBDIR
+
+    def _disk_evict(self, disk_dir: Path) -> None:
+        """Scan the tier, recalibrate the byte total, drop LRU files past the bound.
+
+        Runs only when the running total is unknown or exceeds the bound —
+        not on every store — so populating n entries costs O(n) stats
+        overall instead of O(n^2).  The scan doubles as recalibration
+        against other processes sharing the directory, and sweeps stale
+        ``.tmp`` leftovers of writers that died mid-spill.  All filesystem
+        work happens outside the lock (only the counter/bookkeeping update
+        takes it), so memory-tier lookups never queue behind the scan.
+        """
+        files = []
+        total = 0
+        now = time.time()
+        try:
+            listing = list(disk_dir.iterdir()) if disk_dir.is_dir() else []
+        except OSError:
+            listing = []
+        for path in listing:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if path.suffix == ".tmp":
+                # An interrupted writer's temp file: invisible to lookups
+                # and to the byte bound, so sweep it once it is clearly not
+                # an in-flight write any more.
+                if now - stat.st_mtime > _TMP_SWEEP_AGE_SECONDS:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                continue
+            if path.suffix != ".npz":
+                continue
+            files.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        evicted = []
+        for _, size, path in sorted(files):
+            if total <= self._disk_max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted.append(path.stem)  # file name is the key
+            total -= size
+        with self._lock:
+            if self._disk_dir != disk_dir:
+                return  # tier detached or redirected while scanning
+            for key in evicted:
+                self._no_spill.discard(key)
+            self._disk_evictions += len(evicted)
+            self._disk_total = total
+
+    def _disk_spill(
+        self, key: str, decomposition: ColoringDecomposition, disk_dir: Path
+    ) -> None:
+        """Write one entry to disk (I/O outside the lock) and account for it.
+
+        Concurrent spillers of the same key write identical bytes through
+        atomic renames, so the race is benign; the byte total may then
+        double-count briefly, which the next eviction scan recalibrates.
+        A *failed* write also marks the key: an unusable tier degrades to
+        memory-only caching instead of re-paying serialization and hashing
+        on every subsequent hit (re-attaching the tier retries).
+        """
+        path = disk_dir / f"{key}.npz"
+        written = _dump_entry(path, key, decomposition)
+        size = 0
+        if written:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                pass
+        needs_evict = False
+        with self._lock:
+            if self._disk_dir != disk_dir:
+                return  # tier detached or redirected while writing
+            self._no_spill.add(key)
+            if written:
+                if self._disk_total is not None:
+                    self._disk_total += size
+                needs_evict = (
+                    self._disk_total is None
+                    or self._disk_total > self._disk_max_bytes
+                )
+        if needs_evict:
+            self._disk_evict(disk_dir)
+
+    # ------------------------------------------------------------------ #
     # Core operations
     # ------------------------------------------------------------------ #
     def lookup(self, key: str) -> Optional[ColoringDecomposition]:
         """Return the cached decomposition for ``key`` or ``None`` (a miss).
 
-        A hit refreshes the entry's LRU position; both outcomes update the
-        counters.
+        The memory tier is consulted first; on a memory miss with a
+        configured ``cache_dir`` the disk tier is probed, verified, and —
+        on success — promoted back into memory.  Hits refresh the entry's
+        LRU position in both tiers; every outcome updates the counters.
+        All disk I/O happens outside the cache lock, so threads served by
+        the memory tier never queue behind another thread's file read.
         """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
+            disk_dir = self._disk_dir
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                needs_spill = disk_dir is not None and key not in self._no_spill
+        if entry is not None:
+            if needs_spill:
+                # Entries that predate the disk tier (cache warmed before
+                # set_cache_dir, or evicted disk files) spill on their next
+                # memory hit, so attaching a cache_dir to a warm cache still
+                # persists what it already holds.
+                self._disk_spill(key, entry, disk_dir)
             return entry
+        if disk_dir is None:
+            with self._lock:
+                self._misses += 1
+            return None
 
-    def store(self, key: str, decomposition: ColoringDecomposition) -> None:
-        """Insert (or refresh) a decomposition, evicting the LRU entry if full.
+        # Disk probe, load, and verification — all outside the lock.
+        path = disk_dir / f"{key}.npz"
+        present = path.exists()
+        loaded = _load_entry(path, key) if present else None
+        if loaded is None:
+            if present:
+                try:
+                    path.unlink()  # quarantine the corrupt entry
+                except OSError:
+                    pass
+            with self._lock:
+                if present:
+                    self._disk_corruptions += 1
+                    if self._disk_dir == disk_dir:
+                        self._no_spill.discard(key)
+                        self._disk_total = None  # force recalibration
+                self._disk_misses += 1
+                self._misses += 1
+            return None
+        loaded = _freeze(loaded)
+        try:
+            os.utime(path)  # refresh the disk LRU position
+        except OSError:
+            pass
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Raced with a concurrent store/promotion of the same key:
+                # keep handing out the already-shared object.
+                self._entries.move_to_end(key)
+                loaded = existing
+            else:
+                self._store_memory_locked(key, loaded)
+            if self._disk_dir == disk_dir:
+                # Guard against a concurrent set_cache_dir: the key is only
+                # known to exist in the directory it was loaded from.
+                self._no_spill.add(key)
+            self._disk_hits += 1
+            self._hits += 1
+            return loaded
 
-        The stored arrays that the pipeline computes itself (coloring matrix,
-        effective covariance) are frozen read-only: cached decompositions are
-        shared between every generator built from the same matrix, and an
-        in-place mutation through one of them would silently corrupt all the
-        others.  ``requested_covariance`` may alias the caller's own matrix,
-        so it is left untouched.
-        """
+    def _store_memory_locked(
+        self, key: str, decomposition: ColoringDecomposition
+    ) -> None:
         if self._maxsize == 0:
             return
-        decomposition.coloring_matrix.flags.writeable = False
-        decomposition.effective_covariance.flags.writeable = False
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self._entries[key] = decomposition
-                return
+        if key in self._entries:
+            self._entries.move_to_end(key)
             self._entries[key] = decomposition
-            while len(self._entries) > self._maxsize:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+            return
+        self._entries[key] = decomposition
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def store(self, key: str, decomposition: ColoringDecomposition) -> None:
+        """Insert (or refresh) a decomposition in every configured tier.
+
+        The stored arrays that the pipeline computes itself (coloring
+        matrix, effective covariance) are frozen read-only *before* any
+        tier-specific early return: whether or not this cache retains the
+        entry, callers receive the same immutable object a cache hit would
+        hand out, so an in-place mutation fails loudly in every
+        configuration instead of corrupting results in some.
+        ``requested_covariance`` may alias the caller's own matrix, so it
+        is left untouched.
+        """
+        decomposition = _freeze(decomposition)
+        with self._lock:
+            self._store_memory_locked(key, decomposition)
+            disk_dir = self._disk_dir
+            needs_spill = disk_dir is not None and key not in self._no_spill
+        if needs_spill:
+            self._disk_spill(key, decomposition, disk_dir)
 
     def coloring_for(
         self,
@@ -253,9 +689,40 @@ class DecompositionCache:
     # Maintenance
     # ------------------------------------------------------------------ #
     def clear(self) -> None:
-        """Drop every stored decomposition (counters are kept)."""
+        """Drop every decomposition stored in memory (counters are kept).
+
+        The disk tier is untouched; use :meth:`clear_disk` (or the CLI's
+        ``cache clear``) to remove persisted entries.
+        """
         with self._lock:
             self._entries.clear()
+
+    def clear_disk(self) -> int:
+        """Remove every file of the disk tier (``.tmp`` leftovers included);
+        returns the number of entries removed."""
+        with self._lock:
+            disk_dir = self._disk_dir
+            removed = 0
+            try:
+                listing = (
+                    list(disk_dir.iterdir())
+                    if disk_dir is not None and disk_dir.is_dir()
+                    else []
+                )
+            except OSError:
+                listing = []
+            for path in listing:
+                if path.suffix not in (".npz", ".tmp"):
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                if path.suffix == ".npz":
+                    self._no_spill.discard(path.stem)
+                    removed += 1
+            self._disk_total = 0 if disk_dir is not None else None
+            return removed
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters (entries are kept)."""
@@ -263,10 +730,16 @@ class DecompositionCache:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._disk_hits = 0
+            self._disk_misses = 0
+            self._disk_evictions = 0
+            self._disk_corruptions = 0
 
 
-#: Process-wide cache shared by the default engine and the generators.
-_DEFAULT_CACHE = DecompositionCache()
+#: Process-wide cache shared by the default engine and the generators
+#: (created lazily so ``REPRO_CACHE_DIR`` is honored at first use).
+_DEFAULT_CACHE: Optional[DecompositionCache] = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
 
 
 def default_decomposition_cache() -> DecompositionCache:
@@ -275,6 +748,13 @@ def default_decomposition_cache() -> DecompositionCache:
     Shared by :func:`repro.engine.default_engine` and by
     :class:`repro.core.generator.RayleighFadingGenerator` instances that are
     not given an explicit cache, so sweeps that construct many generators
-    over repeated covariance matrices decompose each matrix once.
+    over repeated covariance matrices decompose each matrix once.  When the
+    ``REPRO_CACHE_DIR`` environment variable is set at first use, the cache
+    is created with that persistent disk tier attached (the CLI's
+    ``--cache-dir`` attaches one explicitly via :meth:`DecompositionCache.set_cache_dir`).
     """
-    return _DEFAULT_CACHE
+    global _DEFAULT_CACHE
+    with _DEFAULT_CACHE_LOCK:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = DecompositionCache(cache_dir=cache_dir_from_env())
+        return _DEFAULT_CACHE

@@ -14,11 +14,15 @@ entries into ready-to-execute coloring matrices:
    cache;
 4. per-entry coloring matrices are assembled into a ``(B, N, N)`` stack the
    executor multiplies white samples through;
-5. Doppler groups additionally build the Young–Beaulieu filter ``F[k]`` of
-   Eq. (21) **once** per unique ``(M, f_m, sigma_orig^2)`` in the plan (the
-   looped path builds ``N + 1`` filters per scenario), record its Eq. (19)
-   output variance, and set each entry's effective sample variance to that
-   output variance (or 1.0 when the entry opts out of compensation).
+5. Doppler groups additionally resolve the Young–Beaulieu filter ``F[k]``
+   of Eq. (21) **once** per unique ``(M, f_m, sigma_orig^2)`` in the plan
+   (the looped path builds ``N + 1`` filters per scenario) through the
+   process-wide :class:`repro.engine.filters.DopplerFilterCache` — so a key
+   any earlier compile (or, with a ``cache_dir``, any earlier *process*)
+   already built is served from the shared cache instead of rebuilt —
+   record its Eq. (19) output variance, and set each entry's effective
+   sample variance to that output variance (or 1.0 when the entry opts out
+   of compensation).
 
 Every decomposition is bit-identical to what the single-spec path computes,
 so compiled execution reproduces a loop of
@@ -33,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +46,9 @@ from ..linalg import ColoringDecomposition
 from .backends import BackendSpec, LinalgBackend, resolve_backend
 from .cache import DecompositionCache, default_decomposition_cache
 from .plan import DopplerSpec, PlanEntry, SimulationPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .filters import DopplerFilterCache
 
 __all__ = ["CompileReport", "CompiledGroup", "CompiledPlan", "compile_plan"]
 
@@ -63,11 +70,16 @@ class CompileReport:
     compile_seconds:
         Wall-clock time of the compilation pass.
     doppler_filters_built:
-        Young–Beaulieu filters constructed (one per unique
+        Distinct Young–Beaulieu filters this pass resolved (one per unique
         ``(M, f_m, sigma_orig^2)`` in the plan); 0 for snapshot-only plans.
+        The looped path would build one per scenario *per branch*.
     doppler_entries:
         Doppler-mode entries served by those filters — the looped path would
         have built ``N + 1`` filters for each of them.
+    doppler_filter_cache_hits:
+        How many of the ``doppler_filters_built`` keys were served by the
+        process-wide (or on-disk) filter cache instead of being constructed
+        during this pass.
     """
 
     n_entries: int
@@ -78,6 +90,7 @@ class CompileReport:
     compile_seconds: float
     doppler_filters_built: int = 0
     doppler_entries: int = 0
+    doppler_filter_cache_hits: int = 0
 
     @property
     def deduplicated(self) -> int:
@@ -174,6 +187,7 @@ def compile_plan(
     cache: Optional[DecompositionCache] = None,
     defaults: NumericDefaults = DEFAULTS,
     backend: BackendSpec = None,
+    filter_cache: Optional["DopplerFilterCache"] = None,
 ) -> CompiledPlan:
     """Compile a plan into stacked, cached coloring decompositions.
 
@@ -184,7 +198,8 @@ def compile_plan(
     cache:
         Decomposition cache to consult and populate; defaults to the
         process-wide cache.  Pass ``DecompositionCache(maxsize=0)`` to
-        disable reuse (e.g. for cold-path benchmarking).
+        disable reuse (e.g. for cold-path benchmarking), or one built with
+        ``cache_dir=`` to persist decompositions across processes.
     defaults:
         Numeric tolerance bundle forwarded to the decomposition pipeline.
     backend:
@@ -194,14 +209,21 @@ def compile_plan(
         backend's :attr:`~repro.engine.backends.LinalgBackend.cache_token`,
         so only backends bit-identical to numpy share cached
         decompositions.
+    filter_cache:
+        Young–Beaulieu filter cache for Doppler-mode entries; defaults to
+        the process-wide :func:`repro.engine.filters.default_filter_cache`.
+        The filter does not depend on the linalg backend (it is a closed-form
+        coefficient vector), so filter entries are never backend-namespaced.
     """
-    from ..channels.doppler import filter_output_variance, young_beaulieu_filter
     from ..core.coloring import compute_coloring_batch
+    from .filters import DopplerFilterCache, default_filter_cache
 
     backend_obj = resolve_backend(backend)
     cache_token = backend_obj.cache_token
     if cache is None:
         cache = default_decomposition_cache()
+    if filter_cache is None:
+        filter_cache = default_filter_cache()
 
     start = time.perf_counter()
 
@@ -215,9 +237,14 @@ def compile_plan(
     misses = 0
     unique_total = 0
     doppler_entries = 0
-    # Young–Beaulieu filters are built once per unique (M, f_m, sigma_orig^2)
-    # across the whole plan; groups differing only in N share a build.
+    # Young–Beaulieu filters are resolved once per unique
+    # (M, f_m, sigma_orig^2) across the whole plan — groups differing only
+    # in N share a resolution — through the process-wide filter cache, which
+    # serves keys built by earlier compiles (or earlier processes, with a
+    # disk tier) without rebuilding.  The per-plan memo also keeps the
+    # "literally shared array" guarantee within one compiled plan.
     filter_memo: Dict[Tuple[int, float, float], Tuple[np.ndarray, float]] = {}
+    filter_cache_hits = 0
     groups: List[CompiledGroup] = []
     for group_key, indices in group_members.items():
         _, coloring_method, psd_method, epsilon, _ = group_key
@@ -276,16 +303,15 @@ def compile_plan(
         else:
             memoized = filter_memo.get(group_doppler.filter_key)
             if memoized is None:
-                coefficients = young_beaulieu_filter(
-                    group_doppler.n_points, group_doppler.normalized_doppler
+                coefficients, output_variance, was_cached = filter_cache.get(
+                    group_doppler.n_points,
+                    group_doppler.normalized_doppler,
+                    group_doppler.input_variance_per_dim,
                 )
-                memoized = (
-                    coefficients,
-                    filter_output_variance(
-                        coefficients, group_doppler.input_variance_per_dim
-                    ),
-                )
+                memoized = (coefficients, output_variance)
                 filter_memo[group_doppler.filter_key] = memoized
+                if was_cached:
+                    filter_cache_hits += 1
             doppler_filter, output_variance = memoized
             doppler_entries += len(group_entries)
             sample_variances = np.array(
@@ -317,6 +343,7 @@ def compile_plan(
         compile_seconds=time.perf_counter() - start,
         doppler_filters_built=len(filter_memo),
         doppler_entries=doppler_entries,
+        doppler_filter_cache_hits=filter_cache_hits,
     )
     return CompiledPlan(
         plan=plan, groups=tuple(groups), report=report, backend=backend_obj

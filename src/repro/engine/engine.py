@@ -12,11 +12,15 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Union
 
+from pathlib import Path
+
 from ..config import DEFAULTS, NumericDefaults
+from ..exceptions import SpecificationError
 from .backends import BackendSpec, LinalgBackend, resolve_backend
 from .cache import CacheStats, DecompositionCache, default_decomposition_cache
 from .compile import CompiledPlan, compile_plan
 from .execute import execute_plan, stream_plan
+from .filters import DopplerFilterCache, default_filter_cache
 from .plan import SimulationPlan
 from .result import BatchResult
 
@@ -39,6 +43,16 @@ class SimulationEngine:
         multiply — a registered name (``"numpy"``, ``"scipy"``, gated GPU
         backends), a :class:`repro.engine.backends.LinalgBackend` instance,
         or ``None`` for the numpy default.
+    filter_cache:
+        Young–Beaulieu filter cache for Doppler-mode compilation.  ``None``
+        uses the process-wide shared cache.
+    cache_dir:
+        Convenience: build *private* persistent caches rooted at this
+        directory (a :class:`DecompositionCache` and a
+        :class:`repro.engine.filters.DopplerFilterCache` with their disk
+        tiers attached).  Only valid when the corresponding explicit cache
+        argument is ``None`` — pass caches constructed with ``cache_dir=``
+        yourself to mix.
 
     Examples
     --------
@@ -58,8 +72,22 @@ class SimulationEngine:
         cache: Optional[DecompositionCache] = None,
         defaults: NumericDefaults = DEFAULTS,
         backend: BackendSpec = None,
+        filter_cache: Optional[DopplerFilterCache] = None,
+        cache_dir: Union[None, str, Path] = None,
     ) -> None:
+        if cache_dir is not None:
+            if cache is not None or filter_cache is not None:
+                raise SpecificationError(
+                    "cache_dir builds private persistent caches and conflicts "
+                    "with an explicit cache/filter_cache; construct the caches "
+                    "with cache_dir= yourself instead"
+                )
+            cache = DecompositionCache(cache_dir=cache_dir)
+            filter_cache = DopplerFilterCache(cache_dir=cache_dir)
         self._cache = default_decomposition_cache() if cache is None else cache
+        self._filter_cache = (
+            default_filter_cache() if filter_cache is None else filter_cache
+        )
         self._defaults = defaults
         self._backend = resolve_backend(backend)
 
@@ -67,6 +95,11 @@ class SimulationEngine:
     def cache(self) -> DecompositionCache:
         """The decomposition cache this engine compiles against."""
         return self._cache
+
+    @property
+    def filter_cache(self) -> DopplerFilterCache:
+        """The Young–Beaulieu filter cache this engine compiles against."""
+        return self._filter_cache
 
     @property
     def backend(self) -> LinalgBackend:
@@ -81,7 +114,11 @@ class SimulationEngine:
     def compile(self, plan: SimulationPlan) -> CompiledPlan:
         """Compile a plan (stacked decompositions, cache dedup) for reuse."""
         return compile_plan(
-            plan, cache=self._cache, defaults=self._defaults, backend=self._backend
+            plan,
+            cache=self._cache,
+            defaults=self._defaults,
+            backend=self._backend,
+            filter_cache=self._filter_cache,
         )
 
     def _ensure_compiled(

@@ -1,0 +1,436 @@
+"""Process-wide + on-disk cache of Young–Beaulieu Doppler filters.
+
+Building the Eq. (21) filter ``F[k]`` is cheap next to an ``O(N^3)``
+decomposition, but it is pure overhead to repeat: the filter depends only on
+``(M, f_m)`` and its Eq. (19) output variance additionally on
+``sigma_orig^2``, and real workloads reuse a handful of keys across
+thousands of scenarios.  PR 3 memoized the build *per compile pass*;
+:class:`DopplerFilterCache` promotes that memo to a process-wide cache with
+an optional disk tier under the same ``cache_dir`` as the decomposition
+spill, so:
+
+* every :func:`repro.engine.compile.compile_plan` pass in a process shares
+  one build per unique ``(M, f_m, sigma_orig^2)``;
+* every :class:`repro.core.realtime.RealTimeRayleighGenerator` constructed
+  for the same Doppler settings shares the same coefficients;
+* repeated *processes* (CLI sweeps with ``--cache-dir``, CI phases) load the
+  coefficients from ``<cache_dir>/filters/*.npz`` instead of rebuilding.
+
+Cached coefficient arrays are frozen read-only — they are shared across
+compiles and generators.  Disk entries embed a SHA-256 payload digest that
+is re-verified on load; corrupt or truncated files are misses, never
+errors (the file is removed).  A cache hit is bit-identical to a fresh
+:func:`repro.channels.doppler.young_beaulieu_filter` build: the disk
+round-trip stores the raw float64 binary, and the output variance is
+recomputed from the verified coefficients rather than trusted from the
+file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import cache_dir_from_env
+from .cache import _TMP_SWEEP_AGE_SECONDS
+
+__all__ = [
+    "FilterCacheStats",
+    "DopplerFilterCache",
+    "default_filter_cache",
+]
+
+#: Sub-directory of ``cache_dir`` holding spilled filters (sibling of the
+#: decomposition spill; see :mod:`repro.engine.cache`).
+_DISK_SUBDIR = "filters"
+
+#: On-disk format version; stale layouts read as misses.
+_DISK_FORMAT_VERSION = 1
+
+#: A filter key: ``(M, f_m, sigma_orig^2)``, matching
+#: :attr:`repro.engine.plan.DopplerSpec.filter_key`.
+FilterKey = Tuple[int, float, float]
+
+
+@dataclass(frozen=True)
+class FilterCacheStats:
+    """Immutable snapshot of filter-cache activity counters.
+
+    Attributes
+    ----------
+    hits:
+        Lookups served without building (memory or disk).
+    misses:
+        Lookups that built the filter.
+    disk_hits:
+        Hits served by loading (and verifying) a disk entry.
+    disk_misses:
+        Disk probes that found no usable entry (absent or corrupt).
+    disk_corruptions:
+        Disk entries rejected by digest verification (files removed).
+    size:
+        Filters currently held in memory.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_corruptions: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def builds(self) -> int:
+        """Filters actually constructed (alias of ``misses``)."""
+        return self.misses
+
+
+def _key_hash(key: FilterKey) -> str:
+    """File-name hash of a filter key (exact float reprs, no rounding)."""
+    n_points, normalized_doppler, input_variance = key
+    token = "|".join(
+        (
+            repr(int(n_points)),
+            repr(float(normalized_doppler)),
+            repr(float(input_variance)),
+        )
+    )
+    return hashlib.sha256(token.encode("utf8")).hexdigest()
+
+
+def _payload_digest(coefficients: np.ndarray, token: str) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(token.encode("utf8"))
+    hasher.update(repr((coefficients.shape, coefficients.dtype.str)).encode("utf8"))
+    hasher.update(np.ascontiguousarray(coefficients).tobytes())
+    return hasher.hexdigest()
+
+
+class DopplerFilterCache:
+    """Thread-safe cache of Young–Beaulieu filters and their output variances.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the persistent disk tier, or ``None`` (default) for a
+        memory-only cache.  Entries live as ``<cache_dir>/filters/<hash>.npz``
+        next to the decomposition spill, so one ``--cache-dir`` configures
+        both artifact caches.
+    """
+
+    def __init__(self, cache_dir: Union[None, str, Path] = None) -> None:
+        self._entries: Dict[FilterKey, Tuple[np.ndarray, float]] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+        self._disk_corruptions = 0
+        self._disk_dir: Optional[Path] = None
+        # Keys this instance will not spill again: known to be on disk, or a
+        # spill already failed (an unwritable tier must not re-pay the write
+        # attempt on every memory hit).  Reset when the tier is
+        # (re)attached, so a new directory gets fresh attempts.
+        self._persisted: set = set()
+        self.set_cache_dir(cache_dir)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        """Root directory of the disk tier (``None`` when memory-only)."""
+        with self._lock:
+            return None if self._disk_dir is None else self._disk_dir.parent
+
+    @property
+    def stats(self) -> FilterCacheStats:
+        """Snapshot of the hit/miss counters."""
+        with self._lock:
+            return FilterCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                disk_hits=self._disk_hits,
+                disk_misses=self._disk_misses,
+                disk_corruptions=self._disk_corruptions,
+                size=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def set_cache_dir(self, cache_dir: Union[None, str, Path]) -> None:
+        """Attach (or detach, with ``None``) the persistent disk tier."""
+        with self._lock:
+            self._persisted = set()
+            self._disk_dir = (
+                None if cache_dir is None else Path(cache_dir) / _DISK_SUBDIR
+            )
+
+    # ------------------------------------------------------------------ #
+    # Disk tier (all file I/O happens outside the lock; only counter and
+    # bookkeeping updates take it, so concurrent get() calls served by the
+    # memory tier never queue behind another thread's file access)
+    # ------------------------------------------------------------------ #
+    def _disk_load(self, key: FilterKey, disk_dir: Path) -> Optional[np.ndarray]:
+        path = disk_dir / f"{_key_hash(key)}.npz"
+        present = path.exists()
+        coefficients = None
+        if present:
+            token = f"{_DISK_FORMAT_VERSION}|{_key_hash(key)}"
+            try:
+                with np.load(path, allow_pickle=False) as payload:
+                    coefficients = payload["coefficients"]
+                    digest = bytes(payload["digest"].tobytes()).decode("ascii")
+            except Exception:
+                coefficients, digest = None, None
+            if (
+                coefficients is not None
+                and _payload_digest(coefficients, token) != digest
+            ):
+                coefficients = None
+            if coefficients is None:
+                try:
+                    path.unlink()  # quarantine the corrupt entry
+                except OSError:
+                    pass
+            else:
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
+        if coefficients is None:
+            with self._lock:
+                if present:
+                    self._disk_corruptions += 1
+                    if self._disk_dir == disk_dir:
+                        self._persisted.discard(key)
+                self._disk_misses += 1
+        return coefficients
+
+    def _disk_store(
+        self, key: FilterKey, coefficients: np.ndarray, disk_dir: Path
+    ) -> None:
+        """Spill one filter (I/O outside the lock); failures are remembered.
+
+        An unusable tier (read-only directory, full disk) must degrade to
+        memory-only caching, not re-pay the write attempt on every memory
+        hit — so the key enters ``_persisted`` whether or not the write
+        landed (re-attaching the tier retries).
+        """
+        path = disk_dir / f"{_key_hash(key)}.npz"
+        token = f"{_DISK_FORMAT_VERSION}|{_key_hash(key)}"
+        digest = _payload_digest(coefficients, token)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(
+                        handle,
+                        coefficients=np.ascontiguousarray(coefficients),
+                        digest=np.frombuffer(digest.encode("ascii"), dtype=np.uint8),
+                    )
+                os.replace(tmp_name, path)
+                self._sweep_stale_tmp(path.parent)
+            except OSError:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        with self._lock:
+            if self._disk_dir == disk_dir:
+                self._persisted.add(key)
+
+    @staticmethod
+    def _sweep_stale_tmp(directory: Path) -> None:
+        """Drop ``.tmp`` leftovers of writers that died mid-spill.
+
+        Stores are rare (one per unique filter key), so piggybacking the
+        sweep on them bounds orphan growth in long-lived shared cache
+        directories without a per-lookup cost.  Recent files are presumed
+        in-flight writes of a live process and kept.
+        """
+        now = time.time()
+        try:
+            listing = list(directory.iterdir())
+        except OSError:
+            return
+        for stale in listing:
+            if stale.suffix != ".tmp":
+                continue
+            try:
+                if now - stale.stat().st_mtime > _TMP_SWEEP_AGE_SECONDS:
+                    stale.unlink()
+            except OSError:
+                continue
+
+    # ------------------------------------------------------------------ #
+    # Core operation
+    # ------------------------------------------------------------------ #
+    def get(
+        self,
+        n_points: int,
+        normalized_doppler: float,
+        input_variance_per_dim: float = 0.5,
+    ) -> Tuple[np.ndarray, float, bool]:
+        """Return ``(coefficients, output_variance, was_cached)`` for a key.
+
+        On a miss the filter is built with
+        :func:`repro.channels.doppler.young_beaulieu_filter`, stored in
+        memory (frozen read-only) and — when a ``cache_dir`` is configured —
+        spilled to disk.  ``was_cached`` reports whether any tier served the
+        coefficients without building, which is how the compile report's
+        filter-reuse counters distinguish builds from shared-cache hits.
+
+        The Eq. (19) output variance is always recomputed from the
+        coefficients (it is a cheap reduction), so a tampered disk entry can
+        never smuggle in an inconsistent variance.
+        """
+        from ..channels.doppler import filter_output_variance, young_beaulieu_filter
+
+        key: FilterKey = (
+            int(n_points),
+            float(normalized_doppler),
+            float(input_variance_per_dim),
+        )
+        with self._lock:
+            cached = self._entries.get(key)
+            disk_dir = self._disk_dir
+            if cached is not None:
+                self._hits += 1
+                needs_spill = disk_dir is not None and key not in self._persisted
+        if cached is not None:
+            coefficients, variance = cached
+            if needs_spill:
+                # Spill entries that predate the disk tier, so attaching a
+                # cache_dir to a warm cache still persists them.
+                self._disk_store(key, coefficients, disk_dir)
+            return coefficients, variance, True
+        if disk_dir is not None:
+            coefficients = self._disk_load(key, disk_dir)
+            if coefficients is not None:
+                coefficients.flags.writeable = False
+                variance = filter_output_variance(coefficients, key[2])
+                with self._lock:
+                    # Raced with a concurrent build/load of the same key:
+                    # keep handing out the already-shared tuple.
+                    coefficients, variance = self._entries.setdefault(
+                        key, (coefficients, variance)
+                    )
+                    if self._disk_dir == disk_dir:
+                        self._persisted.add(key)
+                    self._disk_hits += 1
+                    self._hits += 1
+                return coefficients, variance, True
+        with self._lock:
+            self._misses += 1
+        # Build outside the lock: validation may raise, and concurrent
+        # builders of the same key produce identical bytes anyway.
+        coefficients = young_beaulieu_filter(key[0], key[1])
+        coefficients.flags.writeable = False
+        variance = filter_output_variance(coefficients, key[2])
+        with self._lock:
+            coefficients, variance = self._entries.setdefault(
+                key, (coefficients, variance)
+            )
+            disk_dir = self._disk_dir
+            needs_spill = disk_dir is not None and key not in self._persisted
+        if needs_spill:
+            self._disk_store(key, coefficients, disk_dir)
+        return coefficients, variance, False
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def disk_usage(self) -> Tuple[int, int]:
+        """``(n_files, total_bytes)`` of the disk tier (``(0, 0)`` if none)."""
+        with self._lock:
+            disk_dir = self._disk_dir
+        if disk_dir is None or not disk_dir.is_dir():
+            return 0, 0
+        count = 0
+        total = 0
+        for path in disk_dir.iterdir():
+            if path.suffix != ".npz":
+                continue
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return count, total
+
+    def clear(self) -> None:
+        """Drop every filter held in memory (counters and disk kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def clear_disk(self) -> int:
+        """Remove every file of the disk tier (``.tmp`` leftovers included);
+        returns the number of entries removed."""
+        with self._lock:
+            if self._disk_dir is None or not self._disk_dir.is_dir():
+                return 0
+            removed = 0
+            for path in list(self._disk_dir.iterdir()):
+                if path.suffix not in (".npz", ".tmp"):
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                if path.suffix == ".npz":
+                    removed += 1
+            self._persisted = set()
+            return removed
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries are kept)."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._disk_hits = 0
+            self._disk_misses = 0
+            self._disk_corruptions = 0
+
+
+#: Process-wide filter cache (created lazily so ``REPRO_CACHE_DIR`` is
+#: honored at first use), shared by plan compilation and the standalone
+#: real-time generator.
+_DEFAULT_FILTER_CACHE: Optional[DopplerFilterCache] = None
+_DEFAULT_FILTER_LOCK = threading.Lock()
+
+
+def default_filter_cache() -> DopplerFilterCache:
+    """The process-wide Young–Beaulieu filter cache.
+
+    Shared by every :func:`repro.engine.compile.compile_plan` pass and every
+    :class:`repro.core.realtime.RealTimeRayleighGenerator` that is not given
+    an explicit cache, so each unique ``(M, f_m, sigma_orig^2)`` is built
+    once per process — and, with ``REPRO_CACHE_DIR`` / ``--cache-dir``, once
+    ever.
+    """
+    global _DEFAULT_FILTER_CACHE
+    with _DEFAULT_FILTER_LOCK:
+        if _DEFAULT_FILTER_CACHE is None:
+            _DEFAULT_FILTER_CACHE = DopplerFilterCache(cache_dir=cache_dir_from_env())
+        return _DEFAULT_FILTER_CACHE

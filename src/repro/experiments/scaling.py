@@ -37,7 +37,13 @@ import numpy as np
 from ..core.covariance import CovarianceSpec
 from ..core.generator import RayleighFadingGenerator
 from ..core.realtime import RealTimeRayleighGenerator
-from ..engine import DecompositionCache, DopplerSpec, SimulationEngine, SimulationPlan
+from ..engine import (
+    DecompositionCache,
+    DopplerFilterCache,
+    DopplerSpec,
+    SimulationEngine,
+    SimulationPlan,
+)
 from ..validation.metrics import relative_frobenius_error
 from . import paper_values as pv
 from .reporting import ExperimentResult, Table
@@ -402,8 +408,10 @@ def run_doppler_batch(
         entry_seeds = [entry.seed for entry in plan]
 
         # Looped baseline: per-spec real-time generators with caching
-        # disabled (the pre-engine model pays a decomposition and N + 1
-        # filter builds per generator, and runs one IDFT per branch).
+        # disabled (the pre-engine model pays a decomposition and a filter
+        # build per generator, and runs one IDFT per branch).  Each
+        # generator gets a private filter cache so the process-wide filter
+        # cache cannot quietly serve the baseline.
         looped_time, looped_blocks = _best_time(
             lambda: [
                 RealTimeRayleighGenerator(
@@ -412,6 +420,7 @@ def run_doppler_batch(
                     n_points=doppler.n_points,
                     rng=entry_seed,
                     cache=DecompositionCache(maxsize=0),
+                    filter_cache=DopplerFilterCache(),
                 ).generate_gaussian(1)
                 for spec, entry_seed in zip(specs, entry_seeds)
             ],

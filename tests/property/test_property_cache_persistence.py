@@ -1,0 +1,124 @@
+"""Property: a disk-cache hit is bit-identical to a fresh computation.
+
+The persistent cache invariant carried over from PRs 1–3: results never
+depend on the cache state.  The strongest form crosses process boundaries —
+two *separate* Python processes sharing one ``cache_dir`` must produce
+byte-for-byte equal :class:`repro.engine.BatchResult` blocks, with the
+second process compiling entirely from the first one's disk entries.  Run
+as real subprocesses (not forks) so nothing in-memory can leak between the
+"processes".
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# The worker compiles and executes a fixed mixed plan (snapshot + Doppler,
+# a repeated matrix, a repaired non-PSD matrix) against a shared cache_dir,
+# then dumps the sample blocks and the cache/compile counters.
+_WORKER = """
+import json, sys
+import numpy as np
+from repro.engine import (DecompositionCache, DopplerFilterCache, DopplerSpec,
+                          SimulationEngine, SimulationPlan)
+
+cache_dir, out_path = sys.argv[1], sys.argv[2]
+
+base = np.array([[1.0, 0.4 + 0.1j], [0.4 - 0.1j, 2.0]], dtype=complex)
+non_psd = np.array(
+    [[1.0, 0.9, 0.9], [0.9, 1.0, 0.9], [0.9, 0.9, 0.2]], dtype=complex
+)
+plan = SimulationPlan()
+plan.add(base, seed=11)
+plan.add(2.0 * base, seed=12)
+plan.add(base, seed=13)                 # repeated matrix, new seed
+plan.add(non_psd, seed=14)              # exercises the PSD repair path
+plan.add(base, seed=15, doppler=DopplerSpec(normalized_doppler=0.05, n_points=64))
+plan.add(2.0 * base, seed=16, doppler=DopplerSpec(normalized_doppler=0.05, n_points=64))
+
+engine = SimulationEngine(cache_dir=cache_dir)
+result = engine.run(plan, 64)
+
+stats = engine.cache.stats
+np.savez(
+    out_path + ".npz",
+    **{f"block_{i}": block.samples for i, block in enumerate(result.blocks)},
+)
+json.dump(
+    {
+        "cache_hits": result.compile_report.cache_hits,
+        "cache_misses": result.compile_report.cache_misses,
+        "disk_hits": stats.disk_hits,
+        "filter_cache_hits": result.compile_report.doppler_filter_cache_hits,
+        "was_repaired": bool(
+            engine.compile(plan).decomposition_for(3).was_repaired
+        ),
+    },
+    open(out_path + ".json", "w"),
+)
+"""
+
+
+def _run_worker(cache_dir: Path, out_path: Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    subprocess.run(
+        [sys.executable, "-c", _WORKER, str(cache_dir), str(out_path)],
+        check=True,
+        env=env,
+        timeout=300,
+    )
+    return json.loads((out_path.parent / (out_path.name + ".json")).read_text())
+
+
+@pytest.mark.slow
+class TestCrossProcessBitIdentity:
+    def test_two_processes_sharing_one_cache_dir(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold_meta = _run_worker(cache_dir, tmp_path / "cold")
+        warm_meta = _run_worker(cache_dir, tmp_path / "warm")
+
+        # The first process computed everything (its only hits are in-batch:
+        # the Doppler entries reuse the snapshot entries' matrices); the
+        # second compiled the same plan without a single computation — every
+        # unique matrix came off the first one's disk entries.
+        assert cold_meta["cache_misses"] == 3
+        assert cold_meta["disk_hits"] == 0
+        assert warm_meta["cache_misses"] == 0
+        assert warm_meta["cache_hits"] == cold_meta["cache_hits"] + cold_meta["cache_misses"]
+        assert warm_meta["disk_hits"] == cold_meta["cache_misses"]
+        assert warm_meta["filter_cache_hits"] == 1
+        # The repair diagnostics survive the disk round-trip too.
+        assert cold_meta["was_repaired"] and warm_meta["was_repaired"]
+
+        with np.load(str(tmp_path / "cold") + ".npz") as cold, np.load(
+            str(tmp_path / "warm") + ".npz"
+        ) as warm:
+            assert set(cold.files) == set(warm.files) == {f"block_{i}" for i in range(6)}
+            for name in cold.files:
+                # Byte-for-byte, not approximately equal.
+                assert cold[name].tobytes() == warm[name].tobytes()
+
+    def test_in_process_disk_hit_is_bit_identical(self, tmp_path):
+        # The cheaper, same-process form of the invariant: a compile served
+        # from disk produces the same bytes as one that computed fresh.
+        from repro.engine import SimulationEngine, SimulationPlan
+
+        base = np.array([[1.0, 0.3], [0.3, 1.0]], dtype=complex)
+        plan = SimulationPlan.from_specs([base, 3.0 * base], seed=5)
+
+        fresh = SimulationEngine(cache_dir=tmp_path / "a").run(plan, 128)
+        SimulationEngine(cache_dir=tmp_path / "b").run(plan, 128)  # populate b
+        from_disk_engine = SimulationEngine(cache_dir=tmp_path / "b")
+        from_disk = from_disk_engine.run(plan, 128)
+        assert from_disk_engine.cache.stats.disk_hits == 2
+
+        for block_fresh, block_disk in zip(fresh.blocks, from_disk.blocks):
+            assert block_fresh.samples.tobytes() == block_disk.samples.tobytes()

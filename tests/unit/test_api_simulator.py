@@ -57,6 +57,46 @@ class TestConstruction:
         stats = sim.cache_stats
         assert stats.misses > 0
 
+    def test_cache_dir_builds_persistent_session(self, tmp_path):
+        with Simulator(cache_dir=tmp_path) as sim:
+            assert sim.cache_dir == str(tmp_path)
+            assert sim.cache is not default_simulator().cache
+            reference = sim.run(_plan(2), 8)
+        # A new session over the same directory compiles from disk and
+        # reproduces the run byte-for-byte.
+        with Simulator(cache_dir=tmp_path) as warm:
+            result = warm.run(_plan(2), 8)
+            assert warm.cache_stats.disk_hits == 2
+        for block, expected in zip(result.blocks, reference.blocks):
+            assert block.samples.tobytes() == expected.samples.tobytes()
+
+    def test_cache_dir_conflicts_with_explicit_cache(self, tmp_path):
+        with pytest.raises(SpecificationError):
+            Simulator(cache=DecompositionCache(), cache_dir=tmp_path)
+
+    def test_explicit_cache_with_disk_tier_reaches_workers(self, tmp_path):
+        # The documented "mix" route: a hand-built persistent cache must
+        # hand its directory to process-pool workers too.
+        sim = Simulator(cache=DecompositionCache(cache_dir=tmp_path), max_workers=2)
+        assert sim.cache_dir == str(tmp_path)
+
+    def test_explicit_memory_only_cache_overrides_env_for_workers(
+        self, tmp_path, monkeypatch
+    ):
+        # An explicit cache opt-out must hold in workers even when
+        # REPRO_CACHE_DIR is exported: parallel runs may not silently gain
+        # a disk tier the caller disabled.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        sim = Simulator(cache=DecompositionCache(maxsize=0), max_workers=2)
+        assert sim.cache_dir is None
+
+    def test_default_session_forwards_env_dir_to_workers(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        sim = Simulator(max_workers=2)
+        assert sim.cache_dir == str(tmp_path)
+
 
 class TestEnvelopes:
     def test_matrix_bit_identical_to_classic_helper(self):

@@ -144,3 +144,87 @@ class TestMain:
             )
             == 0
         )
+
+
+class TestEmptyComparison:
+    """A non-empty baseline compared against nothing must fail, not pass.
+
+    Regression tests for the CI hole where a crashed benchmark suite that
+    still wrote ``"benchmarks": []`` sailed through as "no regressions:
+    0 benchmarks".
+    """
+
+    def test_empty_current_report_fails(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0, "b": 2.0})
+        current = _write_report(tmp_path / "cur.json", {})
+        code = compare_benchmarks.main([str(previous), str(current)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no overlapping benchmarks" in out
+        assert "no regressions" not in out
+
+    def test_disjoint_benchmark_sets_fail(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"old_a": 1.0})
+        current = _write_report(tmp_path / "cur.json", {"new_a": 1.0})
+        code = compare_benchmarks.main([str(previous), str(current)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no overlapping benchmarks" in out
+
+    def test_empty_baseline_still_skips(self, tmp_path, capsys):
+        # The first-run grace is untouched: no baseline means nothing to
+        # gate, so an empty *previous* report passes.
+        previous = _write_report(tmp_path / "prev.json", {})
+        current = _write_report(tmp_path / "cur.json", {"a": 1.0})
+        assert compare_benchmarks.main([str(previous), str(current)]) == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_partial_overlap_still_compares(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0, "gone": 1.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 1.0, "new": 1.0})
+        code = compare_benchmarks.main([str(previous), str(current)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no regressions: 1 benchmarks" in out
+
+
+class TestWarnOnly:
+    def test_warn_only_downgrades_regression(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 2.0})
+        code = compare_benchmarks.main(
+            [str(previous), str(current), "--warn-only"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARNING" in out
+        assert "regression" in out
+
+    def test_warn_only_downgrades_empty_comparison(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        current = _write_report(tmp_path / "cur.json", {})
+        code = compare_benchmarks.main(
+            [str(previous), str(current), "--warn-only"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARNING" in out
+        assert "no overlapping benchmarks" in out
+
+    def test_warn_only_downgrades_missing_current(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        code = compare_benchmarks.main(
+            [str(previous), str(tmp_path / "absent.json"), "--warn-only"]
+        )
+        assert code == 0
+        assert "WARNING" in capsys.readouterr().out
+
+    def test_warn_only_clean_run_stays_quiet(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 1.0})
+        code = compare_benchmarks.main(
+            [str(previous), str(current), "--warn-only"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARNING" not in out

@@ -148,6 +148,96 @@ class TestBatchCacheSummary:
         assert "hit rate" in out
 
 
+class TestCacheDirOption:
+    @pytest.fixture(autouse=True)
+    def detach_default_caches(self):
+        # --cache-dir attaches a disk tier to the process-wide caches;
+        # detach it afterwards so other tests see memory-only defaults.
+        yield
+        from repro.engine import default_decomposition_cache, default_filter_cache
+
+        default_decomposition_cache().set_cache_dir(None)
+        default_filter_cache().set_cache_dir(None)
+
+    def test_cache_dir_parses_on_run_and_batch(self, tmp_path):
+        args = build_parser().parse_args(
+            ["batch", "--cache-dir", str(tmp_path / "c")]
+        )
+        assert args.cache_dir == tmp_path / "c"
+        args = build_parser().parse_args(
+            ["run", "eq22-spectral-covariance", "--cache-dir", str(tmp_path)]
+        )
+        assert args.cache_dir == tmp_path
+
+    def test_doppler_batch_with_cache_dir_persists_filters(self, tmp_path, capsys):
+        cache_dir = tmp_path / "persist"
+        code = main(
+            ["batch", "--doppler", "--batch-sizes", "1", "--points", "64",
+             "--repeats", "1", "--cache-dir", str(cache_dir)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert list((cache_dir / "filters").glob("*.npz"))
+
+
+class TestCacheSubcommand:
+    def test_cache_command_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            ["cache", "stats", "--cache-dir", str(tmp_path)]
+        )
+        assert args.command == "cache"
+        assert args.action == "stats"
+        assert args.cache_dir == tmp_path
+
+    def test_cache_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "frobnicate"])
+
+    def test_stats_without_directory_errors(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "stats"])
+        assert "REPRO_CACHE_DIR" in str(excinfo.value)
+
+    def test_stats_reads_directory_from_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "decompositions: 0 entries" in out
+        assert "doppler filters: 0 entries" in out
+
+    def test_stats_counts_populated_tiers(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.engine import DecompositionCache, DopplerFilterCache
+
+        DecompositionCache(cache_dir=tmp_path).coloring_for(
+            np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
+        )
+        DopplerFilterCache(cache_dir=tmp_path).get(64, 0.05)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "decompositions: 1 entries" in out
+        assert "doppler filters: 1 entries" in out
+
+    def test_clear_removes_everything(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.engine import DecompositionCache, DopplerFilterCache
+
+        DecompositionCache(cache_dir=tmp_path).coloring_for(
+            np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
+        )
+        DopplerFilterCache(cache_dir=tmp_path).get(64, 0.05)
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "decompositions: 0 entries" in out
+        assert "doppler filters: 0 entries" in out
+
+
 class TestBatchDopplerMode:
     def test_doppler_flags_parse(self):
         args = build_parser().parse_args(

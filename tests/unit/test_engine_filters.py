@@ -1,0 +1,249 @@
+"""Unit tests for the process-wide + on-disk Young–Beaulieu filter cache."""
+
+import numpy as np
+import pytest
+
+from repro.channels.doppler import filter_output_variance, young_beaulieu_filter
+from repro.core.realtime import RealTimeRayleighGenerator
+from repro.engine import (
+    DecompositionCache,
+    DopplerFilterCache,
+    DopplerSpec,
+    SimulationPlan,
+    compile_plan,
+    default_filter_cache,
+)
+
+
+@pytest.fixture()
+def matrix():
+    return np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
+
+
+class TestDopplerFilterCache:
+    def test_miss_builds_bit_identical_filter(self):
+        cache = DopplerFilterCache()
+        coefficients, variance, was_cached = cache.get(64, 0.05)
+        assert not was_cached
+        fresh = young_beaulieu_filter(64, 0.05)
+        assert np.array_equal(coefficients, fresh)
+        assert variance == filter_output_variance(fresh, 0.5)
+
+    def test_hit_shares_the_same_array(self):
+        cache = DopplerFilterCache()
+        first, _, _ = cache.get(64, 0.05)
+        second, _, was_cached = cache.get(64, 0.05)
+        assert was_cached
+        assert second is first
+
+    def test_cached_coefficients_are_frozen(self):
+        coefficients, _, _ = DopplerFilterCache().get(64, 0.05)
+        assert not coefficients.flags.writeable
+        with pytest.raises(ValueError):
+            coefficients[0] = 1.0
+
+    def test_distinct_keys_build_distinct_filters(self):
+        cache = DopplerFilterCache()
+        cache.get(64, 0.05)
+        cache.get(64, 0.1)
+        cache.get(128, 0.05)
+        cache.get(64, 0.05, input_variance_per_dim=1.0)  # same filter, new variance
+        stats = cache.stats
+        assert stats.misses == 4
+        assert len(cache) == 4
+
+    def test_counters(self):
+        cache = DopplerFilterCache()
+        cache.get(64, 0.05)
+        cache.get(64, 0.05)
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.lookups == 2
+        assert stats.builds == 1
+
+    def test_invalid_parameters_still_raise(self):
+        from repro.exceptions import DopplerError
+
+        with pytest.raises(DopplerError):
+            DopplerFilterCache().get(64, 0.9)
+
+    def test_clear_and_reset(self):
+        cache = DopplerFilterCache()
+        cache.get(64, 0.05)
+        cache.clear()
+        assert len(cache) == 0
+        cache.reset_stats()
+        assert cache.stats.lookups == 0
+
+    def test_default_cache_is_process_wide(self):
+        assert default_filter_cache() is default_filter_cache()
+
+
+class TestFilterDiskTier:
+    def test_fresh_process_equivalent_hits_disk(self, tmp_path):
+        built, variance, _ = DopplerFilterCache(cache_dir=tmp_path).get(64, 0.05)
+        second = DopplerFilterCache(cache_dir=tmp_path)
+        loaded, loaded_variance, was_cached = second.get(64, 0.05)
+        assert was_cached
+        assert second.stats.disk_hits == 1
+        assert loaded.tobytes() == built.tobytes()
+        assert loaded_variance == variance
+
+    def test_disk_usage_and_clear(self, tmp_path):
+        cache = DopplerFilterCache(cache_dir=tmp_path)
+        cache.get(64, 0.05)
+        cache.get(128, 0.05)
+        entries, total = cache.disk_usage()
+        assert entries == 2
+        assert total > 0
+        assert cache.clear_disk() == 2
+        assert cache.disk_usage() == (0, 0)
+
+    def test_corrupt_entry_is_a_counted_miss(self, tmp_path):
+        DopplerFilterCache(cache_dir=tmp_path).get(64, 0.05)
+        (path,) = (tmp_path / "filters").glob("*.npz")
+        path.write_bytes(b"garbage")
+        cache = DopplerFilterCache(cache_dir=tmp_path)
+        coefficients, _, was_cached = cache.get(64, 0.05)
+        assert not was_cached
+        stats = cache.stats
+        assert stats.disk_corruptions == 1
+        assert stats.disk_misses == 1
+        assert np.array_equal(coefficients, young_beaulieu_filter(64, 0.05))
+
+    def test_store_sweeps_stale_tmp_orphans(self, tmp_path):
+        import os
+        import time
+
+        orphan_dir = tmp_path / "filters"
+        orphan_dir.mkdir(parents=True)
+        stale = orphan_dir / "deadbeef.tmp"
+        stale.write_bytes(b"left by a dead worker")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        fresh = orphan_dir / "cafe.tmp"
+        fresh.write_bytes(b"in flight")
+        DopplerFilterCache(cache_dir=tmp_path).get(64, 0.05)  # triggers a store
+        assert not stale.exists()  # hour-old orphan swept
+        assert fresh.exists()  # recent file presumed in-flight, kept
+
+    def test_clear_disk_removes_tmp_leftovers(self, tmp_path):
+        cache = DopplerFilterCache(cache_dir=tmp_path)
+        cache.get(64, 0.05)
+        orphan = tmp_path / "filters" / "deadbeef.tmp"
+        orphan.write_bytes(b"half-written")
+        assert cache.clear_disk() == 1  # counts entries, not tmp leftovers
+        assert not orphan.exists()
+
+    def test_unusable_cache_dir_degrades_without_retry(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a regular file, not a directory")
+        cache = DopplerFilterCache(cache_dir=blocker)
+        cache.get(64, 0.05)  # store attempt fails soft
+        calls = []
+        monkeypatch.setattr(
+            DopplerFilterCache, "_disk_store", lambda self, *a: calls.append(1)
+        )
+        for _ in range(5):
+            cache.get(64, 0.05)  # memory hits
+        assert calls == []  # the failed spill was remembered, not re-paid
+
+    def test_tampered_payload_fails_digest_verification(self, tmp_path):
+        import zipfile
+
+        DopplerFilterCache(cache_dir=tmp_path).get(64, 0.05)
+        (path,) = (tmp_path / "filters").glob("*.npz")
+        with zipfile.ZipFile(path) as archive:
+            members = {name: archive.read(name) for name in archive.namelist()}
+        payload = bytearray(members["coefficients.npy"])
+        payload[-1] ^= 0xFF
+        members["coefficients.npy"] = bytes(payload)
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, data in members.items():
+                archive.writestr(name, data)
+        cache = DopplerFilterCache(cache_dir=tmp_path)
+        coefficients, _, was_cached = cache.get(64, 0.05)
+        assert not was_cached
+        assert cache.stats.disk_corruptions == 1
+        assert np.array_equal(coefficients, young_beaulieu_filter(64, 0.05))
+
+
+class TestCompileIntegration:
+    def _doppler_plan(self, matrix):
+        plan = SimulationPlan()
+        plan.add(matrix, seed=1, doppler=DopplerSpec(0.05, 64))
+        plan.add(2 * matrix, seed=2, doppler=DopplerSpec(0.05, 64))
+        return plan
+
+    def test_compile_reports_shared_cache_hits(self, matrix):
+        filter_cache = DopplerFilterCache()
+        plan = self._doppler_plan(matrix)
+        first = compile_plan(
+            plan, cache=DecompositionCache(), filter_cache=filter_cache
+        )
+        second = compile_plan(
+            plan, cache=DecompositionCache(), filter_cache=filter_cache
+        )
+        # Both passes resolve one unique filter key; only the first builds it.
+        assert first.report.doppler_filters_built == 1
+        assert first.report.doppler_filter_cache_hits == 0
+        assert second.report.doppler_filters_built == 1
+        assert second.report.doppler_filter_cache_hits == 1
+        assert filter_cache.stats.builds == 1
+
+    def test_compiles_share_the_filter_array_across_passes(self, matrix):
+        filter_cache = DopplerFilterCache()
+        plan = self._doppler_plan(matrix)
+        first = compile_plan(
+            plan, cache=DecompositionCache(), filter_cache=filter_cache
+        )
+        second = compile_plan(
+            plan, cache=DecompositionCache(), filter_cache=filter_cache
+        )
+        assert second.groups[0].doppler_filter is first.groups[0].doppler_filter
+
+    def test_snapshot_plan_reports_no_filter_activity(self, matrix):
+        plan = SimulationPlan()
+        plan.add(matrix, seed=1)
+        compiled = compile_plan(
+            plan, cache=DecompositionCache(), filter_cache=DopplerFilterCache()
+        )
+        assert compiled.report.doppler_filters_built == 0
+        assert compiled.report.doppler_filter_cache_hits == 0
+
+
+class TestRealtimeIntegration:
+    def test_generators_share_one_build(self, matrix):
+        filter_cache = DopplerFilterCache()
+        first = RealTimeRayleighGenerator(
+            matrix, normalized_doppler=0.05, n_points=64, rng=1,
+            cache=DecompositionCache(maxsize=0), filter_cache=filter_cache,
+        )
+        second = RealTimeRayleighGenerator(
+            matrix, normalized_doppler=0.05, n_points=64, rng=2,
+            cache=DecompositionCache(maxsize=0), filter_cache=filter_cache,
+        )
+        assert filter_cache.stats.builds == 1
+        assert second._filter is first._filter
+
+    def test_cached_filter_keeps_bit_identity(self, matrix):
+        # The shared filter must not change what the generator produces.
+        filter_cache = DopplerFilterCache()
+        filter_cache.get(64, 0.05)  # pre-warm so the generator gets a hit
+        warm = RealTimeRayleighGenerator(
+            matrix, normalized_doppler=0.05, n_points=64, rng=7,
+            cache=DecompositionCache(maxsize=0), filter_cache=filter_cache,
+        ).generate_gaussian(2)
+        cold = RealTimeRayleighGenerator(
+            matrix, normalized_doppler=0.05, n_points=64, rng=7,
+            cache=DecompositionCache(maxsize=0), filter_cache=DopplerFilterCache(),
+        ).generate_gaussian(2)
+        assert np.array_equal(warm.samples, cold.samples)
+
+    def test_output_variance_matches_eq19(self, matrix):
+        generator = RealTimeRayleighGenerator(
+            matrix, normalized_doppler=0.05, n_points=64, rng=1,
+            cache=DecompositionCache(maxsize=0),
+            filter_cache=DopplerFilterCache(),
+        )
+        expected = filter_output_variance(young_beaulieu_filter(64, 0.05), 0.5)
+        assert generator.filter_output_variance == expected

@@ -1,16 +1,20 @@
-"""Benchmark: warm-start compilation from the persistent decomposition cache.
+"""Benchmark: warm-start compilation from the persistent artifact cache.
 
 The persistent artifact cache exists for one scenario: a *new process*
 repeating a heavy sweep it (or CI, or another worker) has run before.  This
 module times ``compile_plan`` over a sweep of B large covariance matrices in
-the three cache states that scenario passes through:
+the cache states that scenario passes through:
 
 * **cold** — empty memory cache, empty disk tier: every unique matrix pays
   its stacked ``O(N^3)`` eigendecomposition (the first-ever run);
-* **warm disk** — empty memory cache, populated disk tier: the fresh-process
-  case the disk spill exists for, every decomposition loaded and
-  digest-verified from ``.npz`` entries;
-* **warm memory** — populated memory cache: the within-process ceiling.
+* **warm disk** — empty memory cache, populated decomposition tier: every
+  decomposition loaded and digest-verified from ``.npz`` entries (the
+  compiled-plan tier is explicitly detached, so this measures the
+  per-matrix tier alone);
+* **warm memory** — populated memory cache: the within-process ceiling;
+* **warm plan** — the executor-level tier: a fresh "process" loads the
+  *whole* compiled plan from one ``plans/`` artifact, skipping grouping,
+  per-matrix hashing, decomposition lookups and stack assembly entirely.
 
 The sweep uses **large** matrices (N = 64 and 128 branches) deliberately:
 a disk hit costs one file read plus a SHA-256 over the payload, which is
@@ -26,8 +30,9 @@ temporary directory populated inside this run; CI sets
 step hands its disk entries to the warm phase of the next — an actual
 cross-process warm start, not a simulation of one.
 
-A correctness guard pins the invariant the speedup depends on: compiling
-from disk yields byte-for-byte the samples a fresh computation yields.
+A correctness guard pins the invariant the speedups depend on: compiling
+from disk — either tier — yields byte-for-byte the samples a fresh
+computation yields.
 """
 
 import os
@@ -37,6 +42,7 @@ import numpy as np
 import pytest
 
 from repro.engine import (
+    CompiledPlanCache,
     DecompositionCache,
     DopplerFilterCache,
     SimulationEngine,
@@ -68,8 +74,12 @@ def _plan(n_branches, batch_size=BATCH_SIZE):
 
 
 def _populate(cache_dir, n_branches):
-    """Ensure the disk tier holds every decomposition of the sweep."""
-    compile_plan(_plan(n_branches), cache=DecompositionCache(cache_dir=cache_dir))
+    """Ensure the disk tiers (per-matrix *and* compiled-plan) hold the sweep."""
+    compile_plan(
+        _plan(n_branches),
+        cache=DecompositionCache(cache_dir=cache_dir),
+        plan_cache=CompiledPlanCache(cache_dir),
+    )
 
 
 @pytest.mark.parametrize("n_branches", BRANCH_COUNTS)
@@ -78,12 +88,14 @@ def test_bench_compile_cold(benchmark, cache_root, n_branches):
     plan = _plan(n_branches)
 
     def kernel():
-        return compile_plan(plan, cache=DecompositionCache())
+        return compile_plan(
+            plan, cache=DecompositionCache(), plan_cache=CompiledPlanCache()
+        )
 
     compiled = benchmark(kernel)
     assert compiled.report.cache_misses == BATCH_SIZE
-    # Leave the shared directory populated for the warm-disk phase — in CI
-    # this is what the next step's warm run starts from.
+    # Leave the shared directory populated for the warm phases — in CI this
+    # is what the next step's warm runs start from.
     _populate(cache_root / f"n{n_branches}", n_branches)
 
 
@@ -96,8 +108,13 @@ def test_bench_compile_warm_disk(benchmark, cache_root, n_branches):
 
     def kernel():
         # A fresh cache per round models a fresh process: every lookup
-        # misses memory and is served (and digest-verified) from disk.
-        return compile_plan(plan, cache=DecompositionCache(cache_dir=cache_dir))
+        # misses memory and is served (and digest-verified) from disk.  The
+        # detached plan cache isolates the per-matrix tier being measured.
+        return compile_plan(
+            plan,
+            cache=DecompositionCache(cache_dir=cache_dir),
+            plan_cache=CompiledPlanCache(),
+        )
 
     compiled = benchmark(kernel)
     assert compiled.report.cache_hits == BATCH_SIZE
@@ -109,10 +126,35 @@ def test_bench_compile_warm_memory(benchmark, cache_root, n_branches):
     """Time: compile with every decomposition already in memory."""
     plan = _plan(n_branches)
     cache = DecompositionCache()
-    compile_plan(plan, cache=cache)
+    compile_plan(plan, cache=cache, plan_cache=CompiledPlanCache())
 
-    compiled = benchmark(compile_plan, plan, cache=cache)
+    compiled = benchmark(
+        compile_plan, plan, cache=cache, plan_cache=CompiledPlanCache()
+    )
     assert compiled.report.cache_hits == BATCH_SIZE
+
+
+@pytest.mark.parametrize("n_branches", BRANCH_COUNTS)
+def test_bench_compile_warm_plan(benchmark, cache_root, n_branches):
+    """Time: load the whole compiled plan from one ``plans/`` artifact."""
+    cache_dir = cache_root / f"n{n_branches}"
+    _populate(cache_dir, n_branches)  # idempotent; guards solo/-k invocations
+    plan = _plan(n_branches)
+
+    def kernel():
+        # A fresh plan cache per round models a fresh process; the fresh
+        # (empty, detached-from-disk) decomposition cache proves nothing is
+        # served per matrix — the artifact short-circuits the whole pass.
+        return compile_plan(
+            plan,
+            cache=DecompositionCache(),
+            plan_cache=CompiledPlanCache(cache_dir),
+        )
+
+    compiled = benchmark(kernel)
+    assert compiled.report.plan_cache_hits == 1
+    assert compiled.report.cache_hits == 0
+    assert compiled.report.cache_misses == 0
 
 
 def test_bench_doppler_filter_warm_disk(benchmark, cache_root):
@@ -132,22 +174,35 @@ def test_bench_doppler_filter_warm_disk(benchmark, cache_root):
 
 
 def test_bench_warm_disk_equals_fresh():
-    """Correctness guard: disk-served compiles execute byte-for-byte equal."""
+    """Correctness guard: disk-served compiles execute byte-for-byte equal,
+    through the per-matrix tier and through the compiled-plan tier alike."""
     import tempfile
 
     plan = _plan(64, batch_size=4)
     with tempfile.TemporaryDirectory() as tmp:
         fresh = SimulationEngine(cache=DecompositionCache()).run(plan, 64)
-        SimulationEngine(cache_dir=tmp).run(plan, 64)  # populate the disk tier
-        warm_engine = SimulationEngine(cache_dir=tmp)
+        SimulationEngine(cache_dir=tmp).run(plan, 64)  # populate all tiers
+
+        # Per-matrix tier alone (plan cache detached).
+        warm_engine = SimulationEngine(
+            cache=DecompositionCache(cache_dir=tmp), plan_cache=CompiledPlanCache()
+        )
         warm = warm_engine.run(plan, 64)
         assert warm_engine.cache.stats.disk_hits == 4
         for fresh_block, warm_block in zip(fresh.blocks, warm.blocks):
             assert fresh_block.samples.tobytes() == warm_block.samples.tobytes()
 
+        # Whole-plan tier: zero per-matrix lookups, same bytes.
+        plan_engine = SimulationEngine(cache_dir=tmp)
+        from_plan = plan_engine.run(plan, 64)
+        assert from_plan.compile_report.plan_cache_hits == 1
+        assert plan_engine.cache.stats.lookups == 0
+        for fresh_block, plan_block in zip(fresh.blocks, from_plan.blocks):
+            assert fresh_block.samples.tobytes() == plan_block.samples.tobytes()
+
 
 def test_report_warm_start_speedup(cache_root, capsys):
-    """Print the measured cold vs. warm-disk compile times (informational)."""
+    """Print the measured cold vs. warm-tier compile times (informational)."""
     import time
 
     n_branches = BRANCH_COUNTS[-1]
@@ -163,13 +218,27 @@ def test_report_warm_start_speedup(cache_root, capsys):
             best = min(best, time.perf_counter() - start)
         return best
 
-    cold = best_of(lambda: compile_plan(plan, cache=DecompositionCache()))
-    warm = best_of(
-        lambda: compile_plan(plan, cache=DecompositionCache(cache_dir=cache_dir))
+    cold = best_of(
+        lambda: compile_plan(
+            plan, cache=DecompositionCache(), plan_cache=CompiledPlanCache()
+        )
+    )
+    warm_disk = best_of(
+        lambda: compile_plan(
+            plan,
+            cache=DecompositionCache(cache_dir=cache_dir),
+            plan_cache=CompiledPlanCache(),
+        )
+    )
+    warm_plan = best_of(
+        lambda: compile_plan(
+            plan, cache=DecompositionCache(), plan_cache=CompiledPlanCache(cache_dir)
+        )
     )
     with capsys.disabled():
         print(
             f"\n[bench_cache_persistence] B={BATCH_SIZE}, N={n_branches}: "
-            f"cold compile {cold:.4f}s, warm-disk compile {warm:.4f}s "
-            f"({cold / warm:.2f}x warm-start speedup)"
+            f"cold compile {cold:.4f}s, warm-disk compile {warm_disk:.4f}s "
+            f"({cold / warm_disk:.2f}x), warm-plan compile {warm_plan:.4f}s "
+            f"({cold / warm_plan:.2f}x warm-start speedup)"
         )

@@ -55,8 +55,10 @@ from .engine import (
     BackendSpec,
     BatchResult,
     CompiledPlan,
+    CompiledPlanCache,
     CompileReport,
     DecompositionCache,
+    DopplerFilterCache,
     LinalgBackend,
     SimulationEngine,
     SimulationPlan,
@@ -75,6 +77,7 @@ def _run_subplan(
     n_samples: int,
     backend: LinalgBackend,
     cache_dir: Optional[str] = None,
+    plan_cache_dir: Optional[str] = None,
 ) -> BatchResult:
     """Worker: compile and execute one sub-plan with a private engine.
 
@@ -86,16 +89,27 @@ def _run_subplan(
     decomposition cache (process-wide caches are not shared across
     processes), but when the parent session has a persistent ``cache_dir``
     every worker attaches the same disk tier, so workers *do* share
-    decompositions and Doppler filters through the filesystem (disk writes
-    are atomic and corrupt reads degrade to misses).  The parent decides
+    decompositions, Doppler filters, and compiled sub-plan artifacts
+    through the filesystem (disk writes are atomic and corrupt reads
+    degrade to misses).  The parent decides
     what to forward — explicit argument, an explicit cache's own disk
     tier, or ``REPRO_CACHE_DIR`` for default-cache sessions — so an
     explicitly memory-only session stays memory-only in workers too.
+    ``plan_cache_dir`` mirrors the *parent engine's* compiled-plan tier
+    separately, so a session whose plan tier is detached (an explicitly
+    hand-configured cache) keeps it detached in workers instead of
+    silently gaining whole-plan short-circuits only when a run happens to
+    parallelize.
     """
     if cache_dir is None:
         engine = SimulationEngine(cache=DecompositionCache(), backend=backend)
     else:
-        engine = SimulationEngine(cache_dir=cache_dir, backend=backend)
+        engine = SimulationEngine(
+            cache=DecompositionCache(cache_dir=cache_dir),
+            filter_cache=DopplerFilterCache(cache_dir=cache_dir),
+            plan_cache=CompiledPlanCache(plan_cache_dir),
+            backend=backend,
+        )
     return engine.run(subplan, n_samples)
 
 
@@ -133,6 +147,7 @@ def _merge_results(
         doppler_filter_cache_hits=sum(
             p.compile_report.doppler_filter_cache_hits for p in partials
         ),
+        plan_cache_hits=sum(p.compile_report.plan_cache_hits for p in partials),
     )
     return BatchResult(
         blocks=tuple(blocks),
@@ -160,10 +175,14 @@ class Simulator:
         to disable reuse.
     cache_dir:
         Persistent artifact-cache directory for this session: builds a
-        private :class:`DecompositionCache` and Young–Beaulieu filter cache
-        whose entries spill to disk under it, so repeated processes sharing
-        the directory skip recompilation (see the README's "Caching &
-        persistence").  Conflicts with an explicit ``cache`` — construct
+        private :class:`DecompositionCache`, Young–Beaulieu filter cache,
+        and compiled-plan cache whose entries spill to disk under it (the
+        ``decompositions/``, ``filters/``, and ``plans/`` namespaces of the
+        unified artifact store), so repeated processes sharing the
+        directory skip recompilation — a warm run loads whole compiled
+        plans without a single ``eigh``/``cholesky`` or filter build (see
+        the README's "Caching & persistence" and ``docs/ARCHITECTURE.md``).
+        Conflicts with an explicit ``cache`` — construct
         ``DecompositionCache(cache_dir=...)`` yourself to mix.  ``None``
         (default) leaves caching in-memory unless the ``REPRO_CACHE_DIR``
         environment variable configured the process-wide caches.
@@ -209,6 +228,12 @@ class Simulator:
         if cache_dir is None:
             cache_dir = cache.cache_dir if cache is not None else cache_dir_from_env()
         self._cache_dir = None if cache_dir is None else str(cache_dir)
+        # The compiled-plan tier is forwarded separately: workers attach it
+        # exactly when the parent engine's plan cache is attached, so the
+        # serial and parallel paths agree on whether whole-plan
+        # short-circuits may happen.
+        plan_dir = self._engine.plan_cache.cache_dir
+        self._plan_cache_dir = None if plan_dir is None else str(plan_dir)
         self._defaults = defaults
         self._max_workers = max_workers
         self._thread_pool: Optional[ThreadPoolExecutor] = None
@@ -336,7 +361,12 @@ class Simulator:
             with ProcessPoolExecutor(max_workers=len(subplans)) as pool:
                 futures = [
                     pool.submit(
-                        _run_subplan, subplan, n_samples, backend, self._cache_dir
+                        _run_subplan,
+                        subplan,
+                        n_samples,
+                        backend,
+                        self._cache_dir,
+                        self._plan_cache_dir,
                     )
                     for subplan in subplans
                 ]

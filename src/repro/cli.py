@@ -20,10 +20,10 @@ Subcommands
     Doppler filter-reuse counters (filters built vs. entries served)
     reported alongside the speedups.
 ``cache {stats,clear} [--cache-dir DIR]``
-    Inspect or empty the persistent artifact cache (decomposition and
-    Doppler-filter ``.npz`` spill).  The directory comes from
-    ``--cache-dir`` or, when omitted, the ``REPRO_CACHE_DIR`` environment
-    variable.
+    Inspect or empty the persistent artifact cache — all three store
+    namespaces: decompositions, Doppler filters, and compiled plans.  The
+    directory comes from ``--cache-dir`` or, when omitted, the
+    ``REPRO_CACHE_DIR`` environment variable.
 
 All output is plain text; the experiments regenerate the paper's tables and
 figures as numbers (and ASCII traces with ``--ascii-plots``).
@@ -75,16 +75,22 @@ def _attach_cache_dir(cache_dir: Optional[Path]) -> None:
     """Attach a persistent disk tier to the process-wide caches.
 
     ``--cache-dir`` is the per-invocation equivalent of exporting
-    ``REPRO_CACHE_DIR`` before the run: the process-wide decomposition and
-    Doppler-filter caches gain (or, with ``None`` and no environment
-    variable, keep their lazily-resolved) disk tier under the directory.
+    ``REPRO_CACHE_DIR`` before the run: the process-wide decomposition,
+    Doppler-filter, and compiled-plan caches gain (or, with ``None`` and no
+    environment variable, keep their lazily-resolved) disk tier under the
+    directory.
     """
     if cache_dir is None:
         return
-    from .engine import default_decomposition_cache, default_filter_cache
+    from .engine import (
+        default_decomposition_cache,
+        default_filter_cache,
+        default_plan_cache,
+    )
 
     default_decomposition_cache().set_cache_dir(cache_dir)
     default_filter_cache().set_cache_dir(cache_dir)
+    default_plan_cache().set_cache_dir(cache_dir)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -197,31 +203,34 @@ def _resolved_cache_dir(cache_dir: Optional[Path]) -> Path:
 
 
 def _run_cache_command(action: str, cache_dir: Optional[Path]) -> int:
-    """Implement ``repro-experiments cache {stats,clear}``."""
-    from .engine import DecompositionCache, DopplerFilterCache
+    """Implement ``repro-experiments cache {stats,clear}``.
+
+    Covers all three namespaces of the unified artifact store:
+    decompositions, Doppler filters, and compiled plans.
+    """
+    from .engine import CompiledPlanCache, DecompositionCache, DopplerFilterCache
 
     resolved = _resolved_cache_dir(cache_dir)
     # maxsize=0: these handles only inspect/maintain the disk tier; nothing
     # is promoted into (or counted against) an in-memory LRU.
     decompositions = DecompositionCache(maxsize=0, cache_dir=resolved)
     filters = DopplerFilterCache(cache_dir=resolved)
+    plans = CompiledPlanCache(cache_dir=resolved)
 
     if action == "clear":
-        removed = decompositions.clear_disk() + filters.clear_disk()
+        removed = (
+            decompositions.clear_disk() + filters.clear_disk() + plans.clear_disk()
+        )
         print(f"cache cleared: removed {removed} entries under {resolved}")
         return 0
 
-    stats = decompositions.stats
-    filter_entries, filter_bytes = filters.disk_usage()
     print(f"cache directory: {resolved}")
-    print(
-        f"  decompositions: {stats.disk_entries} entries, "
-        f"{stats.disk_bytes / 1024:.1f} KiB"
-    )
-    print(
-        f"  doppler filters: {filter_entries} entries, "
-        f"{filter_bytes / 1024:.1f} KiB"
-    )
+    for label, (entries, n_bytes) in (
+        ("decompositions", decompositions.disk_usage()),
+        ("doppler filters", filters.disk_usage()),
+        ("compiled plans", plans.disk_usage()),
+    ):
+        print(f"  {label}: {entries} entries, {n_bytes / 1024:.1f} KiB")
     return 0
 
 

@@ -13,9 +13,10 @@ functions that accept one.
 
 Environment configuration is read through small helpers so every consumer
 agrees on the variable names: ``REPRO_CACHE_DIR`` selects the directory of
-the persistent artifact cache (decomposition and Doppler-filter spill;
-:func:`cache_dir_from_env`), equivalent to the CLI's ``--cache-dir`` and the
-``cache_dir=`` argument of :class:`repro.api.Simulator`.
+the persistent artifact cache — all three store namespaces: decompositions,
+Doppler filters, and compiled plans (:func:`cache_dir_from_env`) —
+equivalent to the CLI's ``--cache-dir`` and the ``cache_dir=`` argument of
+:class:`repro.api.Simulator`.
 """
 
 from __future__ import annotations
@@ -33,7 +34,9 @@ __all__ = [
     "cache_dir_from_env",
 ]
 
-#: Environment variable naming the persistent artifact-cache directory.
+#: Environment variable naming the persistent artifact-cache directory
+#: (the root shared by the ``decompositions/``, ``filters/``, and
+#: ``plans/`` namespaces of :class:`repro.engine.store.ArtifactStore`).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 

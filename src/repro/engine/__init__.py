@@ -30,14 +30,19 @@ sweeps and Monte-Carlo grids:
     (``"numpy"`` default, ``"scipy"`` LAPACK-driver variant, import-gated
     GPU backends) so backend choice is a constructor argument of
     :class:`SimulationEngine` / :class:`repro.api.Simulator`.
-:mod:`repro.engine.cache` / :mod:`repro.engine.filters`
-    The two artifact caches compilation leans on: the content-hashed LRU
-    :class:`DecompositionCache` and the process-wide
-    :class:`DopplerFilterCache` of Young–Beaulieu filters.  Both take an
-    optional ``cache_dir`` (CLI ``--cache-dir``, env ``REPRO_CACHE_DIR``)
-    spilling entries as digest-verified ``.npz`` files, so repeated
-    *processes* skip recomputation; a disk hit is bit-identical to a fresh
-    computation and a corrupt file is a miss, never an error.
+:mod:`repro.engine.store` / :mod:`repro.engine.cache` /
+:mod:`repro.engine.filters` / :mod:`repro.engine.plancache`
+    The persistent artifact cache.  :class:`ArtifactStore` is the single
+    disk-tier implementation (atomic writes, digest verification,
+    quarantine-on-corrupt, LRU byte-bounded eviction) parameterized by
+    payload dump/load; its three namespaces under one ``cache_dir`` (CLI
+    ``--cache-dir``, env ``REPRO_CACHE_DIR``) are the content-hashed LRU
+    :class:`DecompositionCache`, the process-wide
+    :class:`DopplerFilterCache` of Young–Beaulieu filters, and the
+    executor-level :class:`CompiledPlanCache` that loads *whole* compiled
+    plans without touching ``eigh``/``cholesky`` or filter construction.
+    A disk hit is bit-identical to a fresh computation and a corrupt file
+    is a miss, never an error.
 
 **Equivalence guarantee.**  For the same per-entry seeds, batched execution
 is bit-identical to looping single-spec generators — the single-spec path is
@@ -70,6 +75,13 @@ from .cache import (
 )
 from .filters import DopplerFilterCache, FilterCacheStats, default_filter_cache
 from .plan import DopplerSpec, PlanEntry, SimulationPlan
+from .plancache import (
+    CompiledPlanCache,
+    PlanCacheStats,
+    compiled_plan_cache_key,
+    default_plan_cache,
+)
+from .store import ArtifactStore, StoreStats
 from .compile import CompiledGroup, CompiledPlan, CompileReport, compile_plan
 from .execute import execute_plan, stream_plan
 from .result import BatchResult
@@ -93,6 +105,12 @@ __all__ = [
     "DopplerFilterCache",
     "FilterCacheStats",
     "default_filter_cache",
+    "ArtifactStore",
+    "StoreStats",
+    "CompiledPlanCache",
+    "PlanCacheStats",
+    "compiled_plan_cache_key",
+    "default_plan_cache",
     "DopplerSpec",
     "PlanEntry",
     "SimulationPlan",

@@ -16,11 +16,15 @@ The cache has two tiers:
 * an in-memory LRU (``maxsize`` entries), as before;
 * an optional **disk tier** (``cache_dir``) that spills entries as ``.npz``
   files so repeated *processes* — CLI invocations, CI phases, process-pool
-  workers — skip recomputation too.  Disk entries embed a SHA-256 digest of
-  their payload which is re-verified on load: a corrupt or truncated file is
-  a *miss*, never an error (the offending file is removed).  The disk tier
-  is LRU-bounded by total bytes (file mtimes order the entries; hits refresh
-  them), and the hit/miss counters are split by tier.
+  workers — skip recomputation too.
+
+The disk tier is one namespace (``decompositions/``) of the unified
+:class:`repro.engine.store.ArtifactStore`, which owns the whole persistence
+protocol — atomic write-then-rename, SHA-256 digest verification,
+quarantine-on-corrupt, stale-file sweeping, per-tier counters, and LRU
+byte-bounded eviction.  This module only says *what* a decomposition looks
+like on disk (the dump/load pair below); a corrupt or truncated file is a
+*miss*, never an error.
 
 The cache stores the exact object the single-matrix
 :func:`repro.core.coloring.compute_coloring` pipeline produces, and the disk
@@ -32,20 +36,17 @@ computation: generation results never depend on the cache state.
 from __future__ import annotations
 
 import hashlib
-import json
-import os
-import tempfile
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..config import DEFAULTS, NumericDefaults, cache_dir_from_env
 from ..linalg import ColoringDecomposition
+from .store import DEFAULT_DISK_MAX_BYTES, ArtifactStore
 
 __all__ = [
     "decomposition_cache_key",
@@ -55,22 +56,10 @@ __all__ = [
     "DEFAULT_DISK_MAX_BYTES",
 ]
 
-#: Default byte bound of the disk tier (per cache directory).
-DEFAULT_DISK_MAX_BYTES = 512 * 1024 * 1024
-
-#: Sub-directory of ``cache_dir`` holding spilled decompositions (the
-#: Doppler filter cache uses a sibling directory; see
-#: :mod:`repro.engine.filters`).
-_DISK_SUBDIR = "decompositions"
-
-#: On-disk format version; bumped whenever the payload layout changes so
-#: stale files from older versions read as misses instead of garbage.
-_DISK_FORMAT_VERSION = 1
-
-#: Age after which an orphaned ``.tmp`` file (a writer died between
-#: ``mkstemp`` and the atomic rename) is swept by the eviction pass; old
-#: enough that no live writer can still be producing it.
-_TMP_SWEEP_AGE_SECONDS = 3600.0
+#: On-disk payload-layout version (bumped in PR 5: the store envelope
+#: replaced the ad-hoc per-cache format, so pre-store files read as misses
+#: instead of garbage).
+_DISK_FORMAT_VERSION = 2
 
 
 def decomposition_cache_key(
@@ -145,7 +134,7 @@ class CacheStats:
         Disk entries removed to respect the disk byte bound.
     disk_corruptions:
         Disk entries rejected by digest/format verification (each one is
-        also a ``disk_miss``; the file is removed).
+        also a ``disk_miss``; the file is quarantined).
     disk_entries:
         Files currently stored in the disk tier (0 without a ``cache_dir``).
     disk_bytes:
@@ -180,13 +169,6 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-def _disk_files(disk_dir: Optional[Path]) -> List[Path]:
-    """The ``.npz`` entries under a disk-tier directory (empty if none)."""
-    if disk_dir is None or not disk_dir.is_dir():
-        return []
-    return [p for p in disk_dir.iterdir() if p.suffix == ".npz"]
-
-
 def _freeze(decomposition: ColoringDecomposition) -> ColoringDecomposition:
     """Make the pipeline-computed arrays of a decomposition read-only.
 
@@ -200,107 +182,42 @@ def _freeze(decomposition: ColoringDecomposition) -> ColoringDecomposition:
     return decomposition
 
 
-def _payload_digest(arrays: List[np.ndarray], meta_json: str) -> str:
-    """SHA-256 over the exact bytes a disk entry stores (verification tag)."""
-    hasher = hashlib.sha256()
-    for arr in arrays:
-        hasher.update(repr((arr.shape, arr.dtype.str)).encode("utf8"))
-        hasher.update(np.ascontiguousarray(arr).tobytes())
-    hasher.update(meta_json.encode("utf8"))
-    return hasher.hexdigest()
+def _dump_decomposition(
+    decomposition: ColoringDecomposition,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Store payload of one decomposition: three arrays + diagnostics meta.
 
-
-def _dump_entry(path: Path, key: str, decomposition: ColoringDecomposition) -> bool:
-    """Atomically write one decomposition as ``path`` (``.npz``).
-
-    Returns ``False`` (storing nothing) when the diagnostics ``extra`` dict
-    is not JSON-serializable — exotic strategy diagnostics simply stay
-    memory-only rather than failing the run.
+    A non-JSON-serializable ``extra`` dict makes the store's envelope
+    serialization fail, which the store treats as "keep this entry
+    memory-only" — exotic strategy diagnostics never fail the run.
     """
-    try:
-        meta_json = json.dumps(
-            {
-                "format": _DISK_FORMAT_VERSION,
-                "key": key,
-                "method": decomposition.method,
-                "was_repaired": bool(decomposition.was_repaired),
-                "negative_eigenvalue_count": int(
-                    decomposition.negative_eigenvalue_count
-                ),
-                "min_eigenvalue": float(decomposition.min_eigenvalue),
-                "extra": decomposition.extra,
-            },
-            sort_keys=True,
-        )
-    except (TypeError, ValueError):
-        return False
-    arrays = [
-        np.ascontiguousarray(decomposition.coloring_matrix),
-        np.ascontiguousarray(decomposition.effective_covariance),
-        np.ascontiguousarray(decomposition.requested_covariance),
-    ]
-    digest = _payload_digest(arrays, meta_json)
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so a concurrent reader (another process sharing
-        # the cache_dir) never observes a half-written file.
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
-        )
-    except OSError:
-        # An unusable cache_dir (a regular file in the way, no permission,
-        # full disk) degrades to memory-only caching, never an error.
-        return False
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            np.savez(
-                handle,
-                coloring_matrix=arrays[0],
-                effective_covariance=arrays[1],
-                requested_covariance=arrays[2],
-                meta=np.frombuffer(meta_json.encode("utf8"), dtype=np.uint8),
-                digest=np.frombuffer(digest.encode("ascii"), dtype=np.uint8),
-            )
-        os.replace(tmp_name, path)
-    except OSError:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        return False
-    return True
+    arrays = {
+        "coloring_matrix": np.ascontiguousarray(decomposition.coloring_matrix),
+        "effective_covariance": np.ascontiguousarray(
+            decomposition.effective_covariance
+        ),
+        "requested_covariance": np.ascontiguousarray(
+            decomposition.requested_covariance
+        ),
+    }
+    meta = {
+        "method": decomposition.method,
+        "was_repaired": bool(decomposition.was_repaired),
+        "negative_eigenvalue_count": int(decomposition.negative_eigenvalue_count),
+        "min_eigenvalue": float(decomposition.min_eigenvalue),
+        "extra": decomposition.extra,
+    }
+    return arrays, meta
 
 
-def _load_entry(path: Path, key: str) -> Optional[ColoringDecomposition]:
-    """Load and verify one disk entry; ``None`` on any defect.
-
-    Truncated archives, non-npz garbage, missing fields, key mismatches and
-    digest mismatches all return ``None`` — the caller treats every failure
-    as a miss and removes the file.
-    """
-    try:
-        with np.load(path, allow_pickle=False) as payload:
-            coloring = payload["coloring_matrix"]
-            effective = payload["effective_covariance"]
-            requested = payload["requested_covariance"]
-            meta_json = bytes(payload["meta"].tobytes()).decode("utf8")
-            digest = bytes(payload["digest"].tobytes()).decode("ascii")
-    except Exception:
-        # np.load raises zipfile/OSError/KeyError/ValueError flavors on
-        # corruption; all of them mean "not a usable entry".
-        return None
-    if _payload_digest([coloring, effective, requested], meta_json) != digest:
-        return None
-    try:
-        meta = json.loads(meta_json)
-    except ValueError:
-        return None
-    if meta.get("format") != _DISK_FORMAT_VERSION or meta.get("key") != key:
-        return None
+def _load_decomposition(
+    arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+) -> ColoringDecomposition:
+    """Rebuild a decomposition from digest-verified store payload."""
     return ColoringDecomposition(
-        coloring_matrix=coloring,
-        effective_covariance=effective,
-        requested_covariance=requested,
+        coloring_matrix=arrays["coloring_matrix"],
+        effective_covariance=arrays["effective_covariance"],
+        requested_covariance=arrays["requested_covariance"],
         method=str(meta["method"]),
         was_repaired=bool(meta["was_repaired"]),
         negative_eigenvalue_count=int(meta["negative_eigenvalue_count"]),
@@ -322,7 +239,8 @@ class DecompositionCache:
     cache_dir:
         Directory of the persistent disk tier, or ``None`` (default) for a
         memory-only cache.  Entries are spilled as
-        ``<cache_dir>/decompositions/<key>.npz``; multiple processes may
+        ``<cache_dir>/decompositions/<key>.npz`` through the unified
+        :class:`repro.engine.store.ArtifactStore`; multiple processes may
         share one directory (writes are atomic, corrupt files read as
         misses).
     disk_max_bytes:
@@ -352,33 +270,20 @@ class DecompositionCache:
     ) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be non-negative, got {maxsize}")
-        if disk_max_bytes < 0:
-            raise ValueError(
-                f"disk_max_bytes must be non-negative, got {disk_max_bytes}"
-            )
         self._maxsize = int(maxsize)
         self._entries: "OrderedDict[str, ColoringDecomposition]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
-        self._disk_hits = 0
-        self._disk_misses = 0
-        self._disk_evictions = 0
-        self._disk_corruptions = 0
-        self._disk_max_bytes = int(disk_max_bytes)
-        self._disk_dir: Optional[Path] = None
-        # Keys this instance will not spill again: known to be on disk, or a
-        # spill already failed (an unwritable tier must not re-pay payload
-        # serialization and hashing on every memory hit).  Memory hits on
-        # keys outside this set spill lazily, so a cache warmed before
-        # set_cache_dir still persists what it holds.  Reset whenever the
-        # tier is (re)attached, so a new directory gets fresh attempts.
-        self._no_spill: set = set()
-        # Running byte total of the disk tier (None = unknown, recalibrated
-        # by the next eviction pass), so stores do not re-scan the directory.
-        self._disk_total: Optional[int] = None
-        self.set_cache_dir(cache_dir)
+        self._store = ArtifactStore(
+            "decompositions",
+            dump=_dump_decomposition,
+            load=_load_decomposition,
+            cache_dir=cache_dir,
+            format_version=_DISK_FORMAT_VERSION,
+            max_bytes=disk_max_bytes,
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -391,21 +296,29 @@ class DecompositionCache:
     @property
     def cache_dir(self) -> Optional[Path]:
         """Root directory of the disk tier (``None`` when memory-only)."""
-        with self._lock:
-            return None if self._disk_dir is None else self._disk_dir.parent
+        return self._store.cache_dir
 
     @property
     def disk_max_bytes(self) -> int:
         """Byte bound of the disk tier."""
-        return self._disk_max_bytes
+        return self._store.max_bytes
+
+    @property
+    def artifact_store(self) -> ArtifactStore:
+        """The underlying artifact store of the disk tier.
+
+        (Named ``artifact_store`` because :meth:`store` is the insertion
+        method of the cache itself.)
+        """
+        return self._store
 
     @property
     def stats(self) -> CacheStats:
         """Snapshot of the per-tier hit/miss/eviction counters.
 
-        Disk usage is measured by scanning the directory (outside the lock —
-        stats are maintenance, lookups must not queue behind them), so the
-        numbers reflect every process sharing the ``cache_dir``.
+        Disk usage is measured by scanning the directory (outside the cache
+        lock — stats are maintenance, lookups must not queue behind them),
+        so the numbers reflect every process sharing the ``cache_dir``.
         """
         with self._lock:
             counters = dict(
@@ -413,22 +326,17 @@ class DecompositionCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 size=len(self._entries),
-                disk_hits=self._disk_hits,
-                disk_misses=self._disk_misses,
-                disk_evictions=self._disk_evictions,
-                disk_corruptions=self._disk_corruptions,
             )
-            disk_dir = self._disk_dir
-        disk_entries = 0
-        disk_bytes = 0
-        for path in _disk_files(disk_dir):
-            try:
-                disk_bytes += path.stat().st_size
-            except OSError:
-                continue
-            disk_entries += 1
+        disk = self._store.stats
+        disk_entries, disk_bytes = self._store.usage()
         return CacheStats(
-            disk_entries=disk_entries, disk_bytes=disk_bytes, **counters
+            disk_hits=disk.hits,
+            disk_misses=disk.misses,
+            disk_evictions=disk.evictions,
+            disk_corruptions=disk.corruptions,
+            disk_entries=disk_entries,
+            disk_bytes=disk_bytes,
+            **counters,
         )
 
     def __len__(self) -> int:
@@ -449,103 +357,7 @@ class DecompositionCache:
         disk entries; counters are kept.  The process-wide default cache is
         configured this way by the CLI's ``--cache-dir`` option.
         """
-        with self._lock:
-            self._no_spill = set()
-            self._disk_total = None
-            if cache_dir is None:
-                self._disk_dir = None
-                return
-            self._disk_dir = Path(cache_dir) / _DISK_SUBDIR
-
-    def _disk_evict(self, disk_dir: Path) -> None:
-        """Scan the tier, recalibrate the byte total, drop LRU files past the bound.
-
-        Runs only when the running total is unknown or exceeds the bound —
-        not on every store — so populating n entries costs O(n) stats
-        overall instead of O(n^2).  The scan doubles as recalibration
-        against other processes sharing the directory, and sweeps stale
-        ``.tmp`` leftovers of writers that died mid-spill.  All filesystem
-        work happens outside the lock (only the counter/bookkeeping update
-        takes it), so memory-tier lookups never queue behind the scan.
-        """
-        files = []
-        total = 0
-        now = time.time()
-        try:
-            listing = list(disk_dir.iterdir()) if disk_dir.is_dir() else []
-        except OSError:
-            listing = []
-        for path in listing:
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            if path.suffix == ".tmp":
-                # An interrupted writer's temp file: invisible to lookups
-                # and to the byte bound, so sweep it once it is clearly not
-                # an in-flight write any more.
-                if now - stat.st_mtime > _TMP_SWEEP_AGE_SECONDS:
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
-                continue
-            if path.suffix != ".npz":
-                continue
-            files.append((stat.st_mtime, stat.st_size, path))
-            total += stat.st_size
-        evicted = []
-        for _, size, path in sorted(files):
-            if total <= self._disk_max_bytes:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            evicted.append(path.stem)  # file name is the key
-            total -= size
-        with self._lock:
-            if self._disk_dir != disk_dir:
-                return  # tier detached or redirected while scanning
-            for key in evicted:
-                self._no_spill.discard(key)
-            self._disk_evictions += len(evicted)
-            self._disk_total = total
-
-    def _disk_spill(
-        self, key: str, decomposition: ColoringDecomposition, disk_dir: Path
-    ) -> None:
-        """Write one entry to disk (I/O outside the lock) and account for it.
-
-        Concurrent spillers of the same key write identical bytes through
-        atomic renames, so the race is benign; the byte total may then
-        double-count briefly, which the next eviction scan recalibrates.
-        A *failed* write also marks the key: an unusable tier degrades to
-        memory-only caching instead of re-paying serialization and hashing
-        on every subsequent hit (re-attaching the tier retries).
-        """
-        path = disk_dir / f"{key}.npz"
-        written = _dump_entry(path, key, decomposition)
-        size = 0
-        if written:
-            try:
-                size = path.stat().st_size
-            except OSError:
-                pass
-        needs_evict = False
-        with self._lock:
-            if self._disk_dir != disk_dir:
-                return  # tier detached or redirected while writing
-            self._no_spill.add(key)
-            if written:
-                if self._disk_total is not None:
-                    self._disk_total += size
-                needs_evict = (
-                    self._disk_total is None
-                    or self._disk_total > self._disk_max_bytes
-                )
-        if needs_evict:
-            self._disk_evict(disk_dir)
+        self._store.set_cache_dir(cache_dir)
 
     # ------------------------------------------------------------------ #
     # Core operations
@@ -562,48 +374,27 @@ class DecompositionCache:
         """
         with self._lock:
             entry = self._entries.get(key)
-            disk_dir = self._disk_dir
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                needs_spill = disk_dir is not None and key not in self._no_spill
         if entry is not None:
-            if needs_spill:
+            if self._store.attached:
                 # Entries that predate the disk tier (cache warmed before
                 # set_cache_dir, or evicted disk files) spill on their next
-                # memory hit, so attaching a cache_dir to a warm cache still
-                # persists what it already holds.
-                self._disk_spill(key, entry, disk_dir)
+                # memory hit, so attaching a cache_dir to a warm cache
+                # still persists what it already holds; the store makes
+                # repeat calls free for keys already persisted (or known
+                # unwritable), and the guard keeps memory-only lookups off
+                # the store lock entirely.
+                self._store.put(key, entry)
             return entry
-        if disk_dir is None:
-            with self._lock:
-                self._misses += 1
-            return None
 
-        # Disk probe, load, and verification — all outside the lock.
-        path = disk_dir / f"{key}.npz"
-        present = path.exists()
-        loaded = _load_entry(path, key) if present else None
+        loaded = self._store.lookup(key)
         if loaded is None:
-            if present:
-                try:
-                    path.unlink()  # quarantine the corrupt entry
-                except OSError:
-                    pass
             with self._lock:
-                if present:
-                    self._disk_corruptions += 1
-                    if self._disk_dir == disk_dir:
-                        self._no_spill.discard(key)
-                        self._disk_total = None  # force recalibration
-                self._disk_misses += 1
                 self._misses += 1
             return None
         loaded = _freeze(loaded)
-        try:
-            os.utime(path)  # refresh the disk LRU position
-        except OSError:
-            pass
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
@@ -613,11 +404,6 @@ class DecompositionCache:
                 loaded = existing
             else:
                 self._store_memory_locked(key, loaded)
-            if self._disk_dir == disk_dir:
-                # Guard against a concurrent set_cache_dir: the key is only
-                # known to exist in the directory it was loaded from.
-                self._no_spill.add(key)
-            self._disk_hits += 1
             self._hits += 1
             return loaded
 
@@ -650,10 +436,7 @@ class DecompositionCache:
         decomposition = _freeze(decomposition)
         with self._lock:
             self._store_memory_locked(key, decomposition)
-            disk_dir = self._disk_dir
-            needs_spill = disk_dir is not None and key not in self._no_spill
-        if needs_spill:
-            self._disk_spill(key, decomposition, disk_dir)
+        self._store.put(key, decomposition)
 
     def coloring_for(
         self,
@@ -698,31 +481,13 @@ class DecompositionCache:
             self._entries.clear()
 
     def clear_disk(self) -> int:
-        """Remove every file of the disk tier (``.tmp`` leftovers included);
-        returns the number of entries removed."""
-        with self._lock:
-            disk_dir = self._disk_dir
-            removed = 0
-            try:
-                listing = (
-                    list(disk_dir.iterdir())
-                    if disk_dir is not None and disk_dir.is_dir()
-                    else []
-                )
-            except OSError:
-                listing = []
-            for path in listing:
-                if path.suffix not in (".npz", ".tmp"):
-                    continue
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-                if path.suffix == ".npz":
-                    self._no_spill.discard(path.stem)
-                    removed += 1
-            self._disk_total = 0 if disk_dir is not None else None
-            return removed
+        """Remove every file of the disk tier (``.tmp`` and quarantine
+        leftovers included); returns the number of entries removed."""
+        return self._store.clear()
+
+    def disk_usage(self) -> Tuple[int, int]:
+        """``(n_files, total_bytes)`` of the disk tier (``(0, 0)`` if none)."""
+        return self._store.usage()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters (entries are kept)."""
@@ -730,10 +495,7 @@ class DecompositionCache:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
-            self._disk_hits = 0
-            self._disk_misses = 0
-            self._disk_evictions = 0
-            self._disk_corruptions = 0
+        self._store.reset_stats()
 
 
 #: Process-wide cache shared by the default engine and the generators

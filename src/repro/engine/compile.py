@@ -49,6 +49,7 @@ from .plan import DopplerSpec, PlanEntry, SimulationPlan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from .filters import DopplerFilterCache
+    from .plancache import CompiledPlanCache
 
 __all__ = ["CompileReport", "CompiledGroup", "CompiledPlan", "compile_plan"]
 
@@ -72,7 +73,11 @@ class CompileReport:
     doppler_filters_built:
         Distinct Young–Beaulieu filters this pass resolved (one per unique
         ``(M, f_m, sigma_orig^2)`` in the plan); 0 for snapshot-only plans.
-        The looped path would build one per scenario *per branch*.
+        The looped path would build one per scenario *per branch*.  On a
+        compiled-plan cache hit the value is restored from the artifact —
+        it still counts the plan's unique filters, but none were
+        constructed during this pass (``plan_cache_hits`` tells the two
+        apart; ``summary()`` prints "restored" instead of "built").
     doppler_entries:
         Doppler-mode entries served by those filters — the looped path would
         have built ``N + 1`` filters for each of them.
@@ -80,6 +85,12 @@ class CompileReport:
         How many of the ``doppler_filters_built`` keys were served by the
         process-wide (or on-disk) filter cache instead of being constructed
         during this pass.
+    plan_cache_hits:
+        1 when this whole compilation was served from a compiled-plan disk
+        artifact (see :mod:`repro.engine.plancache`) — in which case no
+        decomposition or filter lookups ran at all and ``compile_seconds``
+        measures the artifact load; 0 for a computed pass.  Merged parallel
+        results sum the flag across workers.
     """
 
     n_entries: int
@@ -91,6 +102,7 @@ class CompileReport:
     doppler_filters_built: int = 0
     doppler_entries: int = 0
     doppler_filter_cache_hits: int = 0
+    plan_cache_hits: int = 0
 
     @property
     def deduplicated(self) -> int:
@@ -188,8 +200,18 @@ def compile_plan(
     defaults: NumericDefaults = DEFAULTS,
     backend: BackendSpec = None,
     filter_cache: Optional["DopplerFilterCache"] = None,
+    plan_cache: Optional["CompiledPlanCache"] = None,
 ) -> CompiledPlan:
     """Compile a plan into stacked, cached coloring decompositions.
+
+    When a compiled-plan disk cache is attached (``plan_cache``, or the
+    process-wide default with ``REPRO_CACHE_DIR``), the whole pass is first
+    looked up by the content hash of the ``(plan, backend namespace)`` pair:
+    on a hit the full :class:`CompiledPlan` — coloring stacks, Doppler
+    filters, per-entry variances — loads from one verified artifact with
+    *zero* ``eigh``/``cholesky``/filter-build calls, bit-identical to a
+    fresh compilation; on a miss the compiled result is spilled for the
+    next process.
 
     Parameters
     ----------
@@ -214,16 +236,36 @@ def compile_plan(
         the process-wide :func:`repro.engine.filters.default_filter_cache`.
         The filter does not depend on the linalg backend (it is a closed-form
         coefficient vector), so filter entries are never backend-namespaced.
+    plan_cache:
+        Compiled-plan disk cache (the executor-level tier).  When ``None``,
+        the default *follows the decomposition cache*: a default-cache
+        compile uses the process-wide
+        :func:`repro.engine.plancache.default_plan_cache` (a no-op unless a
+        ``cache_dir`` is attached), while an **explicit** ``cache`` keeps
+        the plan tier detached — so a caller who configured caching by hand
+        (e.g. ``DecompositionCache(maxsize=0)`` as a documented no-reuse
+        baseline) is never silently short-circuited by an env-attached
+        ``plans/`` tier.  Pass a ``CompiledPlanCache`` explicitly to
+        combine an explicit decomposition cache with plan caching.
     """
     from ..core.coloring import compute_coloring_batch
     from .filters import DopplerFilterCache, default_filter_cache
+    from .plancache import CompiledPlanCache, default_plan_cache
 
     backend_obj = resolve_backend(backend)
     cache_token = backend_obj.cache_token
+    if plan_cache is None:
+        plan_cache = default_plan_cache() if cache is None else CompiledPlanCache()
     if cache is None:
         cache = default_decomposition_cache()
     if filter_cache is None:
         filter_cache = default_filter_cache()
+
+    # Executor-level short-circuit: a stored compiled plan skips grouping,
+    # hashing-per-matrix, decomposition and filter resolution entirely.
+    loaded = plan_cache.lookup(plan, defaults=defaults, backend=backend_obj)
+    if loaded is not None:
+        return loaded
 
     start = time.perf_counter()
 
@@ -345,6 +387,10 @@ def compile_plan(
         doppler_entries=doppler_entries,
         doppler_filter_cache_hits=filter_cache_hits,
     )
-    return CompiledPlan(
+    compiled = CompiledPlan(
         plan=plan, groups=tuple(groups), report=report, backend=backend_obj
     )
+    # Spill the whole pass for the next process (no-op without a disk tier;
+    # idempotent per key, so repeated compiles serialize once).
+    plan_cache.put(compiled, defaults=defaults)
+    return compiled

@@ -22,6 +22,7 @@ from .compile import CompiledPlan, compile_plan
 from .execute import execute_plan, stream_plan
 from .filters import DopplerFilterCache, default_filter_cache
 from .plan import SimulationPlan
+from .plancache import CompiledPlanCache, default_plan_cache
 from .result import BatchResult
 
 __all__ = ["SimulationEngine", "default_engine"]
@@ -46,11 +47,22 @@ class SimulationEngine:
     filter_cache:
         Young–Beaulieu filter cache for Doppler-mode compilation.  ``None``
         uses the process-wide shared cache.
+    plan_cache:
+        Compiled-plan disk cache (the executor-level tier of the artifact
+        store).  When ``None``, the default follows ``cache``: a
+        default-cache engine uses the process-wide plan cache (a no-op
+        unless ``REPRO_CACHE_DIR`` attached a directory), while an explicit
+        ``cache`` keeps the plan tier detached — an explicitly configured
+        (e.g. memory-only) engine is never silently served by an
+        env-attached ``plans/`` tier.  Pass a ``CompiledPlanCache``
+        explicitly to combine the two.
     cache_dir:
         Convenience: build *private* persistent caches rooted at this
-        directory (a :class:`DecompositionCache` and a
-        :class:`repro.engine.filters.DopplerFilterCache` with their disk
-        tiers attached).  Only valid when the corresponding explicit cache
+        directory (a :class:`DecompositionCache`, a
+        :class:`repro.engine.filters.DopplerFilterCache`, and a
+        :class:`repro.engine.plancache.CompiledPlanCache` with their disk
+        tiers attached — the three namespaces of the unified artifact
+        store).  Only valid when the corresponding explicit cache
         argument is ``None`` — pass caches constructed with ``cache_dir=``
         yourself to mix.
 
@@ -73,21 +85,29 @@ class SimulationEngine:
         defaults: NumericDefaults = DEFAULTS,
         backend: BackendSpec = None,
         filter_cache: Optional[DopplerFilterCache] = None,
+        plan_cache: Optional[CompiledPlanCache] = None,
         cache_dir: Union[None, str, Path] = None,
     ) -> None:
         if cache_dir is not None:
-            if cache is not None or filter_cache is not None:
+            if cache is not None or filter_cache is not None or plan_cache is not None:
                 raise SpecificationError(
                     "cache_dir builds private persistent caches and conflicts "
-                    "with an explicit cache/filter_cache; construct the caches "
-                    "with cache_dir= yourself instead"
+                    "with an explicit cache/filter_cache/plan_cache; construct "
+                    "the caches with cache_dir= yourself instead"
                 )
             cache = DecompositionCache(cache_dir=cache_dir)
             filter_cache = DopplerFilterCache(cache_dir=cache_dir)
+            plan_cache = CompiledPlanCache(cache_dir=cache_dir)
+        if plan_cache is None:
+            # The plan-tier default follows the decomposition cache: only a
+            # default-cache engine picks up the (possibly env-attached)
+            # process-wide plan cache.
+            plan_cache = default_plan_cache() if cache is None else CompiledPlanCache()
         self._cache = default_decomposition_cache() if cache is None else cache
         self._filter_cache = (
             default_filter_cache() if filter_cache is None else filter_cache
         )
+        self._plan_cache = plan_cache
         self._defaults = defaults
         self._backend = resolve_backend(backend)
 
@@ -100,6 +120,11 @@ class SimulationEngine:
     def filter_cache(self) -> DopplerFilterCache:
         """The Young–Beaulieu filter cache this engine compiles against."""
         return self._filter_cache
+
+    @property
+    def plan_cache(self) -> CompiledPlanCache:
+        """The compiled-plan disk cache this engine compiles against."""
+        return self._plan_cache
 
     @property
     def backend(self) -> LinalgBackend:
@@ -119,6 +144,7 @@ class SimulationEngine:
             defaults=self._defaults,
             backend=self._backend,
             filter_cache=self._filter_cache,
+            plan_cache=self._plan_cache,
         )
 
     def _ensure_compiled(

@@ -203,7 +203,11 @@ def execute_plan(compiled: CompiledPlan, n_samples: int) -> BatchResult:
         ``RayleighFadingGenerator(entry.spec, rng=entry.seed).generate_gaussian(n_samples)``
         — or, for Doppler entries,
         ``RealTimeRayleighGenerator(...).generate_gaussian(ceil(n_samples / M))``
-        truncated to ``n_samples`` — over the plan.
+        truncated to ``n_samples`` — over the plan.  The guarantee holds
+        regardless of how ``compiled`` was obtained: a fresh compile, any
+        memory-cache configuration, or a whole-plan disk artifact all
+        execute to the same bytes (the cache-transparency invariant; see
+        ``docs/ARCHITECTURE.md``).
     """
     if n_samples < 1:
         raise GenerationError(f"n_samples must be >= 1, got {n_samples}")

@@ -16,31 +16,31 @@ spill, so:
 * repeated *processes* (CLI sweeps with ``--cache-dir``, CI phases) load the
   coefficients from ``<cache_dir>/filters/*.npz`` instead of rebuilding.
 
-Cached coefficient arrays are frozen read-only — they are shared across
-compiles and generators.  Disk entries embed a SHA-256 payload digest that
-is re-verified on load; corrupt or truncated files are misses, never
-errors (the file is removed).  A cache hit is bit-identical to a fresh
+The disk tier is one namespace (``filters/``) of the unified
+:class:`repro.engine.store.ArtifactStore`, which owns the persistence
+protocol — atomic writes, digest verification, quarantine-on-corrupt,
+stale-file sweeping, eviction; this module only defines what a filter looks
+like on disk (a single coefficient array).  Cached coefficient arrays are
+frozen read-only — they are shared across compiles and generators.  A cache
+hit is bit-identical to a fresh
 :func:`repro.channels.doppler.young_beaulieu_filter` build: the disk
 round-trip stores the raw float64 binary, and the output variance is
 recomputed from the verified coefficients rather than trusted from the
-file.
+file.  A corrupt or truncated file is a miss, never an error.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
-import tempfile
 import threading
-import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..config import cache_dir_from_env
-from .cache import _TMP_SWEEP_AGE_SECONDS
+from .store import ArtifactStore
 
 __all__ = [
     "FilterCacheStats",
@@ -48,12 +48,8 @@ __all__ = [
     "default_filter_cache",
 ]
 
-#: Sub-directory of ``cache_dir`` holding spilled filters (sibling of the
-#: decomposition spill; see :mod:`repro.engine.cache`).
-_DISK_SUBDIR = "filters"
-
-#: On-disk format version; stale layouts read as misses.
-_DISK_FORMAT_VERSION = 1
+#: On-disk payload-layout version (bumped in PR 5: store-envelope format).
+_DISK_FORMAT_VERSION = 2
 
 #: A filter key: ``(M, f_m, sigma_orig^2)``, matching
 #: :attr:`repro.engine.plan.DopplerSpec.filter_key`.
@@ -75,7 +71,7 @@ class FilterCacheStats:
     disk_misses:
         Disk probes that found no usable entry (absent or corrupt).
     disk_corruptions:
-        Disk entries rejected by digest verification (files removed).
+        Disk entries rejected by digest verification (files quarantined).
     size:
         Filters currently held in memory.
     """
@@ -111,24 +107,31 @@ def _key_hash(key: FilterKey) -> str:
     return hashlib.sha256(token.encode("utf8")).hexdigest()
 
 
-def _payload_digest(coefficients: np.ndarray, token: str) -> str:
-    hasher = hashlib.sha256()
-    hasher.update(token.encode("utf8"))
-    hasher.update(repr((coefficients.shape, coefficients.dtype.str)).encode("utf8"))
-    hasher.update(np.ascontiguousarray(coefficients).tobytes())
-    return hasher.hexdigest()
+def _dump_filter(
+    coefficients: np.ndarray,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Store payload of one filter: the raw coefficient array."""
+    return {"coefficients": np.ascontiguousarray(coefficients)}, {}
+
+
+def _load_filter(arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> np.ndarray:
+    """Rebuild a filter from digest-verified store payload."""
+    return arrays["coefficients"]
 
 
 class DopplerFilterCache:
     """Thread-safe cache of Young–Beaulieu filters and their output variances.
 
+    The memory tier is a plain dict keyed by ``(M, f_m, sigma_orig^2)``; the
+    optional disk tier lives next to the decomposition spill, so one
+    ``cache_dir`` (CLI ``--cache-dir``, env ``REPRO_CACHE_DIR``, or
+    ``Simulator(cache_dir=...)``) configures every artifact cache at once.
+
     Parameters
     ----------
     cache_dir:
         Directory of the persistent disk tier, or ``None`` (default) for a
-        memory-only cache.  Entries live as ``<cache_dir>/filters/<hash>.npz``
-        next to the decomposition spill, so one ``--cache-dir`` configures
-        both artifact caches.
+        memory-only cache.  Entries live as ``<cache_dir>/filters/<hash>.npz``.
     """
 
     def __init__(self, cache_dir: Union[None, str, Path] = None) -> None:
@@ -136,16 +139,13 @@ class DopplerFilterCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
-        self._disk_hits = 0
-        self._disk_misses = 0
-        self._disk_corruptions = 0
-        self._disk_dir: Optional[Path] = None
-        # Keys this instance will not spill again: known to be on disk, or a
-        # spill already failed (an unwritable tier must not re-pay the write
-        # attempt on every memory hit).  Reset when the tier is
-        # (re)attached, so a new directory gets fresh attempts.
-        self._persisted: set = set()
-        self.set_cache_dir(cache_dir)
+        self._store = ArtifactStore(
+            "filters",
+            dump=_dump_filter,
+            load=_load_filter,
+            cache_dir=cache_dir,
+            format_version=_DISK_FORMAT_VERSION,
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -153,19 +153,24 @@ class DopplerFilterCache:
     @property
     def cache_dir(self) -> Optional[Path]:
         """Root directory of the disk tier (``None`` when memory-only)."""
-        with self._lock:
-            return None if self._disk_dir is None else self._disk_dir.parent
+        return self._store.cache_dir
+
+    @property
+    def artifact_store(self) -> ArtifactStore:
+        """The underlying artifact store of the disk tier."""
+        return self._store
 
     @property
     def stats(self) -> FilterCacheStats:
         """Snapshot of the hit/miss counters."""
+        disk = self._store.stats
         with self._lock:
             return FilterCacheStats(
                 hits=self._hits,
                 misses=self._misses,
-                disk_hits=self._disk_hits,
-                disk_misses=self._disk_misses,
-                disk_corruptions=self._disk_corruptions,
+                disk_hits=disk.hits,
+                disk_misses=disk.misses,
+                disk_corruptions=disk.corruptions,
                 size=len(self._entries),
             )
 
@@ -175,113 +180,7 @@ class DopplerFilterCache:
 
     def set_cache_dir(self, cache_dir: Union[None, str, Path]) -> None:
         """Attach (or detach, with ``None``) the persistent disk tier."""
-        with self._lock:
-            self._persisted = set()
-            self._disk_dir = (
-                None if cache_dir is None else Path(cache_dir) / _DISK_SUBDIR
-            )
-
-    # ------------------------------------------------------------------ #
-    # Disk tier (all file I/O happens outside the lock; only counter and
-    # bookkeeping updates take it, so concurrent get() calls served by the
-    # memory tier never queue behind another thread's file access)
-    # ------------------------------------------------------------------ #
-    def _disk_load(self, key: FilterKey, disk_dir: Path) -> Optional[np.ndarray]:
-        path = disk_dir / f"{_key_hash(key)}.npz"
-        present = path.exists()
-        coefficients = None
-        if present:
-            token = f"{_DISK_FORMAT_VERSION}|{_key_hash(key)}"
-            try:
-                with np.load(path, allow_pickle=False) as payload:
-                    coefficients = payload["coefficients"]
-                    digest = bytes(payload["digest"].tobytes()).decode("ascii")
-            except Exception:
-                coefficients, digest = None, None
-            if (
-                coefficients is not None
-                and _payload_digest(coefficients, token) != digest
-            ):
-                coefficients = None
-            if coefficients is None:
-                try:
-                    path.unlink()  # quarantine the corrupt entry
-                except OSError:
-                    pass
-            else:
-                try:
-                    os.utime(path)
-                except OSError:
-                    pass
-        if coefficients is None:
-            with self._lock:
-                if present:
-                    self._disk_corruptions += 1
-                    if self._disk_dir == disk_dir:
-                        self._persisted.discard(key)
-                self._disk_misses += 1
-        return coefficients
-
-    def _disk_store(
-        self, key: FilterKey, coefficients: np.ndarray, disk_dir: Path
-    ) -> None:
-        """Spill one filter (I/O outside the lock); failures are remembered.
-
-        An unusable tier (read-only directory, full disk) must degrade to
-        memory-only caching, not re-pay the write attempt on every memory
-        hit — so the key enters ``_persisted`` whether or not the write
-        landed (re-attaching the tier retries).
-        """
-        path = disk_dir / f"{_key_hash(key)}.npz"
-        token = f"{_DISK_FORMAT_VERSION}|{_key_hash(key)}"
-        digest = _payload_digest(coefficients, token)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(path.parent), prefix=path.stem, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    np.savez(
-                        handle,
-                        coefficients=np.ascontiguousarray(coefficients),
-                        digest=np.frombuffer(digest.encode("ascii"), dtype=np.uint8),
-                    )
-                os.replace(tmp_name, path)
-                self._sweep_stale_tmp(path.parent)
-            except OSError:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-        except OSError:
-            pass
-        with self._lock:
-            if self._disk_dir == disk_dir:
-                self._persisted.add(key)
-
-    @staticmethod
-    def _sweep_stale_tmp(directory: Path) -> None:
-        """Drop ``.tmp`` leftovers of writers that died mid-spill.
-
-        Stores are rare (one per unique filter key), so piggybacking the
-        sweep on them bounds orphan growth in long-lived shared cache
-        directories without a per-lookup cost.  Recent files are presumed
-        in-flight writes of a live process and kept.
-        """
-        now = time.time()
-        try:
-            listing = list(directory.iterdir())
-        except OSError:
-            return
-        for stale in listing:
-            if stale.suffix != ".tmp":
-                continue
-            try:
-                if now - stale.stat().st_mtime > _TMP_SWEEP_AGE_SECONDS:
-                    stale.unlink()
-            except OSError:
-                continue
+        self._store.set_cache_dir(cache_dir)
 
     # ------------------------------------------------------------------ #
     # Core operation
@@ -314,33 +213,32 @@ class DopplerFilterCache:
         )
         with self._lock:
             cached = self._entries.get(key)
-            disk_dir = self._disk_dir
             if cached is not None:
                 self._hits += 1
-                needs_spill = disk_dir is not None and key not in self._persisted
         if cached is not None:
             coefficients, variance = cached
-            if needs_spill:
+            if self._store.attached:
                 # Spill entries that predate the disk tier, so attaching a
-                # cache_dir to a warm cache still persists them.
-                self._disk_store(key, coefficients, disk_dir)
+                # cache_dir to a warm cache still persists them; the store
+                # makes repeat calls free for keys already persisted (or
+                # unwritable).  Guarded so the common memory-only
+                # configuration pays no key hashing on its hot path.
+                self._store.put(_key_hash(key), coefficients)
             return coefficients, variance, True
-        if disk_dir is not None:
-            coefficients = self._disk_load(key, disk_dir)
-            if coefficients is not None:
-                coefficients.flags.writeable = False
-                variance = filter_output_variance(coefficients, key[2])
-                with self._lock:
-                    # Raced with a concurrent build/load of the same key:
-                    # keep handing out the already-shared tuple.
-                    coefficients, variance = self._entries.setdefault(
-                        key, (coefficients, variance)
-                    )
-                    if self._disk_dir == disk_dir:
-                        self._persisted.add(key)
-                    self._disk_hits += 1
-                    self._hits += 1
-                return coefficients, variance, True
+
+        coefficients = self._store.lookup(_key_hash(key))
+        if coefficients is not None:
+            coefficients.flags.writeable = False
+            variance = filter_output_variance(coefficients, key[2])
+            with self._lock:
+                # Raced with a concurrent build/load of the same key: keep
+                # handing out the already-shared tuple.
+                coefficients, variance = self._entries.setdefault(
+                    key, (coefficients, variance)
+                )
+                self._hits += 1
+            return coefficients, variance, True
+
         with self._lock:
             self._misses += 1
         # Build outside the lock: validation may raise, and concurrent
@@ -352,10 +250,8 @@ class DopplerFilterCache:
             coefficients, variance = self._entries.setdefault(
                 key, (coefficients, variance)
             )
-            disk_dir = self._disk_dir
-            needs_spill = disk_dir is not None and key not in self._persisted
-        if needs_spill:
-            self._disk_store(key, coefficients, disk_dir)
+        if self._store.attached:
+            self._store.put(_key_hash(key), coefficients)
         return coefficients, variance, False
 
     # ------------------------------------------------------------------ #
@@ -363,21 +259,7 @@ class DopplerFilterCache:
     # ------------------------------------------------------------------ #
     def disk_usage(self) -> Tuple[int, int]:
         """``(n_files, total_bytes)`` of the disk tier (``(0, 0)`` if none)."""
-        with self._lock:
-            disk_dir = self._disk_dir
-        if disk_dir is None or not disk_dir.is_dir():
-            return 0, 0
-        count = 0
-        total = 0
-        for path in disk_dir.iterdir():
-            if path.suffix != ".npz":
-                continue
-            try:
-                total += path.stat().st_size
-            except OSError:
-                continue
-            count += 1
-        return count, total
+        return self._store.usage()
 
     def clear(self) -> None:
         """Drop every filter held in memory (counters and disk kept)."""
@@ -385,32 +267,16 @@ class DopplerFilterCache:
             self._entries.clear()
 
     def clear_disk(self) -> int:
-        """Remove every file of the disk tier (``.tmp`` leftovers included);
-        returns the number of entries removed."""
-        with self._lock:
-            if self._disk_dir is None or not self._disk_dir.is_dir():
-                return 0
-            removed = 0
-            for path in list(self._disk_dir.iterdir()):
-                if path.suffix not in (".npz", ".tmp"):
-                    continue
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-                if path.suffix == ".npz":
-                    removed += 1
-            self._persisted = set()
-            return removed
+        """Remove every file of the disk tier (``.tmp`` and quarantine
+        leftovers included); returns the number of entries removed."""
+        return self._store.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters (entries are kept)."""
         with self._lock:
             self._hits = 0
             self._misses = 0
-            self._disk_hits = 0
-            self._disk_misses = 0
-            self._disk_corruptions = 0
+        self._store.reset_stats()
 
 
 #: Process-wide filter cache (created lazily so ``REPRO_CACHE_DIR`` is

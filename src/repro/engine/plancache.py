@@ -1,0 +1,473 @@
+"""The compiled-plan cache: whole :class:`CompiledPlan` objects on disk.
+
+The decomposition and Doppler-filter tiers (PR 4) persist the *per-matrix*
+artifacts of compilation, but the compiled plan itself — grouping, coloring
+stacks, filter assembly, per-entry effective variances — was still rebuilt
+on every process start: a warm compile re-hashed every entry, probed the
+decomposition store once per unique matrix, and re-assembled every stack.
+:class:`CompiledPlanCache` is the executor-level tier on top of the unified
+:class:`repro.engine.store.ArtifactStore` (namespace ``plans/``) that
+short-circuits all of it: :func:`repro.engine.compile.compile_plan`
+content-hashes the ``(plan, backend namespace)`` pair and, on a disk hit,
+loads the full :class:`~repro.engine.compile.CompiledPlan` without touching
+``eigh``/``cholesky`` or filter construction at all.
+
+Keying
+------
+:func:`compiled_plan_cache_key` folds, per entry *in plan order*, the
+decomposition cache key (covariance bytes, coloring/PSD methods, epsilon,
+numeric tolerances, backend ``cache_token``) plus the white-sample variance
+and the full Doppler tuple (``M``, ``f_m``, ``sigma_orig^2``, the Eq. (19)
+compensation flag).  Seeds and labels are deliberately *excluded*: they do
+not influence compilation, so a sweep that only re-seeds its scenarios
+warm-starts from the same artifact.  Because grouping is a pure function of
+the hashed fields and of entry order, two plans with equal keys compile to
+structurally identical plans — which is what lets a loaded artifact be
+re-bound to the *caller's* plan object (carrying the caller's seeds and
+labels) without any recomputation.
+
+Serialization
+-------------
+One artifact stores, deduplicated across groups: the unique
+:class:`~repro.linalg.ColoringDecomposition` arrays plus diagnostics, the
+unique Young–Beaulieu filter coefficient arrays, and per group its entry
+indices, decomposition map, sample variances and Eq. (19) output variance.
+Coloring stacks are *not* stored — they are re-stacked from the
+decomposition arrays exactly as a fresh compile stacks them, which keeps
+the artifact small and the bytes identical.  The store handles atomic
+writes, digest verification, quarantine and eviction; a corrupt or
+truncated artifact is a **miss** (the plan recompiles and re-spills), never
+an error, and a disk hit is bit-identical to a fresh compilation — the two
+standing cache invariants carried over from PR 4.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import DEFAULTS, NumericDefaults, cache_dir_from_env
+from ..linalg import ColoringDecomposition
+from .store import DEFAULT_DISK_MAX_BYTES, ArtifactStore, StoreStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .backends import LinalgBackend
+    from .compile import CompiledPlan
+    from .plan import SimulationPlan
+
+__all__ = [
+    "PlanCacheStats",
+    "CompiledPlanCache",
+    "compiled_plan_cache_key",
+    "default_plan_cache",
+]
+
+#: On-disk payload-layout version of compiled-plan artifacts.
+_DISK_FORMAT_VERSION = 1
+
+
+def compiled_plan_cache_key(
+    plan: "SimulationPlan",
+    *,
+    defaults: NumericDefaults = DEFAULTS,
+    cache_token: str = "numpy",
+) -> str:
+    """Content hash identifying one ``(plan, backend namespace)`` compilation.
+
+    Two plans receive the same key exactly when :func:`compile_plan` would
+    produce structurally identical compiled plans for them: every
+    compilation input — per-entry covariance bytes, algorithm options,
+    numeric tolerances, sample variance, Doppler parameters, and the
+    backend's :attr:`~repro.engine.backends.LinalgBackend.cache_token` — is
+    folded in, in plan order.  Seeds and labels are excluded (they are
+    execution-time inputs), so re-seeded sweeps share one artifact.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"compiled-plan|{_DISK_FORMAT_VERSION}|{cache_token}".encode("utf8"))
+    for entry in plan:
+        # The entry cache key already folds the matrix bytes, methods,
+        # epsilon, tolerances, and the backend token (memoized per entry).
+        hasher.update(entry.cache_key(defaults, cache_token).encode("ascii"))
+        doppler = entry.doppler
+        doppler_token = (
+            None
+            if doppler is None
+            else (
+                doppler.n_points,
+                doppler.normalized_doppler,
+                doppler.input_variance_per_dim,
+                doppler.compensate_variance,
+            )
+        )
+        hasher.update(
+            repr((float(entry.sample_variance), doppler_token)).encode("utf8")
+        )
+    return hasher.hexdigest()
+
+
+def _identity_dump(payload: Any) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    return payload
+
+
+def _identity_load(
+    arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    return arrays, meta
+
+
+def _artifact_from_compiled(
+    compiled: "CompiledPlan",
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Split a compiled plan into store payload (arrays + JSON meta).
+
+    Decompositions and filter arrays shared between groups are stored once
+    and referenced by index, mirroring the sharing a fresh compile creates.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    decomp_index: Dict[int, int] = {}
+    decomp_meta = []
+    filter_index: Dict[int, int] = {}
+    groups_meta = []
+    for g, group in enumerate(compiled.groups):
+        decomp_map = []
+        for decomposition in group.decompositions:
+            index = decomp_index.get(id(decomposition))
+            if index is None:
+                index = len(decomp_meta)
+                decomp_index[id(decomposition)] = index
+                arrays[f"decomp_{index}_coloring"] = decomposition.coloring_matrix
+                arrays[f"decomp_{index}_effective"] = (
+                    decomposition.effective_covariance
+                )
+                arrays[f"decomp_{index}_requested"] = (
+                    decomposition.requested_covariance
+                )
+                decomp_meta.append(
+                    {
+                        "method": decomposition.method,
+                        "was_repaired": bool(decomposition.was_repaired),
+                        "negative_eigenvalue_count": int(
+                            decomposition.negative_eigenvalue_count
+                        ),
+                        "min_eigenvalue": float(decomposition.min_eigenvalue),
+                        "extra": decomposition.extra,
+                    }
+                )
+            decomp_map.append(index)
+        arrays[f"group_{g}_indices"] = np.asarray(group.indices, dtype=np.int64)
+        arrays[f"group_{g}_decomp_map"] = np.asarray(decomp_map, dtype=np.int64)
+        arrays[f"group_{g}_sample_variances"] = np.ascontiguousarray(
+            group.sample_variances, dtype=float
+        )
+        group_meta: Dict[str, Any] = {"filter": None}
+        if group.is_doppler:
+            findex = filter_index.get(id(group.doppler_filter))
+            if findex is None:
+                findex = len(filter_index)
+                filter_index[id(group.doppler_filter)] = findex
+                arrays[f"filter_{findex}"] = group.doppler_filter
+            group_meta["filter"] = findex
+            arrays[f"group_{g}_output_variance"] = np.asarray(
+                [group.doppler_output_variance], dtype=float
+            )
+        groups_meta.append(group_meta)
+    report = compiled.report
+    meta = {
+        "n_entries": int(compiled.n_entries),
+        "n_groups": len(compiled.groups),
+        "n_decompositions": len(decomp_meta),
+        "decompositions": decomp_meta,
+        "groups": groups_meta,
+        "report": {
+            "n_unique_matrices": int(report.n_unique_matrices),
+            "doppler_filters_built": int(report.doppler_filters_built),
+            "doppler_entries": int(report.doppler_entries),
+        },
+    }
+    return arrays, meta
+
+
+def _compiled_from_artifact(
+    arrays: Dict[str, np.ndarray],
+    meta: Dict[str, Any],
+    plan: "SimulationPlan",
+    backend: "LinalgBackend",
+    load_seconds: float,
+) -> Optional["CompiledPlan"]:
+    """Re-bind a stored artifact to the caller's plan object.
+
+    Entries (and with them seeds, labels, and Doppler specs) come from the
+    *caller's* plan; only the numeric artifacts come from disk.  Returns
+    ``None`` on any structural mismatch — the caller treats that as a miss
+    and recompiles.
+    """
+    from .compile import CompiledGroup, CompiledPlan, CompileReport
+
+    if int(meta["n_entries"]) != plan.n_entries:
+        return None
+    entries = plan.entries
+    decompositions = []
+    for index, decomp_meta in enumerate(meta["decompositions"]):
+        coloring = arrays[f"decomp_{index}_coloring"]
+        effective = arrays[f"decomp_{index}_effective"]
+        # Frozen like every cache-served decomposition: the arrays are
+        # shared, an in-place mutation must fail loudly.
+        coloring.flags.writeable = False
+        effective.flags.writeable = False
+        decompositions.append(
+            ColoringDecomposition(
+                coloring_matrix=coloring,
+                effective_covariance=effective,
+                requested_covariance=arrays[f"decomp_{index}_requested"],
+                method=str(decomp_meta["method"]),
+                was_repaired=bool(decomp_meta["was_repaired"]),
+                negative_eigenvalue_count=int(
+                    decomp_meta["negative_eigenvalue_count"]
+                ),
+                min_eigenvalue=float(decomp_meta["min_eigenvalue"]),
+                extra=dict(decomp_meta.get("extra") or {}),
+            )
+        )
+    filters: Dict[int, np.ndarray] = {}
+    groups = []
+    covered = 0
+    for g, group_meta in enumerate(meta["groups"]):
+        indices = tuple(int(i) for i in arrays[f"group_{g}_indices"])
+        group_entries = tuple(entries[i] for i in indices)
+        covered += len(indices)
+        group_decomps = tuple(
+            decompositions[int(j)] for j in arrays[f"group_{g}_decomp_map"]
+        )
+        if len(group_decomps) != len(indices):
+            return None
+        # Re-stacked from the stored arrays exactly as a fresh compile
+        # stacks them — np.stack copies bytes, so the stack is bit-identical.
+        coloring_stack = np.stack([d.coloring_matrix for d in group_decomps])
+        doppler = group_entries[0].doppler
+        if (doppler is None) != (group_meta["filter"] is None):
+            return None
+        if doppler is None:
+            doppler_filter = None
+            output_variance = None
+        else:
+            findex = int(group_meta["filter"])
+            doppler_filter = filters.get(findex)
+            if doppler_filter is None:
+                doppler_filter = arrays[f"filter_{findex}"]
+                doppler_filter.flags.writeable = False
+                filters[findex] = doppler_filter
+            output_variance = float(arrays[f"group_{g}_output_variance"][0])
+        groups.append(
+            CompiledGroup(
+                indices=indices,
+                entries=group_entries,
+                coloring_stack=coloring_stack,
+                sample_variances=arrays[f"group_{g}_sample_variances"],
+                decompositions=group_decomps,
+                doppler=doppler,
+                doppler_filter=doppler_filter,
+                doppler_output_variance=output_variance,
+            )
+        )
+    if covered != plan.n_entries:
+        return None
+    stored_report = meta.get("report") or {}
+    report = CompileReport(
+        n_entries=plan.n_entries,
+        n_groups=len(groups),
+        n_unique_matrices=int(stored_report.get("n_unique_matrices", 0)),
+        cache_hits=0,
+        cache_misses=0,
+        compile_seconds=load_seconds,
+        doppler_filters_built=int(stored_report.get("doppler_filters_built", 0)),
+        doppler_entries=int(stored_report.get("doppler_entries", 0)),
+        doppler_filter_cache_hits=0,
+        plan_cache_hits=1,
+    )
+    return CompiledPlan(plan=plan, groups=tuple(groups), report=report, backend=backend)
+
+
+@dataclass(frozen=True)
+class PlanCacheStats(StoreStats):
+    """Immutable snapshot of compiled-plan cache activity counters.
+
+    The plan cache has no memory tier, so its counters are exactly its
+    store's (:class:`repro.engine.store.StoreStats` — hits are
+    compilations served whole from a verified artifact, corruptions are
+    rejected-and-quarantined artifacts); this subclass only adds the
+    ``lookups`` convenience.
+    """
+
+    @property
+    def lookups(self) -> int:
+        """Total disk probes."""
+        return self.hits + self.misses
+
+
+class CompiledPlanCache:
+    """Disk cache of whole compiled plans (the executor-level tier).
+
+    Unlike the decomposition and filter caches there is no memory tier:
+    within a process, callers hold the :class:`CompiledPlan` object itself
+    (``Simulator.compile`` exists precisely for repeated runs), and the
+    memory-tier role for cross-plan sharing already belongs to the
+    decomposition cache.  A detached cache (no ``cache_dir``) is a no-op:
+    lookups miss silently and stores are dropped.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root of the shared artifact cache; artifacts live under
+        ``<cache_dir>/plans/<key>.npz``, as the third namespace next to
+        ``decompositions/`` and ``filters/``.
+    disk_max_bytes:
+        LRU byte bound of the ``plans/`` namespace.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[None, str, Path] = None,
+        *,
+        disk_max_bytes: int = DEFAULT_DISK_MAX_BYTES,
+    ) -> None:
+        self._store = ArtifactStore(
+            "plans",
+            dump=_identity_dump,
+            load=_identity_load,
+            cache_dir=cache_dir,
+            format_version=_DISK_FORMAT_VERSION,
+            max_bytes=disk_max_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        """Root directory of the disk tier (``None`` when detached)."""
+        return self._store.cache_dir
+
+    @property
+    def artifact_store(self) -> ArtifactStore:
+        """The underlying artifact store of the ``plans/`` namespace."""
+        return self._store
+
+    @property
+    def stats(self) -> PlanCacheStats:
+        """Snapshot of the hit/miss/corruption/eviction counters."""
+        return PlanCacheStats(**asdict(self._store.stats))
+
+    def set_cache_dir(self, cache_dir: Union[None, str, Path]) -> None:
+        """Attach (or detach, with ``None``) the persistent disk tier."""
+        self._store.set_cache_dir(cache_dir)
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self,
+        plan: "SimulationPlan",
+        *,
+        defaults: NumericDefaults = DEFAULTS,
+        backend: "LinalgBackend",
+    ) -> Optional["CompiledPlan"]:
+        """Load the compiled form of ``plan`` from disk, or ``None`` (a miss).
+
+        A detached cache returns ``None`` immediately — before hashing the
+        plan — so plain in-memory compiles pay nothing for this tier.  On a
+        hit the artifact is re-bound to the caller's ``plan`` (seeds and
+        labels come from it), the report records ``plan_cache_hits=1`` with
+        ``compile_seconds`` measuring the load, and the result is
+        bit-identical to a fresh compilation.
+        """
+        if self._store.cache_dir is None:
+            return None
+        start = time.perf_counter()
+        key = compiled_plan_cache_key(
+            plan, defaults=defaults, cache_token=backend.cache_token
+        )
+        artifact = self._store.lookup(key)
+        if artifact is None:
+            return None
+        arrays, meta = artifact
+        try:
+            rebound = _compiled_from_artifact(
+                arrays, meta, plan, backend, time.perf_counter() - start
+            )
+        except Exception:
+            rebound = None
+        if rebound is None:
+            # A digest-verified artifact that still does not fit the plan
+            # (key collision, layout bug) degrades to a recompile — and is
+            # quarantined so the recompiled result can re-spill over it
+            # instead of the stale bytes poisoning the key forever.
+            self._store.invalidate(key)
+        return rebound
+
+    def put(
+        self,
+        compiled: "CompiledPlan",
+        *,
+        defaults: NumericDefaults = DEFAULTS,
+    ) -> bool:
+        """Spill one compiled plan to disk; ``True`` if written.
+
+        Idempotent per key (the store remembers persisted and unwritable
+        keys), so compiling the same plan repeatedly serializes it once.
+        """
+        if self._store.cache_dir is None:
+            return False
+        backend = compiled.backend
+        key = compiled_plan_cache_key(
+            compiled.plan,
+            defaults=defaults,
+            cache_token="numpy" if backend is None else backend.cache_token,
+        )
+        try:
+            artifact = _artifact_from_compiled(compiled)
+        except Exception:
+            return False
+        return self._store.put(key, artifact)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def disk_usage(self) -> Tuple[int, int]:
+        """``(n_files, total_bytes)`` of the disk tier (``(0, 0)`` if none)."""
+        return self._store.usage()
+
+    def clear_disk(self) -> int:
+        """Remove every artifact of the disk tier (``.tmp`` and quarantine
+        leftovers included); returns the number of entries removed."""
+        return self._store.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (artifacts are kept)."""
+        self._store.reset_stats()
+
+
+#: Process-wide compiled-plan cache (created lazily so ``REPRO_CACHE_DIR``
+#: is honored at first use), shared by every ``compile_plan`` call that is
+#: not given an explicit cache.
+_DEFAULT_PLAN_CACHE: Optional[CompiledPlanCache] = None
+_DEFAULT_PLAN_LOCK = threading.Lock()
+
+
+def default_plan_cache() -> CompiledPlanCache:
+    """The process-wide compiled-plan cache.
+
+    Detached (a no-op) unless ``REPRO_CACHE_DIR`` is set at first use or
+    the CLI's ``--cache-dir`` attaches a directory; engines built with
+    ``cache_dir=`` use their own private instances instead.
+    """
+    global _DEFAULT_PLAN_CACHE
+    with _DEFAULT_PLAN_LOCK:
+        if _DEFAULT_PLAN_CACHE is None:
+            _DEFAULT_PLAN_CACHE = CompiledPlanCache(cache_dir=cache_dir_from_env())
+        return _DEFAULT_PLAN_CACHE

@@ -56,13 +56,14 @@ class BatchResult:
         return tuple(block.envelopes() for block in self.blocks)
 
     def summary(self) -> str:
-        """Human-readable run summary, including decomposition-cache stats.
+        """Human-readable run summary, including per-tier cache stats.
 
-        One line per pipeline stage: what ran, on which backend, and how the
+        One line per pipeline stage: what ran, on which backend, how the
         decomposition cache behaved for this run's compile pass (hits,
-        misses, deduplicated entries) — the counters
-        :class:`repro.engine.cache.DecompositionCache` keeps but nothing
-        printed per run before this method existed.
+        misses, deduplicated entries), and — when the compilation was served
+        whole from the compiled-plan disk tier — a line saying so (in that
+        case the decomposition counters are zero by construction: no
+        per-matrix lookups ran at all).
         """
         report = self.compile_report
         lookups = report.cache_hits + report.cache_misses
@@ -74,12 +75,22 @@ class BatchResult:
             f"{report.n_unique_matrices} unique matrices "
             f"({report.deduplicated} deduplicated), "
             f"{report.compile_seconds:.6f} s",
-            f"  decomposition cache: {report.cache_hits} hits / "
-            f"{report.cache_misses} misses ({hit_rate:.1%} hit rate)",
         ]
-        if report.doppler_entries:
+        if report.plan_cache_hits:
             lines.append(
-                f"  doppler filters: {report.doppler_filters_built} built / "
+                f"  compiled-plan cache: {report.plan_cache_hits} hit(s) — "
+                "whole plan served from disk, no decompositions computed"
+            )
+        lines.append(
+            f"  decomposition cache: {report.cache_hits} hits / "
+            f"{report.cache_misses} misses ({hit_rate:.1%} hit rate)"
+        )
+        if report.doppler_entries:
+            # On a plan-cache hit nothing was constructed this pass — the
+            # filters were restored from the artifact.
+            resolved = "restored" if report.plan_cache_hits else "built"
+            lines.append(
+                f"  doppler filters: {report.doppler_filters_built} {resolved} / "
                 f"{report.doppler_entries} entries served"
             )
         lines.append(f"  execute: {self.execute_seconds:.6f} s")

@@ -62,11 +62,14 @@ class TestConstruction:
             assert sim.cache_dir == str(tmp_path)
             assert sim.cache is not default_simulator().cache
             reference = sim.run(_plan(2), 8)
-        # A new session over the same directory compiles from disk and
-        # reproduces the run byte-for-byte.
+        # A new session over the same directory loads the whole compiled
+        # plan from disk — no per-matrix lookups at all — and reproduces
+        # the run byte-for-byte.
         with Simulator(cache_dir=tmp_path) as warm:
             result = warm.run(_plan(2), 8)
-            assert warm.cache_stats.disk_hits == 2
+            assert result.compile_report.plan_cache_hits == 1
+            assert warm.engine.plan_cache.stats.hits == 1
+            assert warm.cache_stats.lookups == 0  # decomposition tier untouched
         for block, expected in zip(result.blocks, reference.blocks):
             assert block.samples.tobytes() == expected.samples.tobytes()
 
@@ -79,6 +82,27 @@ class TestConstruction:
         # hand its directory to process-pool workers too.
         sim = Simulator(cache=DecompositionCache(cache_dir=tmp_path), max_workers=2)
         assert sim.cache_dir == str(tmp_path)
+        # ... but NOT the compiled-plan tier: an explicitly hand-configured
+        # cache keeps the plan tier detached in the parent, so workers must
+        # keep it detached too (serial and parallel runs agree on whether
+        # whole-plan short-circuits may happen).
+        assert sim.engine.plan_cache.cache_dir is None
+        assert sim._plan_cache_dir is None
+
+    def test_worker_engine_mirrors_parent_plan_tier(self, tmp_path):
+        # Exercise the worker entry point directly (no pool needed): the
+        # plan tier attaches in the worker exactly when the parent forwards
+        # its plan-cache directory.
+        from repro.api import _run_subplan
+        from repro.engine import resolve_backend
+
+        backend = resolve_backend(None)
+        _run_subplan(_plan(2), 8, backend, str(tmp_path / "a"), None)
+        assert (tmp_path / "a" / "decompositions").is_dir()
+        assert not (tmp_path / "a" / "plans").exists()
+
+        _run_subplan(_plan(2), 8, backend, str(tmp_path / "b"), str(tmp_path / "b"))
+        assert (tmp_path / "b" / "plans").is_dir()
 
     def test_explicit_memory_only_cache_overrides_env_for_workers(
         self, tmp_path, monkeypatch

@@ -154,10 +154,15 @@ class TestCacheDirOption:
         # --cache-dir attaches a disk tier to the process-wide caches;
         # detach it afterwards so other tests see memory-only defaults.
         yield
-        from repro.engine import default_decomposition_cache, default_filter_cache
+        from repro.engine import (
+            default_decomposition_cache,
+            default_filter_cache,
+            default_plan_cache,
+        )
 
         default_decomposition_cache().set_cache_dir(None)
         default_filter_cache().set_cache_dir(None)
+        default_plan_cache().set_cache_dir(None)
 
     def test_cache_dir_parses_on_run_and_batch(self, tmp_path):
         args = build_parser().parse_args(
@@ -179,6 +184,23 @@ class TestCacheDirOption:
         capsys.readouterr()
         assert list((cache_dir / "filters").glob("*.npz"))
 
+    def test_attach_cache_dir_covers_all_three_tiers(self, tmp_path):
+        # --cache-dir must wire the compiled-plan tier too, so default-cache
+        # runs (the pipeline helpers, `run` experiments) warm-start whole
+        # compiled plans; the scaling experiments themselves use explicit
+        # private caches and stay isolated from it.
+        from repro.cli import _attach_cache_dir
+        from repro.engine import (
+            default_decomposition_cache,
+            default_filter_cache,
+            default_plan_cache,
+        )
+
+        _attach_cache_dir(tmp_path)
+        assert default_decomposition_cache().cache_dir == tmp_path
+        assert default_filter_cache().cache_dir == tmp_path
+        assert default_plan_cache().cache_dir == tmp_path
+
 
 class TestCacheSubcommand:
     def test_cache_command_parses(self, tmp_path):
@@ -199,6 +221,27 @@ class TestCacheSubcommand:
             main(["cache", "stats"])
         assert "REPRO_CACHE_DIR" in str(excinfo.value)
 
+    @staticmethod
+    def _populate_all_tiers(tmp_path):
+        import numpy as np
+
+        from repro.engine import (
+            CompiledPlanCache,
+            DecompositionCache,
+            DopplerFilterCache,
+            SimulationPlan,
+            compile_plan,
+        )
+
+        matrix = np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
+        DecompositionCache(cache_dir=tmp_path).coloring_for(matrix)
+        DopplerFilterCache(cache_dir=tmp_path).get(64, 0.05)
+        compile_plan(
+            SimulationPlan.from_specs([matrix], seed=1),
+            cache=DecompositionCache(),
+            plan_cache=CompiledPlanCache(cache_dir=tmp_path),
+        )
+
     def test_stats_reads_directory_from_env(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert main(["cache", "stats"]) == 0
@@ -206,36 +249,25 @@ class TestCacheSubcommand:
         assert str(tmp_path) in out
         assert "decompositions: 0 entries" in out
         assert "doppler filters: 0 entries" in out
+        assert "compiled plans: 0 entries" in out
 
     def test_stats_counts_populated_tiers(self, tmp_path, capsys):
-        import numpy as np
-
-        from repro.engine import DecompositionCache, DopplerFilterCache
-
-        DecompositionCache(cache_dir=tmp_path).coloring_for(
-            np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
-        )
-        DopplerFilterCache(cache_dir=tmp_path).get(64, 0.05)
+        self._populate_all_tiers(tmp_path)
         assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "decompositions: 1 entries" in out
         assert "doppler filters: 1 entries" in out
+        assert "compiled plans: 1 entries" in out
 
     def test_clear_removes_everything(self, tmp_path, capsys):
-        import numpy as np
-
-        from repro.engine import DecompositionCache, DopplerFilterCache
-
-        DecompositionCache(cache_dir=tmp_path).coloring_for(
-            np.array([[1.0, 0.4], [0.4, 1.0]], dtype=complex)
-        )
-        DopplerFilterCache(cache_dir=tmp_path).get(64, 0.05)
+        self._populate_all_tiers(tmp_path)
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
-        assert "removed 2 entries" in capsys.readouterr().out
+        assert "removed 3 entries" in capsys.readouterr().out
         assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "decompositions: 0 entries" in out
         assert "doppler filters: 0 entries" in out
+        assert "compiled plans: 0 entries" in out
 
 
 class TestBatchDopplerMode:

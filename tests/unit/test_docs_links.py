@@ -1,0 +1,71 @@
+"""Intra-repo link checker for the markdown docs.
+
+Every relative link in README, ROADMAP, and ``docs/`` must point at a file
+(or directory) that exists in the repository — a rename or a typo'd path
+fails here (and in the CI ``docs`` job, which runs exactly this module)
+instead of shipping a dead link.  External URLs and pure ``#anchor`` links
+are out of scope; fenced code blocks and inline code spans are stripped
+before matching so code like ``blocks[0](...)`` is never mistaken for a
+link.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The documentation set covered by the checker (and the CI docs job).
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    + list((REPO_ROOT / "docs").glob("**/*.md"))
+)
+
+_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+_INLINE_CODE = re.compile(r"`[^`\n]*`")
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def _strip_code(markdown: str) -> str:
+    return _INLINE_CODE.sub("", _FENCE.sub("", markdown))
+
+
+def relative_link_targets(path: Path):
+    """Yield ``(target, resolved_path)`` for every intra-repo link in a file."""
+    for target in _LINK.findall(_strip_code(path.read_text(encoding="utf8"))):
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        yield target, (path.parent / plain).resolve()
+
+
+def test_doc_set_is_nonempty():
+    # The checker must actually cover the architecture document.
+    assert REPO_ROOT / "docs" / "ARCHITECTURE.md" in DOC_FILES
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_links_resolve(doc):
+    broken = [
+        target
+        for target, resolved in relative_link_targets(doc)
+        if not resolved.exists()
+    ]
+    assert not broken, (
+        f"{doc.relative_to(REPO_ROOT)} has broken intra-repo links: {broken}"
+    )
+
+
+def test_architecture_doc_is_linked_from_readme_and_roadmap():
+    # The acceptance criterion of the docs pass: the architecture document
+    # exists and both top-level documents point at it.
+    for source in (REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"):
+        targets = [resolved for _, resolved in relative_link_targets(source)]
+        assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").resolve() in targets, (
+            f"{source.name} does not link docs/ARCHITECTURE.md"
+        )

@@ -259,16 +259,18 @@ class TestDiskTier:
         assert cache.stats.disk_entries == 0
 
     def test_failed_spill_is_not_retried_per_hit(self, matrix, tmp_path, monkeypatch):
-        import repro.engine.cache as cache_module
+        from repro.engine.store import ArtifactStore
 
         blocker = tmp_path / "blocker"
         blocker.write_text("x")
         cache = DecompositionCache(cache_dir=blocker)
         cache.coloring_for(matrix)  # store: spill attempt fails
         calls = []
-        original = cache_module._dump_entry
+        original = ArtifactStore._write
         monkeypatch.setattr(
-            cache_module, "_dump_entry", lambda *a: calls.append(1) or original(*a)
+            ArtifactStore,
+            "_write",
+            lambda self, *a: calls.append(1) or original(self, *a),
         )
         for _ in range(5):
             cache.coloring_for(matrix)  # memory hits

@@ -135,13 +135,15 @@ class TestFilterDiskTier:
         assert not orphan.exists()
 
     def test_unusable_cache_dir_degrades_without_retry(self, tmp_path, monkeypatch):
+        from repro.engine.store import ArtifactStore
+
         blocker = tmp_path / "blocker"
         blocker.write_text("a regular file, not a directory")
         cache = DopplerFilterCache(cache_dir=blocker)
         cache.get(64, 0.05)  # store attempt fails soft
         calls = []
         monkeypatch.setattr(
-            DopplerFilterCache, "_disk_store", lambda self, *a: calls.append(1)
+            ArtifactStore, "_write", lambda self, *a: calls.append(1) or (False, 0)
         )
         for _ in range(5):
             cache.get(64, 0.05)  # memory hits

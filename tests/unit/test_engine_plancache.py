@@ -1,0 +1,325 @@
+"""Unit tests for the compiled-plan cache (:mod:`repro.engine.plancache`).
+
+The executor-level tier: whole :class:`CompiledPlan` artifacts on disk,
+keyed by the content hash of the ``(plan, backend namespace)`` pair.  The
+two standing invariants are exercised at this level too: a disk hit is
+bit-identical to a fresh compilation (and performs **zero**
+``eigh``/``cholesky``/filter-build calls), and a corrupt or truncated
+artifact is a miss that recompiles and re-spills, never an error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULTS
+from repro.engine import (
+    CompiledPlanCache,
+    DecompositionCache,
+    DopplerFilterCache,
+    DopplerSpec,
+    SimulationPlan,
+    compile_plan,
+    compiled_plan_cache_key,
+    execute_plan,
+)
+
+
+@pytest.fixture()
+def base_matrix():
+    return np.array([[1.0, 0.4 + 0.1j], [0.4 - 0.1j, 2.0]], dtype=complex)
+
+
+def _mixed_plan(base, seed_offset=0):
+    non_psd = np.array(
+        [[1.0, 0.9, 0.9], [0.9, 1.0, 0.9], [0.9, 0.9, 0.2]], dtype=complex
+    )
+    plan = SimulationPlan()
+    plan.add(base, seed=11 + seed_offset)
+    plan.add(2.0 * base, seed=12 + seed_offset)
+    plan.add(base, seed=13 + seed_offset)     # repeated matrix
+    plan.add(non_psd, seed=14 + seed_offset)  # PSD repair path
+    plan.add(
+        base,
+        seed=15 + seed_offset,
+        doppler=DopplerSpec(normalized_doppler=0.05, n_points=64),
+    )
+    return plan
+
+
+def _compile(plan, cache_dir=None):
+    return compile_plan(
+        plan,
+        cache=DecompositionCache(),
+        filter_cache=DopplerFilterCache(),
+        plan_cache=(
+            CompiledPlanCache() if cache_dir is None else CompiledPlanCache(cache_dir)
+        ),
+    )
+
+
+class TestKey:
+    def test_seeds_and_labels_do_not_split_keys(self, base_matrix):
+        with_seeds = _mixed_plan(base_matrix, seed_offset=0)
+        reseeded = _mixed_plan(base_matrix, seed_offset=100)
+        assert compiled_plan_cache_key(with_seeds) == compiled_plan_cache_key(reseeded)
+
+        labeled = SimulationPlan()
+        labeled.add(base_matrix, seed=1, label="scenario-a")
+        unlabeled = SimulationPlan()
+        unlabeled.add(base_matrix, seed=2)
+        assert compiled_plan_cache_key(labeled) == compiled_plan_cache_key(unlabeled)
+
+    def test_compile_inputs_split_keys(self, base_matrix):
+        reference = SimulationPlan()
+        reference.add(base_matrix, seed=1)
+        base_key = compiled_plan_cache_key(reference)
+
+        perturbed = SimulationPlan()
+        perturbed.add(base_matrix * 1.0001, seed=1)
+        assert compiled_plan_cache_key(perturbed) != base_key
+
+        cholesky = SimulationPlan()
+        cholesky.add(base_matrix, seed=1, coloring_method="cholesky")
+        assert compiled_plan_cache_key(cholesky) != base_key
+
+        doppler = SimulationPlan()
+        doppler.add(base_matrix, seed=1, doppler=DopplerSpec(0.05, 64))
+        assert compiled_plan_cache_key(doppler) != base_key
+
+        uncompensated = SimulationPlan()
+        uncompensated.add(
+            base_matrix, seed=1, doppler=DopplerSpec(0.05, 64, compensate_variance=False)
+        )
+        assert compiled_plan_cache_key(uncompensated) != compiled_plan_cache_key(doppler)
+
+        variance = SimulationPlan()
+        variance.add(base_matrix, seed=1, sample_variance=2.0)
+        assert compiled_plan_cache_key(variance) != base_key
+
+    def test_backend_token_namespaces_keys(self, base_matrix):
+        plan = SimulationPlan()
+        plan.add(base_matrix, seed=1)
+        assert compiled_plan_cache_key(plan, cache_token="numpy") != compiled_plan_cache_key(
+            plan, cache_token="gpu"
+        )
+
+    def test_entry_order_matters(self, base_matrix):
+        forward = SimulationPlan()
+        forward.add(base_matrix, seed=1)
+        forward.add(2.0 * base_matrix, seed=2)
+        backward = SimulationPlan()
+        backward.add(2.0 * base_matrix, seed=1)
+        backward.add(base_matrix, seed=2)
+        assert compiled_plan_cache_key(forward) != compiled_plan_cache_key(backward)
+
+
+class TestRoundTrip:
+    def test_warm_hit_is_bit_identical_and_computes_nothing(
+        self, base_matrix, tmp_path, monkeypatch
+    ):
+        plan = _mixed_plan(base_matrix)
+        cold = _compile(plan, tmp_path)
+        assert cold.report.plan_cache_hits == 0
+        cold_result = execute_plan(cold, 64)
+
+        # The acceptance criterion, enforced literally: a warm hit must not
+        # call the stacked decomposition or the filter builder at all.
+        import repro.channels.doppler as doppler_module
+        import repro.core.coloring as coloring_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("a warm plan-cache hit must not compute")
+
+        monkeypatch.setattr(coloring_module, "compute_coloring_batch", forbidden)
+        monkeypatch.setattr(doppler_module, "young_beaulieu_filter", forbidden)
+
+        warm = _compile(plan, tmp_path)
+        assert warm.report.plan_cache_hits == 1
+        assert warm.report.cache_hits == warm.report.cache_misses == 0
+        warm_result = execute_plan(warm, 64)
+        for cold_block, warm_block in zip(cold_result.blocks, warm_result.blocks):
+            assert cold_block.samples.tobytes() == warm_block.samples.tobytes()
+
+    def test_artifact_rebinds_to_callers_plan(self, base_matrix, tmp_path):
+        # Seeds and labels come from the *caller's* plan, not the artifact:
+        # a re-seeded sweep warm-starts from the same entry and produces the
+        # re-seeded samples.
+        _compile(_mixed_plan(base_matrix, seed_offset=0), tmp_path)
+        reseeded = _mixed_plan(base_matrix, seed_offset=100)
+        warm = _compile(reseeded, tmp_path)
+        assert warm.report.plan_cache_hits == 1
+        fresh = _compile(_mixed_plan(base_matrix, seed_offset=100))
+        warm_result = execute_plan(warm, 32)
+        fresh_result = execute_plan(fresh, 32)
+        for warm_block, fresh_block in zip(warm_result.blocks, fresh_result.blocks):
+            assert warm_block.samples.tobytes() == fresh_block.samples.tobytes()
+
+    def test_diagnostics_survive_the_round_trip(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        cold = _compile(plan, tmp_path)
+        warm = _compile(plan, tmp_path)
+        assert warm.report.plan_cache_hits == 1
+        for index in range(plan.n_entries):
+            cold_d = cold.decomposition_for(index)
+            warm_d = warm.decomposition_for(index)
+            assert warm_d.method == cold_d.method
+            assert warm_d.was_repaired == cold_d.was_repaired
+            assert warm_d.min_eigenvalue == cold_d.min_eigenvalue
+            assert warm_d.extra == cold_d.extra
+        assert warm.decomposition_for(3).was_repaired  # the non-PSD entry
+
+    def test_loaded_arrays_are_frozen(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        _compile(plan, tmp_path)
+        warm = _compile(plan, tmp_path)
+        group = warm.groups[0]
+        assert not group.decompositions[0].coloring_matrix.flags.writeable
+        doppler_group = next(g for g in warm.groups if g.is_doppler)
+        assert not doppler_group.doppler_filter.flags.writeable
+
+    def test_report_structure_preserved(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        cold = _compile(plan, tmp_path)
+        warm = _compile(plan, tmp_path)
+        assert warm.report.n_entries == cold.report.n_entries
+        assert warm.report.n_groups == cold.report.n_groups
+        assert warm.report.n_unique_matrices == cold.report.n_unique_matrices
+        assert warm.report.doppler_entries == cold.report.doppler_entries
+        assert warm.report.doppler_filters_built == cold.report.doppler_filters_built
+
+    def test_detached_cache_is_a_noop(self, base_matrix):
+        plan = _mixed_plan(base_matrix)
+        first = _compile(plan)
+        second = _compile(plan)
+        assert first.report.plan_cache_hits == 0
+        assert second.report.plan_cache_hits == 0
+
+    def test_explicit_cache_keeps_plan_tier_detached(
+        self, base_matrix, tmp_path, monkeypatch
+    ):
+        # An explicitly configured decomposition cache — e.g. the documented
+        # no-reuse baseline DecompositionCache(maxsize=0) — must never be
+        # silently short-circuited by an env-attached plans/ tier: the
+        # plan-cache default follows the decomposition-cache default.
+        import repro.engine.plancache as plancache_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(plancache_module, "_DEFAULT_PLAN_CACHE", None)
+        plan = _mixed_plan(base_matrix)
+        for _ in range(2):
+            compiled = compile_plan(plan, cache=DecompositionCache(maxsize=0))
+            assert compiled.report.plan_cache_hits == 0
+            assert compiled.report.cache_misses > 0  # actually recomputed
+        assert not (tmp_path / "plans").exists()
+        # A default-cache compile, by contrast, does use the env-attached
+        # process-wide plan cache.
+        compile_plan(plan)
+        assert (tmp_path / "plans").exists()
+        monkeypatch.setattr(plancache_module, "_DEFAULT_PLAN_CACHE", None)
+
+
+class TestCorruption:
+    """A corrupt or truncated artifact is a miss: recompute and re-spill."""
+
+    def _artifact(self, tmp_path):
+        (path,) = (tmp_path / "plans").glob("*.npz")
+        return path
+
+    def test_truncated_artifact_recompiles_and_respills(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        cold = _compile(plan, tmp_path)
+        cold_result = execute_plan(cold, 64)
+
+        # Truncate the artifact mid-file: the next compile must treat it as
+        # a miss, recompute everything, and leave a valid artifact behind.
+        path = self._artifact(tmp_path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+
+        recompiling_cache = CompiledPlanCache(tmp_path)
+        recompiled = compile_plan(
+            plan,
+            cache=DecompositionCache(),
+            filter_cache=DopplerFilterCache(),
+            plan_cache=recompiling_cache,
+        )
+        assert recompiled.report.plan_cache_hits == 0
+        stats = recompiling_cache.stats
+        assert stats.corruptions == 1
+        assert stats.misses == 1
+        recompiled_result = execute_plan(recompiled, 64)
+        for cold_block, new_block in zip(cold_result.blocks, recompiled_result.blocks):
+            assert cold_block.samples.tobytes() == new_block.samples.tobytes()
+
+        # Re-spilled: the artifact is valid again for the next "process".
+        assert self._artifact(tmp_path).exists()
+        warm = _compile(plan, tmp_path)
+        assert warm.report.plan_cache_hits == 1
+
+    def test_rebind_failure_quarantines_instead_of_poisoning(
+        self, base_matrix, tmp_path, monkeypatch
+    ):
+        # The digest protects bytes, not meaning: an artifact that verifies
+        # but fails re-binding (layout bug, key collision) must be
+        # quarantined so the recompiled plan re-spills over it — not left
+        # in place with the key marked no-spill, poisoning every future
+        # process with a load+verify+failed-rebind+recompute cycle.
+        import repro.engine.plancache as plancache_module
+
+        plan = _mixed_plan(base_matrix)
+        _compile(plan, tmp_path)
+        monkeypatch.setattr(
+            plancache_module, "_compiled_from_artifact", lambda *a, **k: None
+        )
+        broken_cache = CompiledPlanCache(tmp_path)
+        compiled = compile_plan(
+            plan, cache=DecompositionCache(), plan_cache=broken_cache
+        )
+        assert compiled.report.plan_cache_hits == 0
+        stats = broken_cache.stats
+        assert (stats.hits, stats.misses, stats.corruptions) == (0, 1, 1)
+        assert list((tmp_path / "plans").glob("*.quarantine"))
+        # The recompiled plan re-spilled; with rebinding restored, the next
+        # process hits again.
+        monkeypatch.undo()
+        warm = _compile(plan, tmp_path)
+        assert warm.report.plan_cache_hits == 1
+
+    def test_garbage_artifact_is_a_counted_miss(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        _compile(plan, tmp_path)
+        self._artifact(tmp_path).write_bytes(b"not an npz archive")
+        cache = CompiledPlanCache(tmp_path)
+        compiled = compile_plan(
+            plan,
+            cache=DecompositionCache(),
+            filter_cache=DopplerFilterCache(),
+            plan_cache=cache,
+        )
+        assert compiled.report.plan_cache_hits == 0
+        assert cache.stats.corruptions == 1
+
+
+class TestMaintenance:
+    def test_disk_usage_and_clear(self, base_matrix, tmp_path):
+        _compile(_mixed_plan(base_matrix), tmp_path)
+        cache = CompiledPlanCache(tmp_path)
+        entries, total = cache.disk_usage()
+        assert entries == 1
+        assert total > 0
+        assert cache.clear_disk() == 1
+        assert cache.disk_usage() == (0, 0)
+
+    def test_set_cache_dir_attaches_existing_artifacts(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        _compile(plan, tmp_path)
+        cache = CompiledPlanCache()
+        cache.set_cache_dir(tmp_path)
+        assert cache.cache_dir == tmp_path
+        compiled = compile_plan(
+            plan,
+            cache=DecompositionCache(),
+            filter_cache=DopplerFilterCache(),
+            plan_cache=cache,
+        )
+        assert compiled.report.plan_cache_hits == 1

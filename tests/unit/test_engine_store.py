@@ -1,0 +1,273 @@
+"""Unit tests for the unified artifact store (:mod:`repro.engine.store`).
+
+The store owns the whole disk-tier protocol for every cache — atomic
+write-then-rename, digest verification, quarantine-on-corrupt, stale-file
+sweeping, LRU byte-bounded eviction — so these tests exercise it directly
+through a trivial dump/load pair; the cache-specific behaviour lives in
+``test_engine_cache.py`` / ``test_engine_filters.py`` /
+``test_engine_plancache.py``.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.store import TMP_SWEEP_AGE_SECONDS, ArtifactStore
+
+
+def _dump(payload):
+    return {"values": np.asarray(payload, dtype=float)}, {"kind": "test"}
+
+
+def _load(arrays, meta):
+    assert meta.get("kind") == "test"
+    return arrays["values"]
+
+
+def _make_store(cache_dir=None, **kwargs):
+    return ArtifactStore("widgets", dump=_dump, load=_load, cache_dir=cache_dir, **kwargs)
+
+
+class TestRoundTrip:
+    def test_put_then_lookup_bit_identical(self, tmp_path):
+        store = _make_store(tmp_path)
+        payload = np.array([1.0, 2.5, -3.25])
+        assert store.put("k1", payload)
+        fresh_process = _make_store(tmp_path)
+        loaded = fresh_process.lookup("k1")
+        assert loaded.tobytes() == payload.tobytes()
+        assert fresh_process.stats.hits == 1
+        assert (tmp_path / "widgets" / "k1.npz").exists()
+
+    def test_absent_key_is_a_counted_miss(self, tmp_path):
+        store = _make_store(tmp_path)
+        assert store.lookup("nope") is None
+        assert store.stats.misses == 1
+        assert store.stats.corruptions == 0
+
+    def test_detached_store_is_a_silent_noop(self):
+        store = _make_store(None)
+        assert not store.put("k", np.ones(3))
+        assert store.lookup("k") is None
+        stats = store.stats
+        assert (stats.hits, stats.misses) == (0, 0)
+        assert store.usage() == (0, 0)
+
+    def test_put_is_idempotent_per_key(self, tmp_path, monkeypatch):
+        store = _make_store(tmp_path)
+        store.put("k1", np.ones(3))
+        calls = []
+        monkeypatch.setattr(
+            ArtifactStore, "_write", lambda self, *a: calls.append(1) or (False, 0)
+        )
+        for _ in range(5):
+            store.put("k1", np.ones(3))
+        assert calls == []  # serialization is never re-paid
+
+    def test_failed_dump_keeps_entry_memory_only(self, tmp_path):
+        store = ArtifactStore(
+            "widgets", dump=lambda payload: None, load=_load, cache_dir=tmp_path
+        )
+        assert not store.put("k1", object())
+        assert store.usage() == (0, 0)
+
+    def test_reserved_member_names_are_rejected(self, tmp_path):
+        store = ArtifactStore(
+            "widgets",
+            dump=lambda payload: ({"__meta__": np.ones(1)}, {}),
+            load=_load,
+            cache_dir=tmp_path,
+        )
+        assert not store.put("k1", object())
+
+    def test_non_json_meta_keeps_entry_memory_only(self, tmp_path):
+        store = ArtifactStore(
+            "widgets",
+            dump=lambda payload: ({"values": np.ones(1)}, {"bad": object()}),
+            load=_load,
+            cache_dir=tmp_path,
+        )
+        assert not store.put("k1", object())
+        assert store.usage() == (0, 0)
+
+    def test_invalid_namespace_and_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactStore("", dump=_dump, load=_load)
+        with pytest.raises(ValueError):
+            ArtifactStore("a/b", dump=_dump, load=_load)
+        with pytest.raises(ValueError):
+            ArtifactStore("widgets", dump=_dump, load=_load, max_bytes=-1)
+
+
+class TestVerification:
+    """Every defect is a miss that quarantines the file, never an error."""
+
+    def _entry(self, tmp_path):
+        (path,) = (tmp_path / "widgets").glob("*.npz")
+        return path
+
+    @pytest.fixture()
+    def populated(self, tmp_path):
+        _make_store(tmp_path).put("k1", np.arange(8.0))
+        return tmp_path
+
+    def test_truncated_file_quarantined(self, populated):
+        path = self._entry(populated)
+        path.write_bytes(path.read_bytes()[:40])
+        store = _make_store(populated)
+        assert store.lookup("k1") is None
+        stats = store.stats
+        assert stats.corruptions == 1
+        assert stats.misses == 1
+        assert not path.exists()  # moved aside, next lookup is a clean miss
+        assert path.with_suffix(".quarantine").exists()  # kept for postmortem
+
+    def test_garbage_file_quarantined(self, populated):
+        self._entry(populated).write_bytes(b"this is not an npz archive")
+        store = _make_store(populated)
+        assert store.lookup("k1") is None
+        assert store.stats.corruptions == 1
+
+    def test_tampered_payload_fails_digest(self, populated):
+        import zipfile
+
+        path = self._entry(populated)
+        with zipfile.ZipFile(path) as archive:
+            members = {name: archive.read(name) for name in archive.namelist()}
+        payload = bytearray(members["values.npy"])
+        payload[-1] ^= 0xFF
+        members["values.npy"] = bytes(payload)
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, data in members.items():
+                archive.writestr(name, data)
+        store = _make_store(populated)
+        assert store.lookup("k1") is None
+        assert store.stats.corruptions == 1
+
+    def test_format_version_mismatch_is_a_miss(self, populated):
+        store = _make_store(populated, format_version=99)
+        assert store.lookup("k1") is None
+        assert store.stats.corruptions == 1
+
+    def test_key_mismatch_is_a_miss(self, populated):
+        # A renamed (or hash-colliding) file must not serve the wrong key.
+        path = self._entry(populated)
+        os.replace(path, path.with_name("k2.npz"))
+        store = _make_store(populated)
+        assert store.lookup("k2") is None
+        assert store.stats.corruptions == 1
+
+    def test_namespace_mismatch_is_a_miss(self, populated):
+        # The same bytes copied into another namespace read as a miss.
+        source = self._entry(populated)
+        other_dir = populated / "gadgets"
+        other_dir.mkdir()
+        (other_dir / "k1.npz").write_bytes(source.read_bytes())
+        other = ArtifactStore("gadgets", dump=_dump, load=_load, cache_dir=populated)
+        assert other.lookup("k1") is None
+        assert other.stats.corruptions == 1
+
+    def test_client_load_rejection_is_corruption(self, populated):
+        store = ArtifactStore(
+            "widgets",
+            dump=_dump,
+            load=lambda arrays, meta: None,
+            cache_dir=populated,
+        )
+        assert store.lookup("k1") is None
+        assert store.stats.corruptions == 1
+
+    def test_quarantined_entry_can_be_respilled(self, populated):
+        path = self._entry(populated)
+        path.write_bytes(b"garbage")
+        store = _make_store(populated)
+        assert store.lookup("k1") is None  # quarantines
+        assert store.put("k1", np.arange(8.0))  # re-spill after corruption
+        fresh = _make_store(populated)
+        assert fresh.lookup("k1") is not None
+
+
+class TestSweeping:
+    """Stale ``.tmp`` *and* ``.quarantine`` files are swept on store open."""
+
+    def _stale_and_fresh(self, directory, suffix):
+        directory.mkdir(parents=True, exist_ok=True)
+        stale = directory / f"dead{suffix}"
+        stale.write_bytes(b"old")
+        old = time.time() - 2 * TMP_SWEEP_AGE_SECONDS
+        os.utime(stale, (old, old))
+        fresh = directory / f"live{suffix}"
+        fresh.write_bytes(b"recent")
+        return stale, fresh
+
+    @pytest.mark.parametrize("suffix", [".tmp", ".quarantine"])
+    def test_open_sweeps_stale_leftovers(self, tmp_path, suffix):
+        stale, fresh = self._stale_and_fresh(tmp_path / "widgets", suffix)
+        _make_store(tmp_path)  # opening the directory sweeps
+        assert not stale.exists()
+        assert fresh.exists()  # recent files presumed live, kept
+
+    @pytest.mark.parametrize("suffix", [".tmp", ".quarantine"])
+    def test_eviction_pass_sweeps_stale_leftovers(self, tmp_path, suffix):
+        store = _make_store(tmp_path, max_bytes=1)
+        stale, fresh = self._stale_and_fresh(tmp_path / "widgets", suffix)
+        store.put("k1", np.arange(64.0))  # 1-byte bound forces an eviction pass
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_repeated_corruption_is_bounded(self, tmp_path):
+        # Quarantining the same key overwrites one file; corruption cannot
+        # grow the directory by one file per incident.
+        store = _make_store(tmp_path)
+        for _ in range(5):
+            store.put("k1", np.arange(4.0))
+            (tmp_path / "widgets" / "k1.npz").write_bytes(b"garbage")
+            assert store.lookup("k1") is None
+            # The failed lookup cleared the no-spill mark; re-spill for the
+            # next round.
+        leftovers = list((tmp_path / "widgets").glob("*.quarantine"))
+        assert len(leftovers) == 1
+
+
+class TestEviction:
+    def test_lru_byte_bound_evicts_oldest(self, tmp_path):
+        store = _make_store(tmp_path, max_bytes=1)
+        for index in range(3):
+            store.put(f"k{index}", np.arange(16.0))
+            now = time.time()
+            for path in (tmp_path / "widgets").glob("*.npz"):
+                os.utime(path, (now - 100 + index, now - 100 + index))
+        assert store.stats.evictions >= 2
+        assert len(list((tmp_path / "widgets").glob("*.npz"))) <= 1
+
+    def test_usage_and_clear(self, tmp_path):
+        store = _make_store(tmp_path)
+        store.put("k1", np.arange(4.0))
+        store.put("k2", np.arange(4.0))
+        (tmp_path / "widgets" / "leftover.tmp").write_bytes(b"x")
+        (tmp_path / "widgets" / "bad.quarantine").write_bytes(b"x")
+        entries, total = store.usage()
+        assert entries == 2
+        assert total > 0
+        assert store.clear() == 2  # counts entries, not leftovers
+        assert store.usage() == (0, 0)
+        assert list((tmp_path / "widgets").iterdir()) == []
+
+    def test_unusable_cache_dir_degrades_softly(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a regular file, not a directory")
+        store = _make_store(blocker)
+        assert not store.put("k1", np.ones(2))
+        assert store.lookup("k1") is None
+        assert store.usage() == (0, 0)
+
+    def test_reset_stats_keeps_entries(self, tmp_path):
+        store = _make_store(tmp_path)
+        store.put("k1", np.ones(2))
+        store.lookup("missing")
+        store.reset_stats()
+        stats = store.stats
+        assert (stats.hits, stats.misses, stats.corruptions) == (0, 0, 0)
+        assert store.usage()[0] == 1

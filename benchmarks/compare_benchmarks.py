@@ -69,13 +69,16 @@ def compare_medians(
     previous: Dict[str, float],
     current: Dict[str, float],
     threshold: float = 0.25,
+    unit: str = "s",
 ) -> Tuple[List[str], List[str]]:
     """Compare two median mappings.
 
     Returns ``(regressions, notes)``: human-readable regression lines for
     benchmarks whose current median exceeds the previous by more than
     ``threshold`` (as a fraction), and informational notes for benchmarks
-    present in only one run.
+    present in only one run.  ``unit`` is display-only — the gate is
+    unit-agnostic, which is how the same script gates both timing medians
+    (seconds) and peak-allocation medians (bytes).
     """
     if threshold < 0:
         raise ValueError(f"threshold must be non-negative, got {threshold}")
@@ -95,7 +98,7 @@ def compare_medians(
         ratio = after / before
         if ratio > 1.0 + threshold:
             regressions.append(
-                f"{name}: median {before:.6g}s -> {after:.6g}s "
+                f"{name}: median {before:.6g}{unit} -> {after:.6g}{unit} "
                 f"({(ratio - 1.0):+.1%}, threshold +{threshold:.0%})"
             )
     return regressions, notes
@@ -119,6 +122,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="report failures but always exit 0 (escape hatch for noisy "
         "runner VMs)",
     )
+    parser.add_argument(
+        "--unit",
+        default="s",
+        help="display unit for medians in the report (default: s; use B for "
+        "peak-allocation reports)",
+    )
     args = parser.parse_args(argv)
 
     def fail(message: str) -> int:
@@ -138,7 +147,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"current benchmark file {args.current} is missing or unreadable"
         )
 
-    regressions, notes = compare_medians(previous, current, threshold=args.threshold)
+    regressions, notes = compare_medians(
+        previous, current, threshold=args.threshold, unit=args.unit
+    )
     for note in notes:
         print(note)
     compared = len(set(previous) & set(current))

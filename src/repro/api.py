@@ -148,6 +148,7 @@ def _merge_results(
             p.compile_report.doppler_filter_cache_hits for p in partials
         ),
         plan_cache_hits=sum(p.compile_report.plan_cache_hits for p in partials),
+        plan_memory_hits=sum(p.compile_report.plan_memory_hits for p in partials),
     )
     return BatchResult(
         blocks=tuple(blocks),

@@ -33,6 +33,28 @@ from .doppler import filter_output_variance, young_beaulieu_filter
 __all__ = ["IDFTRayleighGenerator", "batched_doppler_blocks"]
 
 
+def _weighted_scratch(workspace, n_streams: int, n_blocks: int, m: int):
+    """Resolve (or build) the complex frequency-domain block buffer.
+
+    With a ``workspace`` dict the buffer persists across calls and is
+    reallocated only when the requested shape changes — the streaming
+    executor's per-group workspaces hit the steady state (constant block
+    size) after the first call.  Without one, it is a per-call temporary.
+    This is the *only* persistent buffer of the kernel: the real Gaussian
+    draw buffer is deliberately per-call and dropped before the IDFT so at
+    most two block-sized arrays are ever live at once (the draw buffer is
+    as large as this one, and keeping it resident would raise the peak by
+    half again).
+    """
+    shape = (n_streams, n_blocks, m)
+    if workspace is None:
+        return np.empty(shape, dtype=np.complex128)
+    weighted = workspace.get("weighted")
+    if weighted is None or weighted.shape != shape:
+        workspace["weighted"] = weighted = np.empty(shape, dtype=np.complex128)
+    return weighted
+
+
 def batched_doppler_blocks(
     filter_coefficients: np.ndarray,
     rngs: Sequence[SeedLike],
@@ -40,6 +62,7 @@ def batched_doppler_blocks(
     n_blocks: int = 1,
     input_variance_per_dim: float = 0.5,
     backend=None,
+    workspace=None,
 ) -> ComplexArray:
     """Generate many Doppler-shaped streams with one stacked IDFT call.
 
@@ -58,6 +81,18 @@ def batched_doppler_blocks(
     (numpy's ziggurat samples value by value), and a stacked IDFT transforms
     each row exactly like a 1-D IDFT of that row.
 
+    The kernel is fused and allocation-light: the Gaussian draw is scaled
+    in place (``scale * z`` is bitwise what ``rng.normal(0, scale)``
+    computes per element), the filter weighting writes the real and
+    imaginary parts of the frequency-domain blocks directly (``coeffs * A``
+    and ``-(coeffs * B)`` — bitwise the unfused ``coeffs * (A - 1j * B)``
+    wherever the product is nonzero; only the signs of stopband zeros can
+    differ, which the IDFT's nonzero sums absorb), the draw buffer is
+    dropped before the transform, and the IDFT runs *in place* in the
+    weighted buffer via ``out=`` / ``ifft_into`` where the backend supports
+    it (bit-identical to the out-of-place transform) — so at most two
+    block-sized arrays are live at any instant.
+
     Parameters
     ----------
     filter_coefficients:
@@ -71,10 +106,17 @@ def batched_doppler_blocks(
     input_variance_per_dim:
         Variance ``sigma_orig^2`` of each real input sequence.
     backend:
-        Optional object providing ``ifft(array, axis=-1)`` (a
+        Optional object providing ``ifft(array, axis=-1)`` and (optionally)
+        ``ifft_into(array, out, axis=-1)`` (a
         :class:`repro.engine.backends.LinalgBackend`); ``None`` uses
         ``np.fft.ifft``.  Duck-typed so this low-level module stays free of
         engine imports.
+    workspace:
+        Optional dict owned by the caller in which the kernel keeps its
+        block buffer across calls.  **The returned array aliases this
+        scratch** — a caller passing a workspace must consume (or copy)
+        the result before the next call with the same workspace.  ``None``
+        allocates per call and the result is independently owned.
 
     Returns
     -------
@@ -96,17 +138,32 @@ def batched_doppler_blocks(
         raise DimensionError("batched_doppler_blocks requires at least one stream")
     m = coeffs.shape[0]
     scale = np.sqrt(input_variance_per_dim)
-    draws = np.empty((n_streams, n_blocks, 2, m), dtype=float)
+    weighted = _weighted_scratch(workspace, n_streams, n_blocks, m)
+    draws = np.empty((n_streams, n_blocks, 2, m), dtype=np.float64)
     for index, rng in enumerate(rngs):
         # (n_blocks, 2, M) fills in C order: block 0's A then B, block 1's A
         # then B, ... — the exact stream consumption of sequential
         # complex_gaussian_pair draws.
-        draws[index] = ensure_rng(rng).normal(0.0, scale, size=(n_blocks, 2, m))
-    # One vectorized weighting over every stream and block at once.
-    weighted = coeffs * (draws[:, :, 0, :] - 1j * draws[:, :, 1, :])
+        ensure_rng(rng).standard_normal(
+            size=(n_blocks, 2, m), dtype=np.float64, out=draws[index]
+        )
+    np.multiply(draws, scale, out=draws)
+    # One vectorized weighting over every stream and block at once, written
+    # component-wise into the complex buffer.
+    np.multiply(coeffs, draws[:, :, 0, :], out=weighted.real)
+    np.multiply(coeffs, draws[:, :, 1, :], out=weighted.imag)
+    np.negative(weighted.imag, out=weighted.imag)
+    del draws  # free the draw buffer before the transform allocates/runs
     flat = weighted.reshape(n_streams * n_blocks, m)
-    transformed = np.fft.ifft(flat, axis=-1) if backend is None else backend.ifft(flat, axis=-1)
-    return transformed.reshape(n_streams, n_blocks * m)
+    if backend is None:
+        np.fft.ifft(flat, axis=-1, out=flat)
+    else:
+        ifft_into = getattr(backend, "ifft_into", None)
+        if ifft_into is not None:
+            ifft_into(flat, flat, axis=-1)
+        else:
+            np.copyto(flat, backend.ifft(flat, axis=-1))
+    return weighted.reshape(n_streams, n_blocks * m)
 
 
 class IDFTRayleighGenerator:

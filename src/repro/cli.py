@@ -21,9 +21,10 @@ Subcommands
     reported alongside the speedups.
 ``cache {stats,clear} [--cache-dir DIR]``
     Inspect or empty the persistent artifact cache — all three store
-    namespaces: decompositions, Doppler filters, and compiled plans.  The
-    directory comes from ``--cache-dir`` or, when omitted, the
-    ``REPRO_CACHE_DIR`` environment variable.
+    namespaces: decompositions, Doppler filters, and compiled plans —
+    plus the compiled-plan memory tier's configuration and per-process
+    counters.  The directory comes from ``--cache-dir`` or, when omitted,
+    the ``REPRO_CACHE_DIR`` environment variable.
 
 All output is plain text; the experiments regenerate the paper's tables and
 figures as numbers (and ASCII traces with ``--ascii-plots``).
@@ -231,6 +232,16 @@ def _run_cache_command(action: str, cache_dir: Optional[Path]) -> int:
         ("compiled plans", plans.disk_usage()),
     ):
         print(f"  {label}: {entries} entries, {n_bytes / 1024:.1f} KiB")
+    # The plan memory tier is per-process (it fronts the disk tier inside a
+    # live engine); this handle reports its configuration and the counters
+    # accumulated in this process.
+    stats = plans.stats
+    print(
+        f"  plan memory tier: bound {plans.memory_max_bytes / (1024 * 1024):.0f} MiB, "
+        f"{stats.memory_entries} resident entries "
+        f"({stats.memory_bytes / 1024:.1f} KiB), "
+        f"{stats.memory_hits} hits / {stats.memory_misses} misses this process"
+    )
     return 0
 
 

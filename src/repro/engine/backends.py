@@ -35,7 +35,11 @@ error translation keeps working.  ``fft``/``ifft`` transform along one axis
 of an arbitrary-rank array with numpy's normalization (``ifft`` carries the
 ``1/M`` factor of Eq. 17); for backends claiming ``tolerance == 0.0`` they
 must be bit-identical to ``np.fft`` per slice — scipy's pocketfft satisfies
-this (asserted by the parity suite), device FFTs do not.
+this (asserted by the parity suite), device FFTs do not.  The optional
+``matmul_into``/``ifft_into`` hooks write the same results into
+caller-owned buffers (the execute kernels' allocation-light path); the base
+class provides copying fallbacks, so overriding them is purely a
+performance decision and never changes bytes.
 """
 
 from __future__ import annotations
@@ -118,6 +122,19 @@ class LinalgBackend(abc.ABC):
         """Stacked matrix product (the execute step's coloring multiply)."""
         return np.matmul(a, b)
 
+    def matmul_into(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Stacked matrix product written into a caller-owned ``out`` array.
+
+        The allocation-light hook of the execute kernels: backends that can
+        compute directly into ``out`` override this (numpy/scipy route the
+        gufunc's ``out=``); the base implementation computes through
+        :meth:`matmul` and copies, so every backend satisfies the contract.
+        ``out`` must have the result's shape and dtype.  The written values
+        must be bit-identical to :meth:`matmul` on the same operands.
+        """
+        np.copyto(out, self.matmul(a, b))
+        return out
+
     def fft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
         """Discrete Fourier transform along ``axis`` (numpy normalization)."""
         return np.fft.fft(array, axis=axis)
@@ -128,6 +145,18 @@ class LinalgBackend(abc.ABC):
         Carries numpy's ``1/M`` factor, i.e. the normalization of Eq. (17).
         """
         return np.fft.ifft(array, axis=axis)
+
+    def ifft_into(
+        self, array: np.ndarray, out: np.ndarray, axis: int = -1
+    ) -> np.ndarray:
+        """Inverse DFT written into a caller-owned complex ``out`` array.
+
+        Same contract as :meth:`matmul_into`: bit-identical to
+        :meth:`ifft`, with the base implementation copying through it so
+        backends without an ``out=``-capable transform still work.
+        """
+        np.copyto(out, self.ifft(array, axis=axis))
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r} tolerance={self.tolerance!r}>"
@@ -145,6 +174,18 @@ class NumpyBackend(LinalgBackend):
 
     def cholesky(self, stack: np.ndarray) -> np.ndarray:
         return np.linalg.cholesky(stack)
+
+    def matmul_into(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        # The gufunc writes into ``out`` directly — same BLAS dispatch, same
+        # bits, one less (B, N, n) allocation per block.
+        return np.matmul(a, b, out=out)
+
+    def ifft_into(
+        self, array: np.ndarray, out: np.ndarray, axis: int = -1
+    ) -> np.ndarray:
+        # pocketfft's out= writes the same transform into the caller's
+        # buffer (numpy >= 2.0).
+        return np.fft.ifft(array, axis=axis, out=out)
 
 
 class ScipyBackend(LinalgBackend):
@@ -209,6 +250,11 @@ class ScipyBackend(LinalgBackend):
             )
         return factors
 
+    def matmul_into(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        # The coloring multiply is numpy's BLAS gufunc either way; writing
+        # into ``out`` keeps the scipy backend on the fused execute path.
+        return np.matmul(a, b, out=out)
+
     def fft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
         # scipy.fft and np.fft are both pocketfft: bit-identical per slice,
         # so the bitwise guarantee (and the shared cache namespace of the
@@ -216,6 +262,8 @@ class ScipyBackend(LinalgBackend):
         return self._fft.fft(array, axis=axis)
 
     def ifft(self, array: np.ndarray, axis: int = -1) -> np.ndarray:
+        # scipy.fft has no out= parameter; ifft_into stays on the base
+        # class's copying fallback (bit-identical, one extra copy).
         return self._fft.ifft(array, axis=axis)
 
     def __reduce__(self):

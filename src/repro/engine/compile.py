@@ -86,11 +86,16 @@ class CompileReport:
         process-wide (or on-disk) filter cache instead of being constructed
         during this pass.
     plan_cache_hits:
-        1 when this whole compilation was served from a compiled-plan disk
-        artifact (see :mod:`repro.engine.plancache`) — in which case no
-        decomposition or filter lookups ran at all and ``compile_seconds``
-        measures the artifact load; 0 for a computed pass.  Merged parallel
-        results sum the flag across workers.
+        1 when this whole compilation was served from the compiled-plan
+        cache (see :mod:`repro.engine.plancache`) — either tier — in which
+        case no decomposition or filter lookups ran at all and
+        ``compile_seconds`` measures the load/re-bind; 0 for a computed
+        pass.  Merged parallel results sum the flag across workers.
+    plan_memory_hits:
+        1 when that compiled-plan hit was served by the in-memory tier —
+        zero disk I/O, zero array copies, only the per-call seed/label
+        re-bind; 0 when the hit loaded a disk artifact (or on a computed
+        pass).  Always ``<= plan_cache_hits``.
     """
 
     n_entries: int
@@ -103,6 +108,7 @@ class CompileReport:
     doppler_entries: int = 0
     doppler_filter_cache_hits: int = 0
     plan_cache_hits: int = 0
+    plan_memory_hits: int = 0
 
     @property
     def deduplicated(self) -> int:

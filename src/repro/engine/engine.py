@@ -48,8 +48,10 @@ class SimulationEngine:
         Young–Beaulieu filter cache for Doppler-mode compilation.  ``None``
         uses the process-wide shared cache.
     plan_cache:
-        Compiled-plan disk cache (the executor-level tier of the artifact
-        store).  When ``None``, the default follows ``cache``: a
+        Compiled-plan cache (the executor-level tier of the artifact
+        store): an in-memory LRU tier over a content-addressed disk tier,
+        so repeated ``run(plan)`` on a warm engine re-binds without disk
+        I/O.  When ``None``, the default follows ``cache``: a
         default-cache engine uses the process-wide plan cache (a no-op
         unless ``REPRO_CACHE_DIR`` attached a directory), while an explicit
         ``cache`` keeps the plan tier detached — an explicitly configured
@@ -123,7 +125,7 @@ class SimulationEngine:
 
     @property
     def plan_cache(self) -> CompiledPlanCache:
-        """The compiled-plan disk cache this engine compiles against."""
+        """The two-tier compiled-plan cache this engine compiles against."""
         return self._plan_cache
 
     @property
@@ -155,10 +157,23 @@ class SimulationEngine:
         return self.compile(plan)
 
     def run(
-        self, plan: Union[SimulationPlan, CompiledPlan], n_samples: int
+        self,
+        plan: Union[SimulationPlan, CompiledPlan],
+        n_samples: int,
+        *,
+        measure_allocation: bool = False,
     ) -> BatchResult:
-        """Compile (if necessary) and execute a plan in one call."""
-        return execute_plan(self._ensure_compiled(plan), n_samples)
+        """Compile (if necessary) and execute a plan in one call.
+
+        With ``measure_allocation=True`` the execute pass is traced with
+        :mod:`tracemalloc` and its peak allocation is reported in
+        :attr:`repro.engine.result.BatchResult.peak_alloc_bytes`.
+        """
+        return execute_plan(
+            self._ensure_compiled(plan),
+            n_samples,
+            measure_allocation=measure_allocation,
+        )
 
     def stream(
         self,

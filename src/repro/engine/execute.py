@@ -21,15 +21,23 @@ correlated samples:
 * long records stream through :func:`stream_plan` in fixed-size blocks with
   persistent per-entry generators, so memory stays bounded at one block.
   Doppler groups produce samples in multiples of the IDFT length ``M`` and
-  buffer the remainder, so any ``block_size`` (and any ``n_samples`` not
-  divisible by ``M``) works; the buffered leftover never exceeds ``M - 1``
-  samples per branch.
+  keep the remainder in a fixed ``(B, N, M)`` ring buffer, so any
+  ``block_size`` (and any ``n_samples`` not divisible by ``M``) works; the
+  buffered leftover never exceeds ``M - 1`` samples per branch;
+* the hot path is allocation-light: :class:`_ExecutionState` owns reusable
+  scratch (Doppler kernel workspaces, snapshot white-draw buffers,
+  normalization columns) that persists across streamed blocks, the IDFT
+  runs in place, and the coloring matmul writes straight into the per-call
+  record via the backend's ``matmul_into`` hook.  At most two block-sized
+  buffers are live at any instant; only the records handed to callers are
+  freshly allocated.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterator, List, Optional, Union
+import tracemalloc
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -43,8 +51,28 @@ from .result import BatchResult
 __all__ = ["execute_plan", "stream_plan"]
 
 
+class _DopplerLeftover:
+    """Ring buffer for one Doppler group's colored-but-unconsumed samples.
+
+    Capacity is one IDFT block ``(B, N, M)``: a refill generates whole
+    blocks, the request consumes at least one sample past every complete
+    block but the last, so the remainder is always ``<= M - 1`` samples per
+    branch.  ``start``/``length`` track the live window; a refill resets
+    ``start`` to 0, a consume advances it.  The buffer is allocated once per
+    group and never grows — the old per-refill ``np.concatenate`` copy (and
+    the reference it kept to the whole multi-block record) is gone.
+    """
+
+    __slots__ = ("data", "start", "length")
+
+    def __init__(self, batch_size: int, n_branches: int, m: int) -> None:
+        self.data = np.empty((batch_size, n_branches, m), dtype=np.complex128)
+        self.start = 0
+        self.length = 0
+
+
 class _ExecutionState:
-    """Per-execution random streams and Doppler sample buffers.
+    """Per-execution random streams, Doppler buffers, and reusable scratch.
 
     One state object lives for the duration of an :func:`execute_plan` call
     or across every block of a :func:`stream_plan` iteration, so streams (and
@@ -55,9 +83,20 @@ class _ExecutionState:
       of its per-branch child generators (Doppler entries) — spawned from the
       entry seed exactly like ``RealTimeRayleighGenerator`` spawns its branch
       streams.
-    * ``buffers[g]`` holds a Doppler group's colored-but-unconsumed samples
-      as a ``(B, N, leftover)`` array (samples are produced in multiples of
-      the IDFT length ``M``; requests need not be).
+    * ``leftovers[g]`` is a Doppler group's :class:`_DopplerLeftover` ring
+      buffer (samples are produced in multiples of the IDFT length ``M``;
+      requests need not be).
+
+    Scratch ownership: the state owns every reusable buffer of the execute
+    hot path — the per-group Doppler kernel workspaces (the weighted /
+    transformed block buffer), the per-group snapshot white-draw scratch,
+    the flattened branch-generator lists, and the cached normalization
+    columns.  Scratch is *internal*: arrays handed to callers
+    (``GaussianBlock.samples``) always view freshly allocated per-call
+    records, never scratch, so results stay valid after the state produces
+    its next block.  Colored records are deliberately *not* pooled: the
+    caller keeps views of them, so pooling would pin a second resident
+    copy and raise the execute peak by a full block.
     """
 
     def __init__(self, compiled: CompiledPlan) -> None:
@@ -69,7 +108,48 @@ class _ExecutionState:
                 self.streams.append(
                     spawn_rngs(ensure_rng(entry.seed), entry.n_branches)
                 )
-        self.buffers: Dict[int, np.ndarray] = {}
+        self.leftovers: Dict[int, _DopplerLeftover] = {}
+        self._workspaces: Dict[int, dict] = {}
+        self._white: Dict[int, np.ndarray] = {}
+        self._branch_rngs: Dict[int, List[np.random.Generator]] = {}
+        self._norms: Dict[int, np.ndarray] = {}
+
+    def workspace(self, group_index: int) -> dict:
+        """The group's ``batched_doppler_blocks`` scratch dict."""
+        return self._workspaces.setdefault(group_index, {})
+
+    def branch_rngs(
+        self, group_index: int, group: CompiledGroup
+    ) -> List[np.random.Generator]:
+        """The group's branch generators, flattened once in entry order."""
+        rngs = self._branch_rngs.get(group_index)
+        if rngs is None:
+            rngs = [rng for index in group.indices for rng in self.streams[index]]
+            self._branch_rngs[group_index] = rngs
+        return rngs
+
+    def norm(self, group_index: int, group: CompiledGroup) -> np.ndarray:
+        """The group's ``sqrt(sample_variances)`` column, computed once."""
+        norm = self._norms.get(group_index)
+        if norm is None:
+            norm = np.sqrt(group.sample_variances)[:, np.newaxis, np.newaxis]
+            self._norms[group_index] = norm
+        return norm
+
+    def white_scratch(self, group_index: int, shape: Tuple[int, ...]) -> np.ndarray:
+        """Reusable snapshot white-draw input ``(B, N, n_samples)``."""
+        array = self._white.get(group_index)
+        if array is None or array.shape != shape:
+            array = np.empty(shape, dtype=np.complex128)
+            self._white[group_index] = array
+        return array
+
+
+def _matmul_into(backend, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Stacked coloring matmul written into ``out`` through the backend."""
+    if backend is None:
+        return np.matmul(a, b, out=out)
+    return backend.matmul_into(a, b, out)
 
 
 def _doppler_colored_blocks(
@@ -81,38 +161,65 @@ def _doppler_colored_blocks(
 ) -> np.ndarray:
     """Colored Doppler samples ``(B, N, n_samples)`` for one group.
 
-    Generates whole IDFT blocks (all entries and branches through one
-    stacked backend IDFT), colors each fresh multi-block record with one
-    stacked matmul, and serves the request from the group buffer so
-    arbitrary ``n_samples`` compose into bit-identical continuous streams.
+    Serves the request leftover-first from the group's ring buffer, then
+    generates whole IDFT blocks (all entries and branches through one
+    stacked backend IDFT in reused workspace), colors the fresh record
+    with one stacked ``matmul_into`` into a fresh exact-size record, and
+    banks the sub-block remainder in the ring — so arbitrary ``n_samples``
+    compose into bit-identical continuous streams.  When the request
+    starts block-aligned (no leftover) the caller gets a view of the
+    colored record directly, zero copies; otherwise a fresh output is
+    assembled from the ring prefix and the record.  The colored record is
+    deliberately *not* reused scratch: the caller keeps views of it, and a
+    second resident copy would raise the execute peak by a full block.
     """
     doppler = group.doppler
     m = doppler.n_points
-    buffer = state.buffers.get(group_index)
-    available = 0 if buffer is None else buffer.shape[2]
-    missing = n_samples - available
+    leftover = state.leftovers.get(group_index)
+    taken = 0
+    if leftover is not None and leftover.length:
+        taken = min(leftover.length, n_samples)
+    missing = n_samples - taken
+    colored = None
     if missing > 0:
         n_blocks = -(-missing // m)  # ceil division
-        branch_rngs = [
-            rng for index in group.indices for rng in state.streams[index]
-        ]
-        white = batched_doppler_blocks(
+        fresh = batched_doppler_blocks(
             group.doppler_filter,
-            branch_rngs,
+            state.branch_rngs(group_index, group),
             n_blocks=n_blocks,
             input_variance_per_dim=doppler.input_variance_per_dim,
             backend=backend,
+            workspace=state.workspace(group_index),
         ).reshape(group.batch_size, group.n_branches, n_blocks * m)
-        if backend is None:
-            colored = np.matmul(group.coloring_stack, white)
-        else:
-            colored = backend.matmul(group.coloring_stack, white)
-        colored /= np.sqrt(group.sample_variances)[:, np.newaxis, np.newaxis]
-        buffer = (
-            colored if buffer is None else np.concatenate([buffer, colored], axis=2)
+        colored = np.empty_like(fresh)
+        _matmul_into(backend, group.coloring_stack, fresh, colored)
+        colored /= state.norm(group_index, group)
+    if taken == 0:
+        out = colored[:, :, :n_samples]
+    else:
+        out = np.empty(
+            (group.batch_size, group.n_branches, n_samples), dtype=np.complex128
         )
-    out = buffer[:, :, :n_samples]
-    state.buffers[group_index] = buffer[:, :, n_samples:]
+        stop = leftover.start + taken
+        out[:, :, :taken] = leftover.data[:, :, leftover.start : stop]
+        leftover.start = stop
+        leftover.length -= taken
+        if missing > 0:
+            out[:, :, taken:] = colored[:, :, :missing]
+    if missing > 0:
+        remainder = colored.shape[2] - missing
+        if remainder:
+            # Lazily allocated: a block-aligned request never pays for it.
+            if leftover is None:
+                leftover = _DopplerLeftover(group.batch_size, group.n_branches, m)
+                state.leftovers[group_index] = leftover
+            leftover.data[:, :, :remainder] = colored[:, :, missing:]
+            leftover.start = 0
+            leftover.length = remainder
+        elif leftover is not None:
+            leftover.start = 0
+            leftover.length = 0
+    assert leftover is None or leftover.length <= m - 1
     return out
 
 
@@ -138,7 +245,9 @@ def _generate_block(
                 group, state, group_index, n_samples, backend
             )
         else:
-            white = np.empty((batch_size, n_branches, n_samples), dtype=complex)
+            white = state.white_scratch(
+                group_index, (batch_size, n_branches, n_samples)
+            )
             for position, (index, entry) in enumerate(zip(group.indices, group.entries)):
                 complex_gaussian(
                     (n_branches, n_samples),
@@ -146,13 +255,12 @@ def _generate_block(
                     rng=state.streams[index],
                     out=white[position],
                 )
-            # One stacked BLAS dispatch colors the whole group; slice results
+            # One stacked BLAS dispatch colors the whole group into a fresh
+            # exact-size result (callers keep views of it); slice results
             # are bit-identical to per-entry `L @ w`.
-            if backend is None:
-                colored = np.matmul(group.coloring_stack, white)
-            else:
-                colored = backend.matmul(group.coloring_stack, white)
-            colored /= np.sqrt(group.sample_variances)[:, np.newaxis, np.newaxis]
+            colored = np.empty((batch_size, n_branches, n_samples), dtype=np.complex128)
+            _matmul_into(backend, group.coloring_stack, white, colored)
+            colored /= state.norm(group_index, group)
         for position, (index, entry) in enumerate(zip(group.indices, group.entries)):
             decomposition = group.decompositions[position]
             if group.is_doppler:
@@ -185,7 +293,9 @@ def _generate_block(
     return blocks  # type: ignore[return-value]
 
 
-def execute_plan(compiled: CompiledPlan, n_samples: int) -> BatchResult:
+def execute_plan(
+    compiled: CompiledPlan, n_samples: int, *, measure_allocation: bool = False
+) -> BatchResult:
     """Execute a compiled plan, producing ``n_samples`` per entry.
 
     Parameters
@@ -195,6 +305,12 @@ def execute_plan(compiled: CompiledPlan, n_samples: int) -> BatchResult:
     n_samples:
         Time samples per branch for every entry.  Doppler entries generate
         ``ceil(n_samples / M)`` IDFT blocks and truncate.
+    measure_allocation:
+        Trace the execute step with :mod:`tracemalloc` and report its peak
+        allocation in :attr:`BatchResult.peak_alloc_bytes`.  Tracing slows
+        generation down noticeably; off by default.  When tracing is already
+        active (e.g. an outer profiler), the peak counter is reset instead
+        of restarted and tracing is left running.
 
     Returns
     -------
@@ -212,13 +328,28 @@ def execute_plan(compiled: CompiledPlan, n_samples: int) -> BatchResult:
     if n_samples < 1:
         raise GenerationError(f"n_samples must be >= 1, got {n_samples}")
     start = time.perf_counter()
-    blocks = _generate_block(compiled, int(n_samples), _ExecutionState(compiled))
+    peak: Optional[int] = None
+    if measure_allocation:
+        started_here = not tracemalloc.is_tracing()
+        if started_here:
+            tracemalloc.start()
+        else:
+            tracemalloc.reset_peak()
+        try:
+            blocks = _generate_block(compiled, int(n_samples), _ExecutionState(compiled))
+            peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            if started_here:
+                tracemalloc.stop()
+    else:
+        blocks = _generate_block(compiled, int(n_samples), _ExecutionState(compiled))
     return BatchResult(
         blocks=tuple(blocks),
         n_samples=int(n_samples),
         compile_report=compiled.report,
         execute_seconds=time.perf_counter() - start,
         backend="numpy" if compiled.backend is None else compiled.backend.name,
+        peak_alloc_bytes=peak,
     )
 
 

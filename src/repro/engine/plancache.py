@@ -1,16 +1,41 @@
-"""The compiled-plan cache: whole :class:`CompiledPlan` objects on disk.
+"""The compiled-plan cache: whole :class:`CompiledPlan` objects, two tiers.
 
 The decomposition and Doppler-filter tiers (PR 4) persist the *per-matrix*
 artifacts of compilation, but the compiled plan itself — grouping, coloring
 stacks, filter assembly, per-entry effective variances — was still rebuilt
 on every process start: a warm compile re-hashed every entry, probed the
 decomposition store once per unique matrix, and re-assembled every stack.
-:class:`CompiledPlanCache` is the executor-level tier on top of the unified
-:class:`repro.engine.store.ArtifactStore` (namespace ``plans/``) that
-short-circuits all of it: :func:`repro.engine.compile.compile_plan`
-content-hashes the ``(plan, backend namespace)`` pair and, on a disk hit,
-loads the full :class:`~repro.engine.compile.CompiledPlan` without touching
+:class:`CompiledPlanCache` is the executor-level cache on top of the
+unified :class:`repro.engine.store.ArtifactStore` (namespace ``plans/``)
+that short-circuits all of it: :func:`repro.engine.compile.compile_plan`
+content-hashes the ``(plan, backend namespace)`` pair and, on a hit, serves
+the full :class:`~repro.engine.compile.CompiledPlan` without touching
 ``eigh``/``cholesky`` or filter construction at all.
+
+Two tiers, probed memory-first:
+
+* the **memory tier** — a byte-bounded LRU of compiled groups inside the
+  cache instance.  A hit re-binds the cached groups to the caller's plan
+  (seeds and labels come from it) with **zero disk I/O and zero array
+  copies**: the coloring stacks, decompositions, variances, and filter
+  arrays are the very objects of the original compile, shared read-only.
+  This is what makes a warm ``run(plan)``/``stream(plan)`` on one engine a
+  hash-plus-rebind, nothing more.
+* the **disk tier** — one verified artifact per key under ``plans/``,
+  unchanged from PR 5.  A disk hit is promoted into the memory tier, so
+  the first warm run of a process pays the load once and subsequent runs
+  hit memory.
+
+The memory tier is **enabled by default exactly when a disk tier is
+attached** (a ``cache_dir``), matching the engine configurations that opt
+into plan caching (``SimulationEngine(cache_dir=...)``, ``REPRO_CACHE_DIR``,
+the CLI's ``--cache-dir``); a detached cache stays the documented no-op so
+explicitly hand-configured engines and benchmarks keep their counters.
+Pass ``memory_max_bytes`` explicitly to run a pure-memory tier without a
+disk tier (or ``0`` to disable the memory tier of an attached cache).
+Coherence: :meth:`CompiledPlanCache.invalidate` evicts a key from *both*
+tiers — a quarantined disk artifact never leaves a stale memory entry
+behind.
 
 Keying
 ------
@@ -43,9 +68,11 @@ standing cache invariants carried over from PR 4.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
@@ -58,10 +85,11 @@ from .store import DEFAULT_DISK_MAX_BYTES, ArtifactStore, StoreStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from .backends import LinalgBackend
-    from .compile import CompiledPlan
+    from .compile import CompiledGroup, CompiledPlan, CompileReport
     from .plan import SimulationPlan
 
 __all__ = [
+    "DEFAULT_MEMORY_MAX_BYTES",
     "PlanCacheStats",
     "CompiledPlanCache",
     "compiled_plan_cache_key",
@@ -70,6 +98,9 @@ __all__ = [
 
 #: On-disk payload-layout version of compiled-plan artifacts.
 _DISK_FORMAT_VERSION = 1
+
+#: Default byte bound of the in-memory tier when a disk tier is attached.
+DEFAULT_MEMORY_MAX_BYTES = 256 * 1024 * 1024
 
 
 def compiled_plan_cache_key(
@@ -293,32 +324,172 @@ def _compiled_from_artifact(
     return CompiledPlan(plan=plan, groups=tuple(groups), report=report, backend=backend)
 
 
+class _MemoryEntry:
+    """One resident compiled plan: its groups, canonical report, and size."""
+
+    __slots__ = ("groups", "report", "n_entries", "nbytes")
+
+    def __init__(
+        self,
+        groups: Tuple["CompiledGroup", ...],
+        report: "CompileReport",
+        n_entries: int,
+        nbytes: int,
+    ) -> None:
+        self.groups = groups
+        self.report = report
+        self.n_entries = n_entries
+        self.nbytes = nbytes
+
+
+def _canonical_report(report: "CompileReport") -> "CompileReport":
+    """Strip the pass-specific counters so a hit can re-stamp its own.
+
+    What survives is the plan's structure (entries, groups, unique
+    matrices, Doppler filter counts) — the same fields a disk artifact
+    stores; what a served compile never did (decomposition lookups, filter
+    cache probes) is zeroed, exactly like a disk hit's report.
+    """
+    return dataclasses.replace(
+        report,
+        cache_hits=0,
+        cache_misses=0,
+        compile_seconds=0.0,
+        doppler_filter_cache_hits=0,
+        plan_cache_hits=0,
+        plan_memory_hits=0,
+    )
+
+
+def _resident_bytes(groups: Tuple["CompiledGroup", ...]) -> int:
+    """Bytes the groups' arrays keep resident, deduplicated by identity.
+
+    Shared arrays (a decomposition reused across entries, a filter shared
+    between groups) count once — the same sharing the artifact format
+    deduplicates on disk.
+    """
+    seen = set()
+    total = 0
+
+    def add(array: Optional[np.ndarray]) -> None:
+        nonlocal total
+        if array is None or id(array) in seen:
+            return
+        seen.add(id(array))
+        total += array.nbytes
+
+    for group in groups:
+        add(group.coloring_stack)
+        add(group.sample_variances)
+        add(group.doppler_filter)
+        for decomposition in group.decompositions:
+            add(decomposition.coloring_matrix)
+            add(decomposition.effective_covariance)
+            add(decomposition.requested_covariance)
+    return total
+
+
+def _freeze_groups(groups: Tuple["CompiledGroup", ...]) -> None:
+    """Freeze the arrays a memory entry shares with every future hit.
+
+    Same rule as cache-served decompositions and disk-loaded artifacts:
+    shared arrays are read-only, an in-place mutation must fail loudly
+    instead of silently poisoning later re-binds.
+    """
+    for group in groups:
+        for array in (
+            group.coloring_stack,
+            group.sample_variances,
+            group.doppler_filter,
+        ):
+            if array is not None:
+                array.flags.writeable = False
+        for decomposition in group.decompositions:
+            decomposition.coloring_matrix.flags.writeable = False
+            decomposition.effective_covariance.flags.writeable = False
+
+
+def _rebind_memory_entry(
+    entry: _MemoryEntry,
+    plan: "SimulationPlan",
+    backend: "LinalgBackend",
+    elapsed: float,
+) -> Optional["CompiledPlan"]:
+    """Re-bind a resident compiled plan to the caller's plan object.
+
+    The memory-tier analogue of :func:`_compiled_from_artifact`, minus all
+    array work: groups are copied structurally (a ``dataclasses.replace``
+    per group swaps in the caller's entries and Doppler specs) while every
+    numeric array — coloring stacks, decompositions, variances, filters —
+    is shared by reference.  Returns ``None`` on structural mismatch (key
+    collision), which the caller treats as a miss and evicts.
+    """
+    from .compile import CompiledPlan
+
+    if entry.n_entries != plan.n_entries:
+        return None
+    entries = plan.entries
+    covered = 0
+    groups = []
+    for group in entry.groups:
+        group_entries = tuple(entries[i] for i in group.indices)
+        covered += len(group.indices)
+        doppler = group_entries[0].doppler
+        if (doppler is None) != (group.doppler is None):
+            return None
+        groups.append(
+            dataclasses.replace(group, entries=group_entries, doppler=doppler)
+        )
+    if covered != plan.n_entries:
+        return None
+    report = dataclasses.replace(
+        entry.report,
+        compile_seconds=elapsed,
+        plan_cache_hits=1,
+        plan_memory_hits=1,
+    )
+    return CompiledPlan(
+        plan=plan, groups=tuple(groups), report=report, backend=backend
+    )
+
+
 @dataclass(frozen=True)
 class PlanCacheStats(StoreStats):
     """Immutable snapshot of compiled-plan cache activity counters.
 
-    The plan cache has no memory tier, so its counters are exactly its
-    store's (:class:`repro.engine.store.StoreStats` — hits are
-    compilations served whole from a verified artifact, corruptions are
-    rejected-and-quarantined artifacts); this subclass only adds the
-    ``lookups`` convenience.
+    Extends the disk-tier counters of :class:`repro.engine.store.StoreStats`
+    (``hits`` are compilations served whole from a verified artifact,
+    ``corruptions`` are rejected-and-quarantined artifacts) with the memory
+    tier's: ``memory_hits`` / ``memory_misses`` count probes of the
+    in-memory LRU (a memory miss falls through to the disk tier, so disk
+    counters are unchanged by the tier above them), ``memory_evictions``
+    counts byte-bound LRU evictions, and ``memory_entries`` /
+    ``memory_bytes`` describe current residency.
     """
+
+    memory_hits: int = 0
+    memory_misses: int = 0
+    memory_evictions: int = 0
+    memory_entries: int = 0
+    memory_bytes: int = 0
 
     @property
     def lookups(self) -> int:
-        """Total disk probes."""
-        return self.hits + self.misses
+        """Total cache probes: memory hits plus disk probes."""
+        return self.memory_hits + self.hits + self.misses
 
 
 class CompiledPlanCache:
-    """Disk cache of whole compiled plans (the executor-level tier).
+    """Two-tier cache of whole compiled plans (the executor-level cache).
 
-    Unlike the decomposition and filter caches there is no memory tier:
-    within a process, callers hold the :class:`CompiledPlan` object itself
-    (``Simulator.compile`` exists precisely for repeated runs), and the
-    memory-tier role for cross-plan sharing already belongs to the
-    decomposition cache.  A detached cache (no ``cache_dir``) is a no-op:
-    lookups miss silently and stores are dropped.
+    A byte-bounded in-memory LRU above the ``plans/`` disk namespace.
+    Lookups probe memory first: a memory hit re-binds the resident groups
+    to the caller's plan with zero disk I/O and zero array copies (only
+    the per-call seed/label re-bind); a memory miss falls through to the
+    disk tier, and a disk hit is promoted into memory so the load is paid
+    once per process.  A fully detached cache (no ``cache_dir``, no
+    explicit ``memory_max_bytes``) is a no-op: lookups miss silently —
+    before hashing the plan — and stores are dropped.
 
     Parameters
     ----------
@@ -328,6 +499,15 @@ class CompiledPlanCache:
         ``decompositions/`` and ``filters/``.
     disk_max_bytes:
         LRU byte bound of the ``plans/`` namespace.
+    memory_max_bytes:
+        Byte bound of the in-memory tier.  ``None`` (default) resolves to
+        :data:`DEFAULT_MEMORY_MAX_BYTES` while a disk tier is attached and
+        to ``0`` (disabled) while detached — so engines that opted into
+        plan caching get the memory tier for free, and hand-configured
+        cache-less setups keep their exact counters.  Pass a positive
+        value for a pure-memory tier without disk, or ``0`` to disable the
+        memory tier of an attached cache (e.g. a warm-disk benchmark
+        baseline).
     """
 
     def __init__(
@@ -335,6 +515,7 @@ class CompiledPlanCache:
         cache_dir: Union[None, str, Path] = None,
         *,
         disk_max_bytes: int = DEFAULT_DISK_MAX_BYTES,
+        memory_max_bytes: Optional[int] = None,
     ) -> None:
         self._store = ArtifactStore(
             "plans",
@@ -344,6 +525,15 @@ class CompiledPlanCache:
             format_version=_DISK_FORMAT_VERSION,
             max_bytes=disk_max_bytes,
         )
+        self._memory_config = (
+            None if memory_max_bytes is None else int(memory_max_bytes)
+        )
+        self._memory: "OrderedDict[str, _MemoryEntry]" = OrderedDict()
+        self._memory_bytes = 0
+        self._memory_lock = threading.Lock()
+        self._memory_hits = 0
+        self._memory_misses = 0
+        self._memory_evictions = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -359,13 +549,39 @@ class CompiledPlanCache:
         return self._store
 
     @property
+    def memory_max_bytes(self) -> int:
+        """Resolved byte bound of the memory tier (``0`` = disabled)."""
+        if self._memory_config is not None:
+            return self._memory_config
+        return (
+            DEFAULT_MEMORY_MAX_BYTES if self._store.cache_dir is not None else 0
+        )
+
+    @property
     def stats(self) -> PlanCacheStats:
-        """Snapshot of the hit/miss/corruption/eviction counters."""
-        return PlanCacheStats(**asdict(self._store.stats))
+        """Snapshot of the per-tier hit/miss/corruption/eviction counters."""
+        with self._memory_lock:
+            memory = {
+                "memory_hits": self._memory_hits,
+                "memory_misses": self._memory_misses,
+                "memory_evictions": self._memory_evictions,
+                "memory_entries": len(self._memory),
+                "memory_bytes": self._memory_bytes,
+            }
+        return PlanCacheStats(**asdict(self._store.stats), **memory)
 
     def set_cache_dir(self, cache_dir: Union[None, str, Path]) -> None:
-        """Attach (or detach, with ``None``) the persistent disk tier."""
+        """Attach (or detach, with ``None``) the persistent disk tier.
+
+        The memory tier follows the defaulting rule of ``memory_max_bytes``:
+        attaching enables it (unless explicitly bounded), detaching a
+        defaulted cache disables it and drops every resident entry.
+        Resident entries are content-addressed, so entries kept across a
+        directory change remain valid — only the byte bound is re-applied.
+        """
         self._store.set_cache_dir(cache_dir)
+        with self._memory_lock:
+            self._trim_locked()
 
     # ------------------------------------------------------------------ #
     # Core operations
@@ -377,21 +593,45 @@ class CompiledPlanCache:
         defaults: NumericDefaults = DEFAULTS,
         backend: "LinalgBackend",
     ) -> Optional["CompiledPlan"]:
-        """Load the compiled form of ``plan`` from disk, or ``None`` (a miss).
+        """Serve the compiled form of ``plan``, or ``None`` (a miss).
 
-        A detached cache returns ``None`` immediately — before hashing the
-        plan — so plain in-memory compiles pay nothing for this tier.  On a
-        hit the artifact is re-bound to the caller's ``plan`` (seeds and
-        labels come from it), the report records ``plan_cache_hits=1`` with
-        ``compile_seconds`` measuring the load, and the result is
-        bit-identical to a fresh compilation.
+        A fully detached cache returns ``None`` immediately — before
+        hashing the plan — so plain in-memory compiles pay nothing for
+        this cache.  Tiers are probed memory-first; either kind of hit is
+        re-bound to the caller's ``plan`` (seeds and labels come from it),
+        records ``plan_cache_hits=1`` (plus ``plan_memory_hits=1`` for the
+        memory tier) with ``compile_seconds`` measuring the serve, and is
+        bit-identical to a fresh compilation.  A disk hit is promoted into
+        the memory tier.
         """
-        if self._store.cache_dir is None:
+        memory_bound = self.memory_max_bytes
+        disk_attached = self._store.cache_dir is not None
+        if memory_bound <= 0 and not disk_attached:
             return None
         start = time.perf_counter()
         key = compiled_plan_cache_key(
             plan, defaults=defaults, cache_token=backend.cache_token
         )
+        if memory_bound > 0:
+            with self._memory_lock:
+                entry = self._memory.get(key)
+                if entry is None:
+                    self._memory_misses += 1
+                else:
+                    self._memory.move_to_end(key)
+                    self._memory_hits += 1
+            if entry is not None:
+                rebound = _rebind_memory_entry(
+                    entry, plan, backend, time.perf_counter() - start
+                )
+                if rebound is not None:
+                    return rebound
+                # A resident entry that does not fit the plan (key
+                # collision) is dropped; the disk probe below re-checks the
+                # artifact and quarantines it through the store's protocol.
+                self._memory_drop(key)
+        if not disk_attached:
+            return None
         artifact = self._store.lookup(key)
         if artifact is None:
             return None
@@ -406,8 +646,12 @@ class CompiledPlanCache:
             # A digest-verified artifact that still does not fit the plan
             # (key collision, layout bug) degrades to a recompile — and is
             # quarantined so the recompiled result can re-spill over it
-            # instead of the stale bytes poisoning the key forever.
-            self._store.invalidate(key)
+            # instead of the stale bytes poisoning the key forever.  Both
+            # tiers evict together (the coherence rule).
+            self.invalidate(key)
+            return None
+        if memory_bound > 0:
+            self._memory_insert(key, rebound)
         return rebound
 
     def put(
@@ -416,12 +660,15 @@ class CompiledPlanCache:
         *,
         defaults: NumericDefaults = DEFAULTS,
     ) -> bool:
-        """Spill one compiled plan to disk; ``True`` if written.
+        """Store one compiled plan in both tiers; ``True`` if disk-written.
 
         Idempotent per key (the store remembers persisted and unwritable
-        keys), so compiling the same plan repeatedly serializes it once.
+        keys; the memory tier keeps its first insert), so compiling the
+        same plan repeatedly serializes it once.
         """
-        if self._store.cache_dir is None:
+        memory_bound = self.memory_max_bytes
+        disk_attached = self._store.cache_dir is not None
+        if memory_bound <= 0 and not disk_attached:
             return False
         backend = compiled.backend
         key = compiled_plan_cache_key(
@@ -429,11 +676,70 @@ class CompiledPlanCache:
             defaults=defaults,
             cache_token="numpy" if backend is None else backend.cache_token,
         )
+        if memory_bound > 0:
+            self._memory_insert(key, compiled)
+        if not disk_attached:
+            return False
         try:
             artifact = _artifact_from_compiled(compiled)
         except Exception:
             return False
         return self._store.put(key, artifact)
+
+    def invalidate(self, key: str) -> None:
+        """Evict ``key`` from *both* tiers after a rejected hit.
+
+        The memory entry is dropped and the disk artifact quarantined in
+        one call, so the tiers can never disagree about a poisoned key —
+        the coherence rule of the memory tier.  Like
+        :meth:`repro.engine.store.ArtifactStore.invalidate`, this is meant
+        for entries whose content a lookup just rejected (the store
+        re-counts that hit as a corruption miss).
+        """
+        self._memory_drop(key)
+        self._store.invalidate(key)
+
+    # ------------------------------------------------------------------ #
+    # Memory-tier internals
+    # ------------------------------------------------------------------ #
+    def _memory_drop(self, key: str) -> None:
+        with self._memory_lock:
+            entry = self._memory.pop(key, None)
+            if entry is not None:
+                self._memory_bytes -= entry.nbytes
+
+    def _memory_insert(self, key: str, compiled: "CompiledPlan") -> None:
+        bound = self.memory_max_bytes
+        if bound <= 0:
+            return
+        nbytes = _resident_bytes(compiled.groups)
+        if nbytes > bound:
+            # Larger than the whole tier: caching it would evict everything
+            # for a single entry that may never be re-requested.
+            return
+        entry = _MemoryEntry(
+            groups=compiled.groups,
+            report=_canonical_report(compiled.report),
+            n_entries=compiled.n_entries,
+            nbytes=nbytes,
+        )
+        _freeze_groups(compiled.groups)
+        with self._memory_lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                return
+            self._memory[key] = entry
+            self._memory_bytes += nbytes
+            self._trim_locked(bound)
+
+    def _trim_locked(self, bound: Optional[int] = None) -> None:
+        """Evict least-recently-used entries down to the byte bound."""
+        if bound is None:
+            bound = self.memory_max_bytes
+        while self._memory and self._memory_bytes > bound:
+            _, evicted = self._memory.popitem(last=False)
+            self._memory_bytes -= evicted.nbytes
+            self._memory_evictions += 1
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -442,14 +748,31 @@ class CompiledPlanCache:
         """``(n_files, total_bytes)`` of the disk tier (``(0, 0)`` if none)."""
         return self._store.usage()
 
+    def memory_usage(self) -> Tuple[int, int]:
+        """``(n_entries, resident_bytes)`` of the memory tier."""
+        with self._memory_lock:
+            return len(self._memory), self._memory_bytes
+
     def clear_disk(self) -> int:
         """Remove every artifact of the disk tier (``.tmp`` and quarantine
         leftovers included); returns the number of entries removed."""
         return self._store.clear()
 
+    def clear_memory(self) -> int:
+        """Drop every memory-tier entry; returns the number removed."""
+        with self._memory_lock:
+            removed = len(self._memory)
+            self._memory.clear()
+            self._memory_bytes = 0
+            return removed
+
     def reset_stats(self) -> None:
-        """Zero the hit/miss counters (artifacts are kept)."""
+        """Zero the per-tier hit/miss counters (entries are kept)."""
         self._store.reset_stats()
+        with self._memory_lock:
+            self._memory_hits = 0
+            self._memory_misses = 0
+            self._memory_evictions = 0
 
 
 #: Process-wide compiled-plan cache (created lazily so ``REPRO_CACHE_DIR``

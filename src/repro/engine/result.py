@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,10 @@ class BatchResult:
         Wall-clock time of the execution pass.
     backend:
         Name of the linalg backend that compiled and executed the plan.
+    peak_alloc_bytes:
+        Peak memory allocated by the execute pass (tracemalloc), or ``None``
+        when the run was not traced (``measure_allocation=False``, the
+        default).
     """
 
     blocks: Tuple[GaussianBlock, ...]
@@ -41,6 +45,7 @@ class BatchResult:
     compile_report: CompileReport
     execute_seconds: float
     backend: str = "numpy"
+    peak_alloc_bytes: Optional[int] = None
 
     @property
     def n_entries(self) -> int:
@@ -61,9 +66,11 @@ class BatchResult:
         One line per pipeline stage: what ran, on which backend, how the
         decomposition cache behaved for this run's compile pass (hits,
         misses, deduplicated entries), and — when the compilation was served
-        whole from the compiled-plan disk tier — a line saying so (in that
-        case the decomposition counters are zero by construction: no
-        per-matrix lookups ran at all).
+        whole from the compiled-plan cache — a line naming the tier that
+        served it (memory or disk; in that case the decomposition counters
+        are zero by construction: no per-matrix lookups ran at all).  Traced
+        runs (``measure_allocation=True``) also report the execute pass's
+        peak allocation.
         """
         report = self.compile_report
         lookups = report.cache_hits + report.cache_misses
@@ -77,9 +84,17 @@ class BatchResult:
             f"{report.compile_seconds:.6f} s",
         ]
         if report.plan_cache_hits:
+            memory = report.plan_memory_hits
+            disk = report.plan_cache_hits - memory
+            if memory and disk:
+                source = f"{memory} memory tier / {disk} disk"
+            elif memory:
+                source = "memory tier"
+            else:
+                source = "disk"
             lines.append(
                 f"  compiled-plan cache: {report.plan_cache_hits} hit(s) — "
-                "whole plan served from disk, no decompositions computed"
+                f"whole plan served from {source}, no decompositions computed"
             )
         lines.append(
             f"  decomposition cache: {report.cache_hits} hits / "
@@ -94,6 +109,11 @@ class BatchResult:
                 f"{report.doppler_entries} entries served"
             )
         lines.append(f"  execute: {self.execute_seconds:.6f} s")
+        if self.peak_alloc_bytes is not None:
+            lines.append(
+                f"  execute peak allocation: {self.peak_alloc_bytes} bytes "
+                f"({self.peak_alloc_bytes / (1024 * 1024):.2f} MiB)"
+            )
         return "\n".join(lines)
 
     def stacked_samples(self) -> np.ndarray:

@@ -161,6 +161,95 @@ class TestBatchedDopplerEqualsLooped:
             assert np.array_equal(cold_block.samples, warm_block.samples)
 
 
+class TestFusedExecuteBitIdentity:
+    """The fused, allocation-light execute kernels are byte-for-byte the
+    unfused two-pass pipeline.
+
+    ``np.array_equal`` treats ``-0.0`` and ``0.0`` as equal, so the tests
+    above would not notice a sign-of-zero drift from the in-place fusion;
+    these compare raw bytes.  The unfused reference is the pre-fusion
+    formula spelled out inline: per-stream ``rng.normal`` draws, the
+    ``coeffs * (A - 1j * B)`` weighting, a plain out-of-place IDFT, and an
+    out-of-place coloring matmul.
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_blocks=st.integers(min_value=1, max_value=4),
+        m=st.sampled_from(BLOCK_LENGTHS),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fused_doppler_kernel_bytes_equal_unfused(self, seed, n_blocks, m):
+        from repro.channels.doppler import young_beaulieu_filter
+        from repro.channels.idft_generator import batched_doppler_blocks
+
+        coeffs = young_beaulieu_filter(m, 0.1)
+        stream_seeds = np.random.default_rng(seed).integers(0, 2**62, size=3)
+        fused = batched_doppler_blocks(
+            coeffs,
+            [np.random.default_rng(s) for s in stream_seeds],
+            n_blocks=n_blocks,
+            workspace={},
+        )
+        scale = np.sqrt(0.5)
+        draws = np.stack(
+            [
+                np.random.default_rng(s).normal(0.0, scale, size=(n_blocks, 2, m))
+                for s in stream_seeds
+            ]
+        )
+        weighted = coeffs * (draws[:, :, 0, :] - 1j * draws[:, :, 1, :])
+        reference = np.fft.ifft(weighted.reshape(-1, m), axis=-1).reshape(
+            len(stream_seeds), n_blocks * m
+        )
+        assert fused.tobytes() == reference.tobytes()
+
+    @given(
+        plan_data=doppler_plan_data(max_entries=3),
+        block_size=st.sampled_from([7, 37, 61, 101]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_stream_bytes_identical_across_block_boundaries(
+        self, plan_data, block_size
+    ):
+        """Cross-block streaming through the ring buffer and reused scratch
+        is byte-identical to one long execute, for block sizes that do not
+        divide the IDFT length."""
+        specs, dopplers, seeds = plan_data
+        plan = SimulationPlan()
+        for spec, doppler, seed in zip(specs, dopplers, seeds):
+            plan.add(spec, seed=seed, doppler=doppler)
+        engine = SimulationEngine(cache=DecompositionCache())
+        streamed = list(engine.stream(plan, block_size=block_size, n_blocks=4))
+        full = engine.run(plan, block_size * 4)
+        for index in range(plan.n_entries):
+            concatenated = np.concatenate(
+                [batch.blocks[index].samples for batch in streamed], axis=1
+            )
+            assert concatenated.tobytes() == full.blocks[index].samples.tobytes()
+
+    def test_execute_bytes_equal_unfused_reference(self):
+        """A mixed snapshot/Doppler plan executes to exactly the bytes of
+        the unfused looped reference generators."""
+        rng = np.random.default_rng(20260807)
+        spec = _random_spec(rng, 3)
+        doppler = DopplerSpec(normalized_doppler=0.08, n_points=96)
+        plan = SimulationPlan()
+        plan.add(spec, seed=101)
+        plan.add(spec, seed=202, doppler=doppler)
+        n_samples = 250  # not a multiple of M = 96
+        result = SimulationEngine(cache=DecompositionCache()).run(plan, n_samples)
+        snapshot = RayleighFadingGenerator(
+            spec, rng=101, cache=DecompositionCache(maxsize=0)
+        ).generate_gaussian(n_samples)
+        assert result.blocks[0].samples.tobytes() == snapshot.samples.tobytes()
+        looped = _looped_reference(spec, doppler, 202, n_samples)
+        assert (
+            result.blocks[1].samples.tobytes()
+            == np.ascontiguousarray(looped.samples[:, :n_samples]).tobytes()
+        )
+
+
 class TestSessionDopplerEqualsLooped:
     """``Simulator.envelopes`` Doppler mode inherits the engine guarantee."""
 

@@ -316,6 +316,8 @@ class TestFFTContract:
 
 class TestCustomBackend:
     def test_registered_custom_backend_flows_through_engine(self):
+        # The fused execute path prefers the `_into` hooks, so a counting
+        # backend instruments both call forms of each transform.
         calls = {"eigh": 0, "matmul": 0, "ifft": 0}
 
         class CountingBackend(NumpyBackend):
@@ -330,9 +332,17 @@ class TestCustomBackend:
                 calls["matmul"] += 1
                 return super().matmul(a, b)
 
+            def matmul_into(self, a, b, out):
+                calls["matmul"] += 1
+                return super().matmul_into(a, b, out)
+
             def ifft(self, array, axis=-1):
                 calls["ifft"] += 1
                 return super().ifft(array, axis=axis)
+
+            def ifft_into(self, array, out, axis=-1):
+                calls["ifft"] += 1
+                return super().ifft_into(array, out, axis=axis)
 
         register_backend("test-counting", CountingBackend, replace=True)
         plan = _mixed_plan(seed=11)

@@ -300,6 +300,179 @@ class TestCorruption:
         assert cache.stats.corruptions == 1
 
 
+def _compile_with(plan, plan_cache):
+    return compile_plan(
+        plan,
+        cache=DecompositionCache(),
+        filter_cache=DopplerFilterCache(),
+        plan_cache=plan_cache,
+    )
+
+
+class TestMemoryTier:
+    """The in-memory LRU tier fronting the compiled-plan disk tier.
+
+    The tier's contract mirrors the disk tier's: a memory hit is
+    bit-identical to a fresh compile and computes (and now *reads*)
+    nothing; eviction is byte-bounded LRU; invalidation is coherent with
+    the disk tier; a detached default-constructed cache stays a no-op.
+    """
+
+    def test_memory_hit_is_bit_identical_and_touches_nothing(
+        self, base_matrix, tmp_path, monkeypatch
+    ):
+        plan = _mixed_plan(base_matrix)
+        cache = CompiledPlanCache(tmp_path)
+        cold = _compile_with(plan, cache)
+        assert cold.report.plan_cache_hits == 0
+        cold_result = execute_plan(cold, 64)
+
+        # A memory-tier hit must neither compute nor read the disk tier:
+        # forbid the stacked decomposition, the filter builder, and the
+        # artifact store's lookup for the warm compile.
+        import repro.channels.doppler as doppler_module
+        import repro.core.coloring as coloring_module
+        import repro.engine.store as store_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("a memory-tier hit must not compute or read disk")
+
+        monkeypatch.setattr(coloring_module, "compute_coloring_batch", forbidden)
+        monkeypatch.setattr(doppler_module, "young_beaulieu_filter", forbidden)
+        monkeypatch.setattr(store_module.ArtifactStore, "lookup", forbidden)
+
+        warm = _compile_with(plan, cache)
+        assert warm.report.plan_cache_hits == 1
+        assert warm.report.plan_memory_hits == 1
+        assert warm.report.cache_hits == warm.report.cache_misses == 0
+        stats = cache.stats
+        assert stats.memory_hits == 1
+        warm_result = execute_plan(warm, 64)
+        for cold_block, warm_block in zip(cold_result.blocks, warm_result.blocks):
+            assert cold_block.samples.tobytes() == warm_block.samples.tobytes()
+
+    def test_memory_hit_rebinds_to_callers_seeds(self, base_matrix, tmp_path):
+        cache = CompiledPlanCache(tmp_path)
+        _compile_with(_mixed_plan(base_matrix, seed_offset=0), cache)
+        reseeded = _mixed_plan(base_matrix, seed_offset=100)
+        warm = _compile_with(reseeded, cache)
+        assert warm.report.plan_memory_hits == 1
+        fresh = _compile(reseeded)
+        warm_result = execute_plan(warm, 32)
+        fresh_result = execute_plan(fresh, 32)
+        for warm_block, fresh_block in zip(warm_result.blocks, fresh_result.blocks):
+            assert warm_block.samples.tobytes() == fresh_block.samples.tobytes()
+
+    def test_disk_hit_promotes_into_memory(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        _compile_with(plan, CompiledPlanCache(tmp_path))
+        cache = CompiledPlanCache(tmp_path)  # fresh process: empty memory
+        first = _compile_with(plan, cache)
+        assert first.report.plan_cache_hits == 1
+        assert first.report.plan_memory_hits == 0  # served by disk
+        second = _compile_with(plan, cache)
+        assert second.report.plan_memory_hits == 1  # promoted
+        stats = cache.stats
+        assert (stats.hits, stats.memory_hits, stats.memory_misses) == (1, 1, 1)
+
+    def test_lru_eviction_is_byte_bounded(self, base_matrix, tmp_path):
+        plan_a = _mixed_plan(base_matrix)
+        probe = CompiledPlanCache(tmp_path)
+        _compile_with(plan_a, probe)
+        entries, resident = probe.memory_usage()
+        assert entries == 1 and resident > 0
+
+        # A bound that holds exactly one plan: inserting a second (same
+        # shapes, different matrices → different key, same byte size)
+        # evicts the least recently used.
+        bounded = CompiledPlanCache(tmp_path, memory_max_bytes=resident)
+        _compile_with(plan_a, bounded)
+        _compile_with(_mixed_plan(2.5 * base_matrix), bounded)
+        assert bounded.memory_usage()[0] == 1
+        assert bounded.stats.memory_evictions == 1
+        # plan_a fell out of memory but still hits on disk.
+        warm = _compile_with(plan_a, bounded)
+        assert warm.report.plan_cache_hits == 1
+        assert warm.report.plan_memory_hits == 0
+
+    def test_oversized_plan_is_not_inserted(self, base_matrix, tmp_path):
+        cache = CompiledPlanCache(tmp_path, memory_max_bytes=1)
+        _compile_with(_mixed_plan(base_matrix), cache)
+        assert cache.memory_usage() == (0, 0)
+        assert cache.stats.memory_evictions == 0
+
+    def test_invalidate_drops_both_tiers(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        cache = CompiledPlanCache(tmp_path)
+        _compile_with(plan, cache)
+        assert cache.memory_usage()[0] == 1
+        cache.invalidate(compiled_plan_cache_key(plan))
+        assert cache.memory_usage()[0] == 0
+        assert list((tmp_path / "plans").glob("*.quarantine"))
+
+    def test_memory_rebind_failure_falls_back_to_disk(
+        self, base_matrix, tmp_path, monkeypatch
+    ):
+        import repro.engine.plancache as plancache_module
+
+        plan = _mixed_plan(base_matrix)
+        cache = CompiledPlanCache(tmp_path)
+        _compile_with(plan, cache)
+        monkeypatch.setattr(
+            plancache_module, "_rebind_memory_entry", lambda *a, **k: None
+        )
+        warm = _compile_with(plan, cache)
+        assert warm.report.plan_cache_hits == 1
+        assert warm.report.plan_memory_hits == 0
+        assert cache.stats.hits == 1  # the disk tier served it, stats intact
+
+    def test_pure_memory_cache_without_disk(self, base_matrix):
+        plan = _mixed_plan(base_matrix)
+        cache = CompiledPlanCache(memory_max_bytes=64 * 1024 * 1024)
+        cold = _compile_with(plan, cache)
+        assert cold.report.plan_cache_hits == 0
+        warm = _compile_with(plan, cache)
+        assert warm.report.plan_cache_hits == 1
+        assert warm.report.plan_memory_hits == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_detached_default_has_no_memory_tier(self, base_matrix):
+        plan = _mixed_plan(base_matrix)
+        cache = CompiledPlanCache()
+        assert cache.memory_max_bytes == 0
+        _compile_with(plan, cache)
+        assert cache.memory_usage() == (0, 0)
+        second = _compile_with(plan, cache)
+        assert second.report.plan_cache_hits == 0
+
+    def test_memory_entries_are_frozen(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        cache = CompiledPlanCache(tmp_path)
+        _compile_with(plan, cache)
+        warm = _compile_with(plan, cache)
+        assert warm.report.plan_memory_hits == 1
+        group = warm.groups[0]
+        assert not group.decompositions[0].coloring_matrix.flags.writeable
+        doppler_group = next(g for g in warm.groups if g.is_doppler)
+        assert not doppler_group.doppler_filter.flags.writeable
+
+    def test_clear_memory_and_reset_stats(self, base_matrix, tmp_path):
+        plan = _mixed_plan(base_matrix)
+        cache = CompiledPlanCache(tmp_path)
+        _compile_with(plan, cache)
+        _compile_with(plan, cache)
+        assert cache.stats.memory_hits == 1
+        assert cache.clear_memory() == 1
+        assert cache.memory_usage() == (0, 0)
+        cache.reset_stats()
+        stats = cache.stats
+        assert (stats.memory_hits, stats.memory_misses, stats.memory_evictions) == (
+            0,
+            0,
+            0,
+        )
+
+
 class TestMaintenance:
     def test_disk_usage_and_clear(self, base_matrix, tmp_path):
         _compile(_mixed_plan(base_matrix), tmp_path)

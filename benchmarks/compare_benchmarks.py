@@ -39,7 +39,12 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["load_medians", "compare_medians", "main"]
+__all__ = ["KNOWN_UNITS", "load_medians", "compare_medians", "main"]
+
+#: Units the report formats: seconds (timing medians) and bytes
+#: (peak-allocation medians).  ``--unit`` rejects anything else up front —
+#: a typo'd unit would otherwise pass silently into every report line.
+KNOWN_UNITS = ("s", "B")
 
 
 def load_medians(path: Path) -> Optional[Dict[str, float]]:
@@ -124,6 +129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--unit",
+        choices=KNOWN_UNITS,
         default="s",
         help="display unit for medians in the report (default: s; use B for "
         "peak-allocation reports)",

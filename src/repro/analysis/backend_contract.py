@@ -1,0 +1,300 @@
+"""Rule ``backend-into-contract`` — keep ``LinalgBackend`` subclasses honest.
+
+Three checks per module that defines ``LinalgBackend`` subclasses:
+
+* every subclass (transitively, within the module) provides the abstract
+  methods of the base class (``eigh`` / ``cholesky`` today — derived from
+  the ``@abstractmethod`` decorators when the base is in the same module,
+  with a built-in fallback contract otherwise);
+* overrides of contract methods keep the base signature (same parameter
+  names, same defaults count, same star-args) — the engine calls these
+  positionally from the hot path, so a renamed or reordered parameter is
+  a latent crash;
+* every ``*_into`` method returns its ``out`` parameter (either
+  ``return out`` or ``return <call>(..., out=out)``, the gufunc idiom)
+  and contains no allocating numpy constructors — ``_into`` is the
+  allocation-free contract the execute kernels rely on
+  (see docs/ARCHITECTURE.md, "Static guarantees").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from .framework import Finding, ModuleInfo, Rule, register_rule
+from .hot_path import FORBIDDEN_NUMPY_CONSTRUCTORS, _NUMPY_ALIASES
+
+__all__ = ["BackendIntoContractRule"]
+
+_BASE_NAME = "LinalgBackend"
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: (ordered parameter names, n_defaults, has *args, has **kwargs)
+_Signature = Tuple[Tuple[str, ...], int, bool, bool]
+
+#: Contract used when the base class is not defined in the linted module.
+_FALLBACK_ABSTRACT = frozenset({"eigh", "cholesky"})
+_FALLBACK_SIGNATURES: Dict[str, _Signature] = {
+    "eigh": (("self", "stack"), 0, False, False),
+    "cholesky": (("self", "stack"), 0, False, False),
+    "matmul": (("self", "a", "b"), 0, False, False),
+    "matmul_into": (("self", "a", "b", "out"), 0, False, False),
+    "fft": (("self", "array", "axis"), 1, False, False),
+    "ifft": (("self", "array", "axis"), 1, False, False),
+    "ifft_into": (("self", "array", "out", "axis"), 1, False, False),
+}
+
+
+def _signature(node: _FunctionNode) -> _Signature:
+    args = node.args
+    names = tuple(
+        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    )
+    n_defaults = len(args.defaults) + sum(
+        1 for default in args.kw_defaults if default is not None
+    )
+    return (names, n_defaults, args.vararg is not None, args.kwarg is not None)
+
+
+def _format_signature(sig: _Signature) -> str:
+    names, n_defaults, vararg, kwarg = sig
+    parts = list(names)
+    if vararg:
+        parts.append("*args")
+    if kwarg:
+        parts.append("**kwargs")
+    rendered = ", ".join(parts)
+    return f"({rendered})" + (f" with {n_defaults} default(s)" if n_defaults else "")
+
+
+def _is_abstract(node: _FunctionNode) -> bool:
+    for decorator in node.decorator_list:
+        name = decorator.attr if isinstance(decorator, ast.Attribute) else (
+            decorator.id if isinstance(decorator, ast.Name) else ""
+        )
+        if name == "abstractmethod":
+            return True
+    return False
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _methods(node: ast.ClassDef) -> Dict[str, _FunctionNode]:
+    return {
+        item.name: item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@register_rule
+class BackendIntoContractRule(Rule):
+    name = "backend-into-contract"
+    description = (
+        "LinalgBackend subclasses must match the base contract; *_into "
+        "methods must return 'out' and never allocate"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        if not classes:
+            return
+        base = classes.get(_BASE_NAME)
+        if base is not None:
+            base_methods = _methods(base)
+            abstract = {
+                name for name, fn in base_methods.items() if _is_abstract(fn)
+            }
+            signatures = {
+                name: _signature(fn) for name, fn in base_methods.items()
+            }
+        else:
+            abstract = set(_FALLBACK_ABSTRACT)
+            signatures = dict(_FALLBACK_SIGNATURES)
+
+        subclasses = self._backend_subclasses(classes)
+        if not subclasses and base is None:
+            return
+
+        for name in subclasses:
+            node = classes[name]
+            provided = self._provided_methods(name, classes)
+            missing = sorted(abstract - provided)
+            if missing:
+                yield Finding(
+                    rule=self.name,
+                    path=module.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"backend class '{name}' does not override required "
+                        f"LinalgBackend method(s): {', '.join(missing)}"
+                    ),
+                )
+            for method_name, method in _methods(node).items():
+                expected = signatures.get(method_name)
+                if expected is not None and _signature(method) != expected:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.display_path,
+                        line=method.lineno,
+                        col=method.col_offset,
+                        message=(
+                            f"'{name}.{method_name}' signature "
+                            f"{_format_signature(_signature(method))} does not "
+                            f"match LinalgBackend.{method_name} "
+                            f"{_format_signature(expected)}"
+                        ),
+                    )
+
+        checked = set(subclasses)
+        if base is not None:
+            checked.add(_BASE_NAME)
+        for class_name in checked:
+            for method_name, method in _methods(classes[class_name]).items():
+                if method_name.endswith("_into") and not _is_abstract(method):
+                    yield from self._check_into_method(
+                        module, class_name, method
+                    )
+
+    # ------------------------------------------------------------------ #
+    def _backend_subclasses(self, classes: Dict[str, ast.ClassDef]) -> List[str]:
+        """Names of classes deriving (transitively, in-module) from the base."""
+        subclasses: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, node in classes.items():
+                if name == _BASE_NAME or name in subclasses:
+                    continue
+                for base_name in _base_names(node):
+                    if base_name == _BASE_NAME or base_name in subclasses:
+                        subclasses.add(name)
+                        changed = True
+                        break
+        return sorted(subclasses)
+
+    def _provided_methods(
+        self, name: str, classes: Dict[str, ast.ClassDef]
+    ) -> Set[str]:
+        """Concrete methods available on ``name`` via its in-module ancestry."""
+        provided: Set[str] = set()
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            node = classes.get(current)
+            if node is None:
+                continue
+            for method_name, method in _methods(node).items():
+                if not _is_abstract(method):
+                    provided.add(method_name)
+            stack.extend(_base_names(node))
+        return provided
+
+    def _check_into_method(
+        self, module: ModuleInfo, class_name: str, method: _FunctionNode
+    ) -> Iterator[Finding]:
+        qualname = f"{class_name}.{method.name}"
+        params = {
+            a.arg
+            for a in (
+                *method.args.posonlyargs,
+                *method.args.args,
+                *method.args.kwonlyargs,
+            )
+        }
+        if "out" not in params:
+            yield Finding(
+                rule=self.name,
+                path=module.display_path,
+                line=method.lineno,
+                col=method.col_offset,
+                message=f"'{qualname}' is an *_into method but has no 'out' parameter",
+            )
+            return
+        returns = [
+            node
+            for node in ast.walk(method)
+            if isinstance(node, ast.Return)
+        ]
+        if not any(node.value is not None for node in returns):
+            yield Finding(
+                rule=self.name,
+                path=module.display_path,
+                line=method.lineno,
+                col=method.col_offset,
+                message=f"'{qualname}' must return its 'out' parameter",
+            )
+        for node in returns:
+            if node.value is None or _returns_out(node.value):
+                continue
+            yield Finding(
+                rule=self.name,
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"'{qualname}' must return 'out' (or a call writing "
+                    f"into it via an 'out=out' keyword), not "
+                    f"'{ast.unparse(node.value)}'"
+                ),
+            )
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                described = _allocating_call(node)
+                if described:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.display_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"allocating call '{described}' inside *_into "
+                            f"method '{qualname}' — the _into contract is "
+                            f"allocation-free"
+                        ),
+                    )
+
+
+def _returns_out(value: ast.expr) -> bool:
+    if isinstance(value, ast.Name) and value.id == "out":
+        return True
+    if isinstance(value, ast.Call):
+        for keyword in value.keywords:
+            if (
+                keyword.arg == "out"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id == "out"
+            ):
+                return True
+    return False
+
+
+def _allocating_call(node: ast.Call) -> str:
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_ALIASES
+        and func.attr in FORBIDDEN_NUMPY_CONSTRUCTORS
+    ):
+        return f"{func.value.id}.{func.attr}"
+    return ""

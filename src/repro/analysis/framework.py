@@ -1,0 +1,339 @@
+"""Core of ``reprolint`` — the project-invariant lint framework.
+
+The analyzers in this package are deliberately zero-dependency (stdlib
+``ast`` + ``tokenize`` only) so the static gate runs anywhere the library
+imports, including minimal CI containers without the ``dev`` extras.
+
+The framework provides:
+
+* :class:`Finding` — one reported violation (rule, location, message);
+* :class:`ModuleInfo` — a parsed source file plus its ``reprolint``
+  directive comments;
+* :class:`Project` — every module of one lint run (rules that need
+  cross-module reachability, like cache-key purity, see the whole set);
+* :class:`Rule` and :func:`register_rule` — the rule registry;
+* :func:`run_lint` — load, check, filter suppressions, sort.
+
+Directive comments
+------------------
+``# reprolint: disable=<rule>[,<rule>...]``
+    Suppress the named rules (or ``all``) on this line.  On a ``def`` /
+    ``class`` header line the suppression covers the whole body.  Trailing
+    prose is encouraged: ``# reprolint: disable=lock-discipline (advisory
+    lock-free read)``.
+``# reprolint: hot-module``
+    Mark every function in this module as a hot path for the
+    ``hot-path-allocation`` rule.
+``# reprolint: hot-path``
+    On a ``def`` header line: mark just that function hot.
+``# reprolint: workspace-constructor``
+    On a ``def`` header line: the function owns workspace allocation and
+    is exempt from the hot-path allocation ban.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "AnalysisError",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "all_rules",
+    "load_project",
+    "register_rule",
+    "resolve_rules",
+    "run_lint",
+    "LintReport",
+]
+
+
+class AnalysisError(Exception):
+    """The analyzer itself failed (bad path, unparseable file, bad rule name).
+
+    Distinct from findings: the CLI maps findings to exit code 1 and this
+    to exit code 2, so CI can tell "the gate fired" from "the gate broke".
+    """
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, Union[str, int]]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+_DIRECTIVE_RE = re.compile(r"#\s*reprolint:\s*(?P<body>[A-Za-z0-9_=,\-]+)")
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_ScopeNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef]
+
+
+class ModuleInfo:
+    """A parsed source file plus its ``reprolint`` directives."""
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        try:
+            self.tree = ast.parse(source, filename=display_path)
+        except SyntaxError as exc:  # pragma: no cover - exercised via run_lint
+            raise AnalysisError(f"cannot parse {display_path}: {exc}") from exc
+        self.hot_module = False
+        #: line -> set of rule names (or "all") disabled on that line
+        self.line_disables: Dict[int, Set[str]] = {}
+        #: lines carrying a "hot-path" / "workspace-constructor" marker
+        self.hot_path_lines: Set[int] = set()
+        self.workspace_lines: Set[int] = set()
+        self._scan_directives()
+        #: (start, end, rules) suppression spans from def/class header disables
+        self._suppress_spans: List[Tuple[int, int, Set[str]]] = []
+        self._collect_spans(self.tree)
+
+    # ------------------------------------------------------------------ #
+    # Directives
+    # ------------------------------------------------------------------ #
+    def _scan_directives(self) -> None:
+        source_lines = self.source.splitlines()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (token.start[0], token.start[1], token.string)
+                for token in tokens
+                if token.type == tokenize.COMMENT
+            ]
+        except tokenize.TokenError:  # pragma: no cover - parse already succeeded
+            comments = [
+                (number, line.index("#"), line)
+                for number, line in enumerate(source_lines, start=1)
+                if "#" in line
+            ]
+        for line, col, text in comments:
+            match = _DIRECTIVE_RE.search(text)
+            if match is None:
+                continue
+            body = match.group("body")
+            if body.startswith("disable="):
+                rules = {
+                    "all" if name == "all" else name
+                    for name in body[len("disable=") :].split(",")
+                    if name
+                }
+                self.line_disables.setdefault(line, set()).update(rules)
+                # A comment-only line suppresses the statement below it too
+                # (the trailing-comment form stays available for short lines).
+                standalone = not source_lines[line - 1][:col].strip()
+                if standalone:
+                    self.line_disables.setdefault(line + 1, set()).update(rules)
+            elif body == "hot-module":
+                self.hot_module = True
+            elif body == "hot-path":
+                self.hot_path_lines.add(line)
+            elif body == "workspace-constructor":
+                self.workspace_lines.add(line)
+            # Unknown directives are ignored: forward compatibility with
+            # rules added later (an old checkout linting newer sources).
+
+    def _collect_spans(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            rules: Set[str] = set()
+            for line in self.header_lines(node):
+                rules.update(self.line_disables.get(line, ()))
+            if rules and node.end_lineno is not None:
+                self._suppress_spans.append((node.lineno, node.end_lineno, rules))
+
+    def header_lines(self, node: _ScopeNode) -> range:
+        """Source lines of a def/class header (signature, before the body)."""
+        stop = node.body[0].lineno if node.body else node.lineno + 1
+        return range(node.lineno, max(node.lineno + 1, stop))
+
+    def has_header_marker(self, node: _FunctionNode, lines: Set[int]) -> bool:
+        return any(line in lines for line in self.header_lines(node))
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.line_disables.get(line)
+        if rules and (rule in rules or "all" in rules):
+            return True
+        for start, end, span_rules in self._suppress_spans:
+            if start <= line <= end and (rule in span_rules or "all" in span_rules):
+                return True
+        return False
+
+
+@dataclass
+class Project:
+    """Every module of one lint run, keyed by display path."""
+
+    modules: List[ModuleInfo] = field(default_factory=list)
+
+    def by_path(self, display_path: str) -> Optional[ModuleInfo]:
+        for module in self.modules:
+            if module.display_path == display_path:
+                return module
+        return None
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Per-module rules implement :meth:`check_module`; rules needing the
+    whole project (cross-module reachability) override :meth:`run`.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self.check_module(module)
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return list(_REGISTRY.values())
+
+
+def resolve_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
+    if names is None:
+        return all_rules()
+    rules = []
+    for name in names:
+        rule = _REGISTRY.get(name)
+        if rule is None:
+            known = ", ".join(sorted(_REGISTRY))
+            raise AnalysisError(f"unknown rule {name!r} (known rules: {known})")
+        rules.append(rule)
+    return rules
+
+
+# --------------------------------------------------------------------- #
+# Loading and running
+# --------------------------------------------------------------------- #
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.is_file():
+            yield path
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+
+
+def load_project(paths: Sequence[Union[str, Path]]) -> Project:
+    project = Project()
+    seen: Set[Path] = set()
+    for path in iter_python_files(paths):
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        try:
+            source = path.read_text(encoding="utf8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}") from exc
+        project.modules.append(ModuleInfo(path, _display_path(path), source))
+    return project
+
+
+@dataclass
+class LintReport:
+    """Result of one :func:`run_lint` call."""
+
+    findings: List[Finding]
+    files: int
+    rules: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files": self.files,
+            "rules": self.rules,
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    rule_names: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint ``paths`` with the named rules (default: all registered).
+
+    Findings on suppressed lines (or inside suppressed def/class bodies)
+    are dropped; the rest are sorted by location.  Raises
+    :class:`AnalysisError` for bad paths, unparseable files, or unknown
+    rule names.
+    """
+    rules = resolve_rules(rule_names)
+    project = load_project(paths)
+    findings: List[Finding] = []
+    seen_findings: Set[Finding] = set()
+    for rule in rules:
+        for finding in rule.run(project):
+            if finding in seen_findings:
+                continue
+            seen_findings.add(finding)
+            module = project.by_path(finding.path)
+            if module is not None and module.is_suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(
+        findings=findings,
+        files=len(project.modules),
+        rules=[rule.name for rule in rules],
+    )

@@ -1,0 +1,126 @@
+"""Rule ``hot-path-allocation`` — keep the fused execute kernels allocation-light.
+
+Modules marked ``# reprolint: hot-module`` (all of ``engine/execute.py``)
+and functions marked ``# reprolint: hot-path`` (the fused section of
+``channels/idft_generator.py``) must not call allocating numpy
+constructors (``np.concatenate`` / ``np.vstack`` / ``np.append`` /
+``np.zeros|empty|ones`` and their ``*_like`` / ``full`` variants) or
+``.copy()``.
+
+Functions that *own* workspace allocation opt out with
+``# reprolint: workspace-constructor`` on their ``def`` line; deliberate
+per-call allocations (fresh result records handed to callers) carry an
+inline ``# reprolint: disable=hot-path-allocation`` with a reason.  Either
+way the exception is visible in the diff — the point of the rule is that
+a stray ``np.concatenate`` can no longer sneak back into the fused path
+silently (see docs/ARCHITECTURE.md, "Static guarantees").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from .framework import Finding, ModuleInfo, Rule, register_rule
+
+__all__ = ["HotPathAllocationRule", "FORBIDDEN_NUMPY_CONSTRUCTORS"]
+
+#: numpy module-level constructors that allocate a fresh array.
+FORBIDDEN_NUMPY_CONSTRUCTORS = frozenset(
+    {
+        "append",
+        "concatenate",
+        "copy",
+        "empty",
+        "empty_like",
+        "full",
+        "full_like",
+        "hstack",
+        "ones",
+        "ones_like",
+        "stack",
+        "vstack",
+        "zeros",
+        "zeros_like",
+    }
+)
+
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _forbidden_call(node: ast.Call) -> str:
+    """Describe a forbidden allocating call, or return ''."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    if (
+        isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_ALIASES
+        and func.attr in FORBIDDEN_NUMPY_CONSTRUCTORS
+    ):
+        return f"{func.value.id}.{func.attr}"
+    if func.attr == "copy" and not node.args and not node.keywords:
+        return ".copy()"
+    return ""
+
+
+@register_rule
+class HotPathAllocationRule(Rule):
+    name = "hot-path-allocation"
+    description = (
+        "no allocating numpy constructors or .copy() in hot-path functions"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node, parents in _walk_functions(module.tree):
+            if module.has_header_marker(node, module.workspace_lines):
+                continue
+            hot = module.hot_module or module.has_header_marker(
+                node, module.hot_path_lines
+            )
+            if not hot:
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleInfo, function: _FunctionNode
+    ) -> Iterator[Finding]:
+        for node in _walk_body(module, function):
+            if not isinstance(node, ast.Call):
+                continue
+            described = _forbidden_call(node)
+            if described:
+                yield Finding(
+                    rule=self.name,
+                    path=module.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"allocating call '{described}' in hot function "
+                        f"'{function.name}' — reuse state-owned scratch, mark "
+                        f"the function '# reprolint: workspace-constructor', "
+                        f"or disable inline with a reason"
+                    ),
+                )
+
+
+def _walk_functions(tree: ast.AST):
+    """Yield every function node with its (unused) ancestry."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, ()
+
+
+def _walk_body(module: ModuleInfo, function: _FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function body, skipping nested workspace-constructor defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are visited independently by _walk_functions;
+            # their hot/workspace markers are evaluated there.
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

@@ -33,7 +33,7 @@ from .doppler import filter_output_variance, young_beaulieu_filter
 __all__ = ["IDFTRayleighGenerator", "batched_doppler_blocks"]
 
 
-def _weighted_scratch(workspace, n_streams: int, n_blocks: int, m: int):
+def _weighted_scratch(workspace, n_streams: int, n_blocks: int, m: int):  # reprolint: workspace-constructor
     """Resolve (or build) the complex frequency-domain block buffer.
 
     With a ``workspace`` dict the buffer persists across calls and is
@@ -55,7 +55,7 @@ def _weighted_scratch(workspace, n_streams: int, n_blocks: int, m: int):
     return weighted
 
 
-def batched_doppler_blocks(
+def batched_doppler_blocks(  # reprolint: hot-path
     filter_coefficients: np.ndarray,
     rngs: Sequence[SeedLike],
     *,
@@ -139,6 +139,7 @@ def batched_doppler_blocks(
     m = coeffs.shape[0]
     scale = np.sqrt(input_variance_per_dim)
     weighted = _weighted_scratch(workspace, n_streams, n_blocks, m)
+    # reprolint: disable=hot-path-allocation (deliberate per-call draw buffer)
     draws = np.empty((n_streams, n_blocks, 2, m), dtype=np.float64)
     for index, rng in enumerate(rngs):
         # (n_blocks, 2, M) fills in C order: block 0's A then B, block 1's A

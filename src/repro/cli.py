@@ -188,6 +188,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _cache_dir_argument(cache_parser)
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run reprolint, the project-invariant static analyzer",
+        description=(
+            "Run the reprolint rules (lock discipline, hot-path allocation, "
+            "backend _into contract, cache-key purity) over source paths. "
+            "Exit codes: 0 clean, 1 findings, 2 analyzer error."
+        ),
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the report to this file",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
     return parser
 
 
@@ -268,6 +305,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "cache":
         return _run_cache_command(args.action, args.cache_dir)
+
+    if args.command == "lint":
+        from .analysis import main as lint_main
+
+        lint_argv = list(args.paths)
+        if args.format != "text":
+            lint_argv += ["--format", args.format]
+        if args.output is not None:
+            lint_argv += ["--output", str(args.output)]
+        if args.rules is not None:
+            lint_argv += ["--rules", args.rules]
+        if args.list_rules:
+            lint_argv.append("--list-rules")
+        return lint_main(lint_argv)
 
     if args.command == "run":
         _attach_cache_dir(args.cache_dir)

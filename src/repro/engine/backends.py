@@ -436,9 +436,10 @@ def get_backend(spec: BackendSpec = None) -> LinalgBackend:
         if instance is not None:
             return instance
         factory = _REGISTRY.get(spec)
+        registered = sorted(_REGISTRY)
     if factory is None:
         raise BackendError(
-            f"unknown backend {spec!r}; registered backends: {sorted(_REGISTRY)}"
+            f"unknown backend {spec!r}; registered backends: {registered}"
         )
     instance = factory()  # may raise BackendError for missing dependencies
     with _LOCK:
@@ -456,8 +457,10 @@ def available_backends() -> List[str]:
     :class:`BackendError` (e.g. cupy/torch on a CPU-only host) are simply
     omitted rather than raising.
     """
+    with _LOCK:
+        registered = sorted(_REGISTRY)
     names: List[str] = []
-    for name in sorted(_REGISTRY):
+    for name in registered:
         try:
             get_backend(name)
         except BackendError:

@@ -35,6 +35,9 @@ correlated samples:
 
 from __future__ import annotations
 
+# reprolint: hot-module — the fused execute kernels are allocation-light by
+# contract; every deliberate allocation below is marked explicitly.
+
 import time
 import tracemalloc
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -65,7 +68,7 @@ class _DopplerLeftover:
 
     __slots__ = ("data", "start", "length")
 
-    def __init__(self, batch_size: int, n_branches: int, m: int) -> None:
+    def __init__(self, batch_size: int, n_branches: int, m: int) -> None:  # reprolint: workspace-constructor
         self.data = np.empty((batch_size, n_branches, m), dtype=np.complex128)
         self.start = 0
         self.length = 0
@@ -136,7 +139,7 @@ class _ExecutionState:
             self._norms[group_index] = norm
         return norm
 
-    def white_scratch(self, group_index: int, shape: Tuple[int, ...]) -> np.ndarray:
+    def white_scratch(self, group_index: int, shape: Tuple[int, ...]) -> np.ndarray:  # reprolint: workspace-constructor
         """Reusable snapshot white-draw input ``(B, N, n_samples)``."""
         array = self._white.get(group_index)
         if array is None or array.shape != shape:
@@ -191,12 +194,14 @@ def _doppler_colored_blocks(
             backend=backend,
             workspace=state.workspace(group_index),
         ).reshape(group.batch_size, group.n_branches, n_blocks * m)
+        # reprolint: disable=hot-path-allocation (fresh result record: callers keep views of it)
         colored = np.empty_like(fresh)
         _matmul_into(backend, group.coloring_stack, fresh, colored)
         colored /= state.norm(group_index, group)
     if taken == 0:
         out = colored[:, :, :n_samples]
     else:
+        # reprolint: disable=hot-path-allocation (fresh result record: callers keep views of it)
         out = np.empty(
             (group.batch_size, group.n_branches, n_samples), dtype=np.complex128
         )
@@ -258,6 +263,7 @@ def _generate_block(
             # One stacked BLAS dispatch colors the whole group into a fresh
             # exact-size result (callers keep views of it); slice results
             # are bit-identical to per-entry `L @ w`.
+            # reprolint: disable=hot-path-allocation (fresh result record: callers keep views of it)
             colored = np.empty((batch_size, n_branches, n_samples), dtype=np.complex128)
             _matmul_into(backend, group.coloring_stack, white, colored)
             colored /= state.norm(group_index, group)
@@ -287,7 +293,7 @@ def _generate_block(
                 metadata["label"] = entry.label
             blocks[index] = GaussianBlock(
                 samples=colored[position],
-                variances=entry.spec.gaussian_variances.copy(),
+                variances=entry.spec.gaussian_variances.copy(),  # reprolint: disable=hot-path-allocation (tiny per-entry metadata copy, caller-owned)
                 metadata=metadata,
             )
     return blocks  # type: ignore[return-value]

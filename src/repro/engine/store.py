@@ -209,6 +209,7 @@ class ArtifactStore:
         ``set_cache_dir`` at worst delays one lazy spill to the next hit,
         which the idempotent :meth:`put` absorbs.
         """
+        # reprolint: disable=lock-discipline (documented advisory read)
         return self._dir is not None
 
     @property

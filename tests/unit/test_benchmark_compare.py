@@ -228,3 +228,53 @@ class TestWarnOnly:
         out = capsys.readouterr().out
         assert code == 0
         assert "WARNING" not in out
+
+
+class TestUnitFlag:
+    """The ``--unit`` display flag (added for peak-allocation reports)."""
+
+    def test_default_unit_is_seconds(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 2.0})
+        assert compare_benchmarks.main([str(previous), str(current)]) == 1
+        assert "1s -> 2s" in capsys.readouterr().out
+
+    def test_unit_bytes_formats_report_lines(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1000.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 2000.0})
+        code = compare_benchmarks.main(
+            [str(previous), str(current), "--unit", "B"]
+        )
+        assert code == 1
+        assert "1000B -> 2000B" in capsys.readouterr().out
+
+    def test_unit_is_display_only_not_gating(self, tmp_path, capsys):
+        # Same medians, any known unit: never a regression.
+        previous = _write_report(tmp_path / "prev.json", {"a": 512.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 512.0})
+        code = compare_benchmarks.main(
+            [str(previous), str(current), "--unit", "B"]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_medians_accepts_unit_keyword(self):
+        regressions, notes = compare_benchmarks.compare_medians(
+            {"a": 100.0}, {"a": 200.0}, threshold=0.25, unit="B"
+        )
+        assert len(regressions) == 1
+        assert "100B" in regressions[0]
+        assert notes == []
+
+    def test_unknown_unit_is_an_argparse_error(self, tmp_path, capsys):
+        previous = _write_report(tmp_path / "prev.json", {"a": 1.0})
+        current = _write_report(tmp_path / "cur.json", {"a": 1.0})
+        with pytest.raises(SystemExit) as excinfo:
+            compare_benchmarks.main(
+                [str(previous), str(current), "--unit", "parsecs"]
+            )
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_known_units_are_seconds_and_bytes(self):
+        assert compare_benchmarks.KNOWN_UNITS == ("s", "B")

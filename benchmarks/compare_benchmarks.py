@@ -41,10 +41,11 @@ from typing import Dict, List, Optional, Tuple
 
 __all__ = ["KNOWN_UNITS", "load_medians", "compare_medians", "main"]
 
-#: Units the report formats: seconds (timing medians) and bytes
-#: (peak-allocation medians).  ``--unit`` rejects anything else up front —
-#: a typo'd unit would otherwise pass silently into every report line.
-KNOWN_UNITS = ("s", "B")
+#: Units the report formats: seconds (timing medians), bytes
+#: (peak-allocation medians), and milliseconds (serving-latency quantiles).
+#: ``--unit`` rejects anything else up front — a typo'd unit would otherwise
+#: pass silently into every report line.
+KNOWN_UNITS = ("s", "B", "ms")
 
 
 def load_medians(path: Path) -> Optional[Dict[str, float]]:
@@ -132,7 +133,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=KNOWN_UNITS,
         default="s",
         help="display unit for medians in the report (default: s; use B for "
-        "peak-allocation reports)",
+        "peak-allocation reports, ms for serving-latency reports)",
     )
     args = parser.parse_args(argv)
 

@@ -149,6 +149,9 @@ def _merge_results(
         ),
         plan_cache_hits=sum(p.compile_report.plan_cache_hits for p in partials),
         plan_memory_hits=sum(p.compile_report.plan_memory_hits for p in partials),
+        plan_inflight_hits=sum(
+            p.compile_report.plan_inflight_hits for p in partials
+        ),
     )
     return BatchResult(
         blocks=tuple(blocks),
@@ -239,6 +242,7 @@ class Simulator:
         self._max_workers = max_workers
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        self._pending_submissions = 0
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -268,6 +272,19 @@ class Simulator:
     def max_workers(self) -> Optional[int]:
         """The session's worker budget (``None`` means in-process)."""
         return self._max_workers
+
+    @property
+    def pending_submissions(self) -> int:
+        """Submissions whose thread-pool futures have not resolved yet.
+
+        Incremented when :meth:`submit` enqueues work and decremented when
+        the underlying future completes, fails, or is cancelled — a
+        submission cancelled before it starts releases its slot without
+        ever running, so this returning to zero means no orphaned work
+        remains queued in the pool.
+        """
+        with self._pool_lock:
+            return self._pending_submissions
 
     @property
     def engine(self) -> SimulationEngine:
@@ -431,8 +448,15 @@ class Simulator:
         synchronous :meth:`run` would (the thread pool only changes *when*
         the work happens, never what it computes: every entry draws from its
         own seeded stream and the decomposition cache is thread-safe).
+
+        Cancelling the returned awaitable is cooperative and conserves
+        resources: a submission still queued behind busy workers is
+        cancelled *before it starts* (its pool slot is released and the
+        work never runs), while one already executing runs to completion
+        in its thread but the awaiting coroutine unwinds immediately.
+        Either way :attr:`pending_submissions` drops back when the
+        underlying future resolves — cancellation never leaks a slot.
         """
-        loop = asyncio.get_running_loop()
         call = functools.partial(
             self.run,
             work,
@@ -441,7 +465,26 @@ class Simulator:
             seed=seed,
             seeds=seeds,
         )
-        return await loop.run_in_executor(self._executor(), call)
+        executor = self._executor()
+        with self._pool_lock:
+            self._pending_submissions += 1
+        try:
+            future = executor.submit(call)
+        except BaseException:
+            with self._pool_lock:
+                self._pending_submissions -= 1
+            raise
+
+        def _release(_finished) -> None:
+            with self._pool_lock:
+                self._pending_submissions -= 1
+
+        # Fires on completion, failure, *and* successful cancellation, so
+        # the pending counter is conserved on every path.
+        future.add_done_callback(_release)
+        # wrap_future chains cancellation: cancelling the awaitable cancels
+        # the pool future, which releases a not-yet-started slot.
+        return await asyncio.wrap_future(future)
 
     # ------------------------------------------------------------------ #
     # One-call generation (the classic helpers, session-scoped)

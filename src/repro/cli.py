@@ -19,6 +19,13 @@ Subcommands
     looped real-time generation vs. the batched IDFT substrate, with the
     Doppler filter-reuse counters (filters built vs. entries served)
     reported alongside the speedups.
+``serve [--host H] [--port P] [--max-queue Q] [--dispatch-slots S]``
+    Run the envelope-serving HTTP front end over one warm ``Simulator``
+    session (see the "Serving layer" section of ``docs/ARCHITECTURE.md``):
+    plan submission, status polling, cancellation, and streamed envelope
+    delivery, with a bounded submission queue (``429`` + ``Retry-After``
+    under backpressure), per-client fair scheduling, and in-flight
+    request coalescing.
 ``cache {stats,clear} [--cache-dir DIR]``
     Inspect or empty the persistent artifact cache — all three store
     namespaces: decompositions, Doppler filters, and compiled plans —
@@ -177,6 +184,45 @@ def build_parser() -> argparse.ArgumentParser:
     _backend_argument(batch_parser)
     _cache_dir_argument(batch_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the envelope-serving HTTP front end",
+        description=(
+            "Start a long-running HTTP server over one warm Simulator "
+            "session: plan submission (POST /v1/plans), status polling, "
+            "cancellation, and streamed envelope delivery, with a bounded "
+            "submission queue (429 + Retry-After under backpressure), "
+            "per-client fair scheduling, and in-flight request coalescing."
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8437, help="bind port (default: 8437)"
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="queued-flight bound before submissions are rejected with "
+        "backpressure (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--dispatch-slots",
+        type=int,
+        default=4,
+        help="flights executing concurrently (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="simulator thread-pool size (default: --dispatch-slots)",
+    )
+    _backend_argument(serve_parser)
+    _cache_dir_argument(serve_parser)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent artifact cache"
     )
@@ -301,6 +347,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         for experiment_id in list_experiments():
             print(experiment_id)
+        return 0
+
+    if args.command == "serve":
+        from .api import Simulator
+        from .service.http import run_server
+
+        if args.max_queue < 1:
+            raise SystemExit(f"--max-queue must be >= 1, got {args.max_queue}")
+        if args.dispatch_slots < 1:
+            raise SystemExit(
+                f"--dispatch-slots must be >= 1, got {args.dispatch_slots}"
+            )
+        simulator = Simulator(
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+            max_workers=args.max_workers or args.dispatch_slots,
+        )
+        print(
+            f"serving envelopes on http://{args.host}:{args.port} "
+            f"(max_queue={args.max_queue}, dispatch_slots={args.dispatch_slots}, "
+            f"backend={simulator.backend.name}) — Ctrl-C to stop"
+        )
+        try:
+            run_server(
+                args.host,
+                args.port,
+                simulator=simulator,
+                max_queue=args.max_queue,
+                dispatch_slots=args.dispatch_slots,
+            )
+        finally:
+            simulator.close()
         return 0
 
     if args.command == "cache":

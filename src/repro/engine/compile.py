@@ -35,6 +35,7 @@ entry (the cache key is Doppler-agnostic).
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
@@ -96,6 +97,12 @@ class CompileReport:
         zero disk I/O, zero array copies, only the per-call seed/label
         re-bind; 0 when the hit loaded a disk artifact (or on a computed
         pass).  Always ``<= plan_cache_hits``.
+    plan_inflight_hits:
+        1 when this pass *coalesced* onto a concurrent compilation of the
+        same key (the singleflight table of
+        :class:`repro.engine.plancache.CompiledPlanCache`): the thread
+        waited for the in-flight leader and was then served from the warm
+        cache instead of compiling.  Implies ``plan_cache_hits == 1``.
     """
 
     n_entries: int
@@ -109,6 +116,7 @@ class CompileReport:
     doppler_filter_cache_hits: int = 0
     plan_cache_hits: int = 0
     plan_memory_hits: int = 0
+    plan_inflight_hits: int = 0
 
     @property
     def deduplicated(self) -> int:
@@ -254,9 +262,12 @@ def compile_plan(
         ``plans/`` tier.  Pass a ``CompiledPlanCache`` explicitly to
         combine an explicit decomposition cache with plan caching.
     """
-    from ..core.coloring import compute_coloring_batch
-    from .filters import DopplerFilterCache, default_filter_cache
-    from .plancache import CompiledPlanCache, default_plan_cache
+    from .filters import default_filter_cache
+    from .plancache import (
+        CompiledPlanCache,
+        compiled_plan_cache_key,
+        default_plan_cache,
+    )
 
     backend_obj = resolve_backend(backend)
     cache_token = backend_obj.cache_token
@@ -272,6 +283,52 @@ def compile_plan(
     loaded = plan_cache.lookup(plan, defaults=defaults, backend=backend_obj)
     if loaded is not None:
         return loaded
+
+    if not plan_cache.enabled:
+        # Detached plan cache: no tier to share results through, so no
+        # singleflight either — compile directly (the documented no-op).
+        return _compile_plan_fresh(
+            plan, cache, defaults, backend_obj, cache_token, filter_cache, plan_cache
+        )
+
+    # In-flight coalescing (singleflight): when another thread is already
+    # compiling this exact (plan, backend) key, wait for its result to land
+    # in the cache instead of duplicating the eigh/cholesky work.  Exactly
+    # one waiter per round becomes the leader; a leader that fails wakes the
+    # waiters, which miss and elect a new leader — so the loop terminates.
+    inflight_key = compiled_plan_cache_key(
+        plan, defaults=defaults, cache_token=cache_token
+    )
+    while True:
+        event = plan_cache.join_inflight(inflight_key)
+        if event is None:
+            break  # this thread leads the compile for the key
+        event.wait()
+        loaded = plan_cache.lookup(plan, defaults=defaults, backend=backend_obj)
+        if loaded is not None:
+            return dataclasses.replace(
+                loaded,
+                report=dataclasses.replace(loaded.report, plan_inflight_hits=1),
+            )
+    try:
+        return _compile_plan_fresh(
+            plan, cache, defaults, backend_obj, cache_token, filter_cache, plan_cache
+        )
+    finally:
+        plan_cache.finish_inflight(inflight_key)
+
+
+def _compile_plan_fresh(
+    plan: SimulationPlan,
+    cache: DecompositionCache,
+    defaults: NumericDefaults,
+    backend_obj: LinalgBackend,
+    cache_token: str,
+    filter_cache: "DopplerFilterCache",
+    plan_cache: "CompiledPlanCache",
+) -> CompiledPlan:
+    """The uncached compilation pass: group, deduplicate, decompose, spill."""
+    from ..core.coloring import compute_coloring_batch
 
     start = time.perf_counter()
 

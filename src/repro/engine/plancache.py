@@ -465,6 +465,12 @@ class PlanCacheStats(StoreStats):
     counters are unchanged by the tier above them), ``memory_evictions``
     counts byte-bound LRU evictions, and ``memory_entries`` /
     ``memory_bytes`` describe current residency.
+
+    The singleflight counters describe cross-thread compile coalescing
+    (see :meth:`CompiledPlanCache.join_inflight`): ``inflight_leads``
+    counts compilations that registered as the in-flight leader of their
+    key, ``inflight_coalesced`` counts compilations that attached to a
+    concurrent leader instead of duplicating its work.
     """
 
     memory_hits: int = 0
@@ -472,6 +478,8 @@ class PlanCacheStats(StoreStats):
     memory_evictions: int = 0
     memory_entries: int = 0
     memory_bytes: int = 0
+    inflight_leads: int = 0
+    inflight_coalesced: int = 0
 
     @property
     def lookups(self) -> int:
@@ -534,6 +542,14 @@ class CompiledPlanCache:
         self._memory_hits = 0
         self._memory_misses = 0
         self._memory_evictions = 0
+        # Singleflight table of in-flight compilations: key -> the event the
+        # leader sets once its result landed in the cache (or its compile
+        # failed).  Guarded by its own lock so waiters registering never
+        # contend with memory-tier traffic.
+        self._inflight: Dict[str, threading.Event] = {}
+        self._inflight_lock = threading.Lock()
+        self._inflight_leads = 0
+        self._inflight_coalesced = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -558,6 +574,11 @@ class CompiledPlanCache:
         )
 
     @property
+    def enabled(self) -> bool:
+        """Whether any tier is active (a detached cache is a strict no-op)."""
+        return self.memory_max_bytes > 0 or self._store.cache_dir is not None
+
+    @property
     def stats(self) -> PlanCacheStats:
         """Snapshot of the per-tier hit/miss/corruption/eviction counters."""
         with self._memory_lock:
@@ -568,7 +589,12 @@ class CompiledPlanCache:
                 "memory_entries": len(self._memory),
                 "memory_bytes": self._memory_bytes,
             }
-        return PlanCacheStats(**asdict(self._store.stats), **memory)
+        with self._inflight_lock:
+            inflight = {
+                "inflight_leads": self._inflight_leads,
+                "inflight_coalesced": self._inflight_coalesced,
+            }
+        return PlanCacheStats(**asdict(self._store.stats), **memory, **inflight)
 
     def set_cache_dir(self, cache_dir: Union[None, str, Path]) -> None:
         """Attach (or detach, with ``None``) the persistent disk tier.
@@ -700,6 +726,44 @@ class CompiledPlanCache:
         self._store.invalidate(key)
 
     # ------------------------------------------------------------------ #
+    # In-flight compile coalescing (singleflight)
+    # ------------------------------------------------------------------ #
+    def join_inflight(self, key: str) -> Optional[threading.Event]:
+        """Register interest in the in-flight compilation of ``key``.
+
+        Returns ``None`` when the caller becomes the **leader** of the key
+        — it must compile, :meth:`put` the result, and then call
+        :meth:`finish_inflight` (from a ``finally``) so waiters re-probe a
+        warm cache.  Returns the leader's event otherwise: the caller
+        waits on it, then re-probes :meth:`lookup` instead of duplicating
+        the compile.  A detached cache never registers (with no tier to
+        share results through, waiters would have nothing to re-probe), so
+        the documented no-op contract is preserved.
+        """
+        if not self.enabled:
+            return None
+        with self._inflight_lock:
+            event = self._inflight.get(key)
+            if event is None:
+                self._inflight[key] = threading.Event()
+                self._inflight_leads += 1
+                return None
+            self._inflight_coalesced += 1
+            return event
+
+    def finish_inflight(self, key: str) -> None:
+        """Release the in-flight entry of ``key`` and wake every waiter.
+
+        Safe for keys that never registered (the detached-cache case) —
+        leaders call this from a ``finally`` so a failed compile can never
+        strand its waiters; they wake, miss, and elect a new leader.
+        """
+        with self._inflight_lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    # ------------------------------------------------------------------ #
     # Memory-tier internals
     # ------------------------------------------------------------------ #
     def _memory_drop(self, key: str) -> None:
@@ -773,6 +837,9 @@ class CompiledPlanCache:
             self._memory_hits = 0
             self._memory_misses = 0
             self._memory_evictions = 0
+        with self._inflight_lock:
+            self._inflight_leads = 0
+            self._inflight_coalesced = 0
 
 
 #: Process-wide compiled-plan cache (created lazily so ``REPRO_CACHE_DIR``

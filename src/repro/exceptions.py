@@ -27,6 +27,8 @@ __all__ = [
     "ExperimentError",
     "ParallelExecutionError",
     "BackendError",
+    "ServiceError",
+    "BackpressureError",
 ]
 
 
@@ -116,3 +118,26 @@ class BackendError(ReproError, RuntimeError):
     backend name is not registered or its import-gated dependency (scipy,
     cupy, torch) is missing from the environment.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The serving layer rejected or could not satisfy a request.
+
+    Raised by :class:`repro.service.EnvelopeService` for protocol-level
+    failures: submitting to a stopped service, requesting the result of an
+    unknown request id, or malformed wire payloads.
+    """
+
+
+class BackpressureError(ServiceError):
+    """The service's bounded submission queue is full.
+
+    The request was rejected *without* blocking the event loop; the client
+    should retry after ``retry_after`` seconds (the HTTP front end maps
+    this to ``429 Too Many Requests`` with a ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        #: Suggested client back-off in seconds before resubmitting.
+        self.retry_after = float(retry_after)

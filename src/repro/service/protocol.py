@@ -1,0 +1,233 @@
+"""The JSON wire protocol of the serving layer: plans in, envelopes out.
+
+Plans travel as plain JSON — covariance matrices as nested ``re``/``im``
+float lists — which round-trips **bit-exactly**: Python's JSON encoder
+emits the shortest repr that parses back to the same IEEE-754 double, so a
+decoded plan hashes to the same compiled-plan key and produces the same
+samples as the in-process original.  Results stream as NDJSON: one header
+line (sample count, backend, the full :class:`CompileReport`), one line
+per entry carrying its complex sample block as a base64 ``.npy`` payload
+(exact bytes, no text round-trip), and one terminator line — a shape the
+HTTP front end maps 1:1 onto chunked transfer encoding.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+from dataclasses import asdict
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine import DopplerSpec, SimulationPlan
+from ..engine.result import BatchResult
+from ..exceptions import SpecificationError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "plan_to_payload",
+    "plan_from_payload",
+    "encode_array",
+    "decode_array",
+    "result_to_lines",
+    "result_from_lines",
+]
+
+#: Version stamped on every payload; decoding rejects unknown versions.
+PROTOCOL_VERSION = 1
+
+
+def encode_array(array: np.ndarray) -> str:
+    """Base64 ``.npy`` serialization of one array (exact bytes)."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    return base64.b64encode(buffer.getvalue()).decode("ascii")
+
+
+def decode_array(encoded: str) -> np.ndarray:
+    """Inverse of :func:`encode_array` — bit-identical round-trip."""
+    buffer = io.BytesIO(base64.b64decode(encoded.encode("ascii")))
+    return np.load(buffer, allow_pickle=False)
+
+
+def _doppler_to_payload(doppler: DopplerSpec) -> Dict[str, Any]:
+    return {
+        "normalized_doppler": float(doppler.normalized_doppler),
+        "n_points": int(doppler.n_points),
+        "input_variance_per_dim": float(doppler.input_variance_per_dim),
+        "compensate_variance": bool(doppler.compensate_variance),
+    }
+
+
+def plan_to_payload(
+    plan: SimulationPlan, n_samples: int, *, client_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """Encode one ``(plan, n_samples)`` submission as a JSON-able dict."""
+    entries = []
+    for entry in plan:
+        matrix = entry.spec.matrix
+        entries.append(
+            {
+                "matrix": {
+                    "re": matrix.real.tolist(),
+                    "im": matrix.imag.tolist(),
+                },
+                "seed": None if entry.seed is None else int(entry.seed),
+                "coloring_method": entry.coloring_method,
+                "psd_method": entry.psd_method,
+                "epsilon": float(entry.epsilon),
+                "sample_variance": float(entry.sample_variance),
+                "doppler": (
+                    None
+                    if entry.doppler is None
+                    else _doppler_to_payload(entry.doppler)
+                ),
+                "label": entry.label,
+            }
+        )
+    payload: Dict[str, Any] = {
+        "version": PROTOCOL_VERSION,
+        "n_samples": int(n_samples),
+        "entries": entries,
+    }
+    if client_id is not None:
+        payload["client_id"] = str(client_id)
+    return payload
+
+
+def plan_from_payload(payload: Dict[str, Any]) -> Tuple[SimulationPlan, int]:
+    """Decode a submission payload back into ``(plan, n_samples)``.
+
+    Raises :class:`~repro.exceptions.SpecificationError` on structural
+    problems (unknown version, missing fields, ragged matrices); the
+    numeric validation of covariances happens downstream in the plan, so
+    a malformed matrix fails the request, not the service.
+    """
+    if not isinstance(payload, dict):
+        raise SpecificationError("submission payload must be a JSON object")
+    version = payload.get("version")
+    if version != PROTOCOL_VERSION:
+        raise SpecificationError(
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks {PROTOCOL_VERSION})"
+        )
+    try:
+        n_samples = int(payload["n_samples"])
+        raw_entries = payload["entries"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpecificationError(f"malformed submission payload: {exc}") from exc
+    if not isinstance(raw_entries, list) or not raw_entries:
+        raise SpecificationError("submission payload needs a non-empty entry list")
+    plan = SimulationPlan()
+    for index, raw in enumerate(raw_entries):
+        try:
+            matrix_obj = raw["matrix"]
+            real = np.asarray(matrix_obj["re"], dtype=float)
+            imag = np.asarray(matrix_obj["im"], dtype=float)
+            doppler_obj = raw.get("doppler")
+            doppler = (
+                None
+                if doppler_obj is None
+                else DopplerSpec(
+                    normalized_doppler=float(doppler_obj["normalized_doppler"]),
+                    n_points=int(doppler_obj.get("n_points", 4096)),
+                    input_variance_per_dim=float(
+                        doppler_obj.get("input_variance_per_dim", 0.5)
+                    ),
+                    compensate_variance=bool(
+                        doppler_obj.get("compensate_variance", True)
+                    ),
+                )
+            )
+            seed = raw.get("seed")
+            plan.add(
+                real + 1j * imag,
+                seed=None if seed is None else int(seed),
+                coloring_method=str(raw.get("coloring_method", "eigen")),
+                psd_method=str(raw.get("psd_method", "clip")),
+                epsilon=float(raw.get("epsilon", 1e-6)),
+                sample_variance=float(raw.get("sample_variance", 1.0)),
+                doppler=doppler,
+                label=raw.get("label"),
+            )
+        except SpecificationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecificationError(
+                f"malformed plan entry at index {index}: {exc}"
+            ) from exc
+    return plan, n_samples
+
+
+def result_to_lines(result: BatchResult) -> Iterator[str]:
+    """Stream one :class:`BatchResult` as NDJSON lines (no trailing ``\\n``).
+
+    One header line, one line per entry block (base64 ``.npy`` samples —
+    decoding yields arrays bit-identical to the in-process result), one
+    terminator carrying the block count as an integrity check.
+    """
+    yield json.dumps(
+        {
+            "type": "result",
+            "version": PROTOCOL_VERSION,
+            "n_entries": len(result.blocks),
+            "n_samples": int(result.n_samples),
+            "backend": result.backend,
+            "execute_seconds": float(result.execute_seconds),
+            "compile_report": asdict(result.compile_report),
+        }
+    )
+    for index, block in enumerate(result.blocks):
+        yield json.dumps(
+            {
+                "type": "block",
+                "index": index,
+                "plan_index": block.metadata.get("plan_index", index),
+                "label": block.metadata.get("label"),
+                "npy": encode_array(block.samples),
+            }
+        )
+    yield json.dumps({"type": "end", "n_blocks": len(result.blocks)})
+
+
+def result_from_lines(lines: Iterator[str]) -> Dict[str, Any]:
+    """Decode a :func:`result_to_lines` stream (the client half).
+
+    Returns ``{"header": dict, "blocks": [ndarray, ...], "labels": [...]}``;
+    raises :class:`~repro.exceptions.SpecificationError` on a truncated or
+    out-of-order stream.
+    """
+    header = None
+    blocks: List[np.ndarray] = []
+    labels: List[Any] = []
+    terminated = False
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SpecificationError(f"malformed result line: {exc}") from exc
+        kind = record.get("type")
+        if kind == "result":
+            header = record
+        elif kind == "block":
+            if header is None:
+                raise SpecificationError("result stream: block before header")
+            blocks.append(decode_array(record["npy"]))
+            labels.append(record.get("label"))
+        elif kind == "end":
+            if record.get("n_blocks") != len(blocks):
+                raise SpecificationError(
+                    "result stream truncated: expected "
+                    f"{record.get('n_blocks')} blocks, got {len(blocks)}"
+                )
+            terminated = True
+        else:
+            raise SpecificationError(f"result stream: unknown record {kind!r}")
+    if header is None or not terminated:
+        raise SpecificationError("result stream truncated before terminator")
+    return {"header": header, "blocks": blocks, "labels": labels}

@@ -1,12 +1,135 @@
-"""Shared fixtures for the repro test-suite."""
+"""Shared fixtures for the repro test-suite.
+
+Besides the paper's reference covariances, this hosts the deterministic
+fault-injection harness of the serving-layer test pass: ``FlakyBackend``
+fails the Nth ``eigh`` call and ``FlakyStore`` fails the Nth disk
+``lookup``/``put``, so tests can prove that a mid-compile fault fails only
+the affected request — never the service loop — at an exactly chosen
+point.
+"""
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 import pytest
 
 from repro.core.covariance import CovarianceSpec
+from repro.engine.backends import NumpyBackend
+from repro.engine.store import ArtifactStore
 from repro.experiments import paper_values as pv
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic error the flaky fixtures raise."""
+
+
+class FlakyBackend(NumpyBackend):
+    """A numpy backend whose Nth ``eigh`` call fails deterministically.
+
+    ``fail_at`` is 1-based; ``fail_at=2`` serves the first decomposition
+    and fails the second.  Counting is thread-safe (compiles run on the
+    simulator's pool threads).  The backend advertises its own name and a
+    non-zero tolerance so it never shares cache namespaces with the real
+    numpy backend.
+    """
+
+    name = "flaky-numpy"
+    tolerance = 1e-300  # non-zero: never cache-aliased with numpy
+
+    def __init__(self, fail_at: int = 1) -> None:
+        self._fail_at = int(fail_at)
+        self._calls = 0
+        self._count_lock = threading.Lock()
+
+    @property
+    def eigh_calls(self) -> int:
+        with self._count_lock:
+            return self._calls
+
+    def eigh(self, stack):
+        with self._count_lock:
+            self._calls += 1
+            calls = self._calls
+        if calls == self._fail_at:
+            raise InjectedFault(f"injected backend fault at eigh call {calls}")
+        return super().eigh(stack)
+
+
+class FlakyStore(ArtifactStore):
+    """An artifact store whose Nth ``lookup`` or ``put`` fails.
+
+    ``operation`` selects which call site is instrumented; the chosen
+    call raises :class:`InjectedFault` the ``fail_at``-th time it runs
+    (1-based) and behaves normally otherwise.
+    """
+
+    def __init__(self, *args, fail_at: int = 1, operation: str = "lookup", **kwargs):
+        if operation not in ("lookup", "put"):
+            raise ValueError(f"operation must be 'lookup' or 'put', got {operation!r}")
+        super().__init__(*args, **kwargs)
+        self._fail_at = int(fail_at)
+        self._operation = operation
+        self._flaky_calls = 0
+        self._flaky_lock = threading.Lock()
+
+    def _trip(self, operation: str) -> None:
+        if operation != self._operation:
+            return
+        with self._flaky_lock:
+            self._flaky_calls += 1
+            calls = self._flaky_calls
+        if calls == self._fail_at:
+            raise InjectedFault(
+                f"injected store fault at {operation} call {calls}"
+            )
+
+    def lookup(self, key):
+        self._trip("lookup")
+        return super().lookup(key)
+
+    def put(self, key, payload):
+        self._trip("put")
+        return super().put(key, payload)
+
+
+@pytest.fixture()
+def flaky_backend():
+    """Factory for :class:`FlakyBackend` instances (``fail_at`` 1-based)."""
+
+    def _make(fail_at: int = 1) -> FlakyBackend:
+        return FlakyBackend(fail_at=fail_at)
+
+    return _make
+
+
+@pytest.fixture()
+def flaky_plan_cache(tmp_path):
+    """Factory for a disk-attached ``CompiledPlanCache`` with a flaky store.
+
+    The returned cache is fully functional (memory + disk tiers) except
+    that the Nth disk ``lookup``/``put`` raises :class:`InjectedFault` —
+    the deterministic stand-in for a failing filesystem under the plan
+    tier.
+    """
+    from repro.engine.plancache import CompiledPlanCache
+
+    def _make(fail_at: int = 1, operation: str = "lookup") -> CompiledPlanCache:
+        cache = CompiledPlanCache(cache_dir=tmp_path / "flaky-cache")
+        real_store = cache.artifact_store
+        cache._store = FlakyStore(
+            real_store.namespace,
+            dump=real_store._dump,
+            load=real_store._load,
+            cache_dir=tmp_path / "flaky-cache",
+            format_version=real_store._format_version,
+            fail_at=fail_at,
+            operation=operation,
+        )
+        return cache
+
+    return _make
 
 
 @pytest.fixture(scope="session")

@@ -51,6 +51,12 @@ def test_hot_modules_are_marked():
     module = ModuleInfo(idft, str(idft), idft.read_text(encoding="utf8"))
     assert module.hot_path_lines, "batched_doppler_blocks lost its hot-path marker"
 
+    serving_core = PACKAGE_DIR / "service" / "core.py"
+    module = ModuleInfo(
+        serving_core, str(serving_core), serving_core.read_text(encoding="utf8")
+    )
+    assert module.hot_module, "the serving core lost its hot-module marker"
+
 
 def test_lock_guarded_modules_produce_findings_when_unsuppressed():
     """The store's advisory lock-free read is a *suppressed* finding.

@@ -344,6 +344,61 @@ class TestSubmit:
         sim.close()
         assert sim.run(_plan(1), 4).n_entries == 1
 
+    def test_pending_submissions_tracks_lifecycle(self):
+        sim = Simulator(cache=DecompositionCache(), max_workers=2)
+        assert sim.pending_submissions == 0
+
+        async def one():
+            return await sim.submit(_plan(2, seed=3), 16)
+
+        result = asyncio.run(one())
+        assert result.n_entries == 2
+        assert sim.pending_submissions == 0
+        sim.close()
+
+    def test_cancelled_submit_releases_pool_slot(self):
+        """Regression: cancelling the awaitable must not orphan the work.
+
+        With a single pool thread deliberately occupied, the submitted call
+        has not started yet; cancelling the asyncio side must propagate to
+        the pool future, drop the pending-submission count back to zero,
+        and the cancelled work must never run.
+        """
+        import threading
+
+        from conftest import FlakyBackend
+
+        backend = FlakyBackend(fail_at=0)  # fail_at=0 never fires: pure counter
+        sim = Simulator(backend=backend, cache=DecompositionCache(), max_workers=1)
+        gate = threading.Event()
+        release = threading.Event()
+
+        async def scenario():
+            # Occupy the only pool thread so the next submit stays pending.
+            blocker = sim._executor().submit(
+                lambda: (gate.set(), release.wait(5))
+            )
+            await asyncio.to_thread(gate.wait, 5)
+            task = asyncio.ensure_future(sim.submit(_plan(1, seed=9), 64))
+            await asyncio.sleep(0)
+            assert sim.pending_submissions == 1
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # The done-callback may land a beat after the cancellation.
+            for _ in range(200):
+                if sim.pending_submissions == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert sim.pending_submissions == 0
+            release.set()
+            blocker.result(timeout=5)
+
+        asyncio.run(scenario())
+        # The cancelled compile never reached the backend.
+        assert backend.eigh_calls == 0
+        sim.close()
+
 
 class TestRunPlanParallelWrapper:
     def test_wrapper_matches_session(self):

@@ -276,5 +276,19 @@ class TestUnitFlag:
         assert excinfo.value.code == 2
         assert "invalid choice" in capsys.readouterr().err
 
-    def test_known_units_are_seconds_and_bytes(self):
-        assert compare_benchmarks.KNOWN_UNITS == ("s", "B")
+    def test_known_units_are_seconds_bytes_and_milliseconds(self):
+        assert compare_benchmarks.KNOWN_UNITS == ("s", "B", "ms")
+
+    def test_millisecond_reports_display_ms(self, tmp_path, capsys):
+        previous = _write_report(
+            tmp_path / "prev.json", {"service_latency_p95_ms": 10.0}
+        )
+        current = _write_report(
+            tmp_path / "cur.json", {"service_latency_p95_ms": 20.0}
+        )
+        code = compare_benchmarks.main(
+            [str(previous), str(current), "--unit", "ms", "--threshold", "0.5"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "10ms -> 20ms" in out

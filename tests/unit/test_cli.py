@@ -34,6 +34,41 @@ class TestParser:
         assert args.branches == 3
         assert args.samples == 32
 
+    def test_serve_command_parses_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8437
+        assert args.max_queue == 64
+        assert args.dispatch_slots == 4
+        assert args.max_workers is None
+
+    def test_serve_command_parses_overrides(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--host", "0.0.0.0",
+                "--port", "0",
+                "--max-queue", "8",
+                "--dispatch-slots", "2",
+                "--max-workers", "6",
+                "--backend", "scipy",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.max_queue == 8
+        assert args.dispatch_slots == 2
+        assert args.max_workers == 6
+        assert args.backend == "scipy"
+
+    def test_serve_rejects_degenerate_limits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--max-queue", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--dispatch-slots", "0"])
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):

@@ -496,3 +496,164 @@ class TestMaintenance:
             plan_cache=cache,
         )
         assert compiled.report.plan_cache_hits == 1
+
+
+class TestInflightSingleflight:
+    """The compile singleflight tier: one fresh compile per key, ever."""
+
+    def test_join_finish_lead_and_follow(self, tmp_path):
+        cache = CompiledPlanCache(tmp_path)
+        assert cache.enabled
+        assert cache.join_inflight("k") is None  # first caller leads
+        event = cache.join_inflight("k")  # second coalesces
+        assert event is not None and not event.is_set()
+        cache.finish_inflight("k")
+        assert event.is_set()
+        # The finished key is gone: the next caller leads a fresh compile.
+        assert cache.join_inflight("k") is None
+        cache.finish_inflight("k")
+        stats = cache.stats
+        assert stats.inflight_leads == 2
+        assert stats.inflight_coalesced == 1
+
+    def test_detached_cache_is_strict_noop(self):
+        cache = CompiledPlanCache()
+        assert not cache.enabled
+        # A detached cache never registers leaders: both calls are no-ops.
+        assert cache.join_inflight("k") is None
+        assert cache.join_inflight("k") is None
+        cache.finish_inflight("k")  # harmless on an empty table
+        stats = cache.stats
+        assert stats.inflight_leads == 0
+        assert stats.inflight_coalesced == 0
+
+    def test_pure_memory_tier_enables_singleflight(self):
+        cache = CompiledPlanCache(memory_max_bytes=1024 * 1024)
+        assert cache.enabled
+        assert cache.join_inflight("k") is None
+        assert cache.join_inflight("k") is not None
+        cache.finish_inflight("k")
+
+    def test_reset_stats_zeroes_inflight_counters(self, tmp_path):
+        cache = CompiledPlanCache(tmp_path)
+        cache.join_inflight("k")
+        cache.join_inflight("k")
+        cache.finish_inflight("k")
+        cache.reset_stats()
+        stats = cache.stats
+        assert stats.inflight_leads == 0
+        assert stats.inflight_coalesced == 0
+
+    def test_concurrent_equal_compiles_share_one_fresh_compile(
+        self, base_matrix, tmp_path
+    ):
+        """N threads, equal plan hash: one leader compiles, N-1 coalesce."""
+        import threading
+
+        from repro.engine.backends import NumpyBackend
+
+        n_threads = 4
+
+        class GatedBackend(NumpyBackend):
+            name = "gated-numpy"
+            tolerance = 1e-299
+
+            def __init__(self):
+                self.entered = threading.Event()
+                self.release = threading.Event()
+                self.eigh_calls = 0
+                self._lock = threading.Lock()
+
+            def eigh(self, stack):
+                with self._lock:
+                    self.eigh_calls += 1
+                self.entered.set()
+                if not self.release.wait(timeout=10):  # pragma: no cover
+                    raise RuntimeError("gate never released")
+                return super().eigh(stack)
+
+        backend = GatedBackend()
+        cache = CompiledPlanCache(tmp_path)
+        decomp = DecompositionCache()
+        filters = DopplerFilterCache()
+        results = [None] * n_threads
+        errors = []
+
+        def worker(index):
+            # Same matrix, different seeds: equal compiled-plan hash.
+            plan = SimulationPlan()
+            plan.add(base_matrix, seed=100 + index)
+            try:
+                results[index] = compile_plan(
+                    plan,
+                    cache=decomp,
+                    filter_cache=filters,
+                    plan_cache=cache,
+                    backend=backend,
+                )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        # The leader is stalled inside eigh; wait until every other thread
+        # has registered as an in-flight follower, then open the gate.
+        assert backend.entered.wait(timeout=10)
+        deadline = 100
+        while cache.stats.inflight_coalesced < n_threads - 1 and deadline:
+            deadline -= 1
+            threading.Event().wait(0.02)
+        assert cache.stats.inflight_coalesced == n_threads - 1
+        backend.release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+
+        # Exactly one fresh compile: one leader, every follower cache-fed.
+        stats = cache.stats
+        assert stats.inflight_leads == 1
+        leaders = [r for r in results if r.report.plan_cache_hits == 0]
+        followers = [r for r in results if r.report.plan_cache_hits == 1]
+        assert len(leaders) == 1
+        assert len(followers) == n_threads - 1
+        assert all(r.report.plan_inflight_hits == 1 for r in followers)
+        assert leaders[0].report.plan_inflight_hits == 0
+
+    def test_leader_failure_releases_key_for_reelection(self, base_matrix, tmp_path):
+        """A failing leader must not strand followers or poison the key."""
+        from conftest import FlakyBackend, InjectedFault
+
+        backend = FlakyBackend(fail_at=1)
+        cache = CompiledPlanCache(tmp_path)
+        plan = SimulationPlan()
+        plan.add(base_matrix, seed=7)
+        with pytest.raises(InjectedFault):
+            compile_plan(
+                plan,
+                cache=DecompositionCache(),
+                filter_cache=DopplerFilterCache(),
+                plan_cache=cache,
+                backend=backend,
+            )
+        # The in-flight table is clean: no stuck event for the key.
+        assert cache._inflight == {}
+        # The next compile of the same plan leads afresh and succeeds.
+        compiled = compile_plan(
+            plan,
+            cache=DecompositionCache(),
+            filter_cache=DopplerFilterCache(),
+            plan_cache=cache,
+            backend=backend,
+        )
+        assert compiled.report.plan_cache_hits == 0
+        assert cache.stats.inflight_leads == 2
+
+
+class TestStatsFields:
+    def test_stats_carry_inflight_counters(self, tmp_path):
+        stats = CompiledPlanCache(tmp_path).stats
+        assert stats.inflight_leads == 0
+        assert stats.inflight_coalesced == 0

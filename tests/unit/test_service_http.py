@@ -1,0 +1,359 @@
+"""End-to-end tests of the HTTP front end (:mod:`repro.service.http`).
+
+Each test boots a real :class:`ServiceHTTPServer` on an ephemeral port and
+talks to it over raw asyncio connections — no HTTP client library — so the
+status lines, headers, and chunked framing on the wire are what is being
+asserted, not a client's interpretation of them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import Simulator
+from repro.engine import SimulationPlan
+from repro.engine.backends import NumpyBackend
+from repro.engine.cache import DecompositionCache
+from repro.service import (
+    EnvelopeService,
+    ServiceHTTPServer,
+    plan_to_payload,
+    result_from_lines,
+)
+
+from conftest import FlakyBackend
+
+BASE = np.array([[1.0, 0.45 + 0.15j], [0.45 - 0.15j, 1.7]], dtype=complex)
+
+
+def _plan(seed=7, scale=1.0):
+    plan = SimulationPlan()
+    plan.add(scale * BASE, seed=seed)
+    return plan
+
+
+class GatedBackend(NumpyBackend):
+    """A numpy backend whose ``eigh`` blocks until the test releases it."""
+
+    name = "gated-numpy"
+    tolerance = 1e-299  # never cache-aliased with numpy
+
+    def __init__(self) -> None:
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def eigh(self, stack):
+        self.entered.set()
+        if not self.release.wait(timeout=10):
+            raise RuntimeError("gate never released")  # pragma: no cover
+        return super().eigh(stack)
+
+
+async def _request(port, method, path, body=None):
+    """One HTTP/1.1 exchange; returns (status, headers, raw body bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode("utf8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    )
+    writer.write(head.encode("ascii") + payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except Exception:
+        pass
+    return status, headers, raw
+
+
+def _dechunk(data: bytes) -> bytes:
+    """Decode HTTP/1.1 chunked transfer encoding."""
+    out = bytearray()
+    index = 0
+    while True:
+        newline = data.index(b"\r\n", index)
+        size = int(data[index:newline], 16)
+        if size == 0:
+            break
+        start = newline + 2
+        out.extend(data[start : start + size])
+        index = start + size + 2
+    return bytes(out)
+
+
+async def _submit_raw(port, raw_bytes):
+    """POST raw (possibly invalid) bytes to /v1/plans."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = (
+        f"POST /v1/plans HTTP/1.1\r\nHost: localhost\r\n"
+        f"Content-Length: {len(raw_bytes)}\r\n\r\n"
+    )
+    writer.write(head.encode("ascii") + raw_bytes)
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except Exception:
+        pass
+    return status
+
+
+def _serve(simulator, **service_kwargs):
+    """Async context manager: a started service + server on port 0."""
+
+    class _Ctx:
+        async def __aenter__(self):
+            self.service = EnvelopeService(simulator, **service_kwargs)
+            await self.service.start()
+            self.server = ServiceHTTPServer(self.service, "127.0.0.1", 0)
+            await self.server.start()
+            return self.service, self.server
+
+        async def __aexit__(self, *exc_info):
+            await self.server.stop()
+            await self.service.stop()
+
+    return _Ctx()
+
+
+class TestRoutes:
+    def test_healthz_and_metrics(self):
+        async def scenario():
+            sim = Simulator(cache=DecompositionCache())
+            async with _serve(sim) as (_service, server):
+                status, _headers, raw = await _request(server.port, "GET", "/healthz")
+                assert status == 200
+                assert json.loads(raw) == {"status": "ok", "running": True}
+                status, _headers, raw = await _request(
+                    server.port, "GET", "/v1/metrics"
+                )
+                assert status == 200
+                metrics = json.loads(raw)
+                assert metrics["requests_submitted"] == 0
+                assert metrics["max_queue"] == 64
+            sim.close()
+
+        asyncio.run(scenario())
+
+    def test_unknown_route_and_unknown_ids_404(self):
+        async def scenario():
+            sim = Simulator(cache=DecompositionCache())
+            async with _serve(sim) as (_service, server):
+                for method, path in (
+                    ("GET", "/nope"),
+                    ("PUT", "/v1/plans"),
+                    ("GET", "/v1/plans/req-000001"),
+                    ("DELETE", "/v1/plans/req-000001"),
+                    ("GET", "/v1/plans/req-000001/result"),
+                ):
+                    status, _headers, _raw = await _request(
+                        server.port, method, path
+                    )
+                    assert status == 404, (method, path)
+            sim.close()
+
+        asyncio.run(scenario())
+
+    def test_submit_poll_stream_round_trip_is_bit_identical(self):
+        async def scenario():
+            sim = Simulator(cache=DecompositionCache())
+            async with _serve(sim) as (_service, server):
+                payload = plan_to_payload(_plan(seed=5), 96, client_id="wire")
+                status, _headers, raw = await _request(
+                    server.port, "POST", "/v1/plans", body=payload
+                )
+                assert status == 202
+                submitted = json.loads(raw)
+                request_id = submitted["request_id"]
+                status, _headers, raw = await _request(
+                    server.port, "GET", f"/v1/plans/{request_id}"
+                )
+                assert status == 200
+                assert json.loads(raw)["client_id"] == "wire"
+                status, headers, raw = await _request(
+                    server.port, "GET", f"/v1/plans/{request_id}/result"
+                )
+                assert status == 200
+                assert headers["transfer-encoding"] == "chunked"
+                assert headers["content-type"] == "application/x-ndjson"
+                lines = _dechunk(raw).decode("utf8").splitlines()
+                return result_from_lines(iter(lines))
+            sim.close()
+
+        decoded = asyncio.run(scenario())
+        reference_sim = Simulator(cache=DecompositionCache())
+        try:
+            reference = reference_sim.run(_plan(seed=5), 96)
+        finally:
+            reference_sim.close()
+        assert np.array_equal(decoded["blocks"][0], reference.blocks[0].samples)
+
+    def test_bad_submissions_400(self):
+        async def scenario():
+            sim = Simulator(cache=DecompositionCache())
+            async with _serve(sim) as (_service, server):
+                assert await _submit_raw(server.port, b"{not json") == 400
+                bad_version = plan_to_payload(_plan(), 32)
+                bad_version["version"] = 42
+                status, _headers, raw = await _request(
+                    server.port, "POST", "/v1/plans", body=bad_version
+                )
+                assert status == 400
+                assert "version" in json.loads(raw)["error"]
+                # A structurally valid payload with a bad sample count.
+                bad_samples = plan_to_payload(_plan(), 32)
+                bad_samples["n_samples"] = 0
+                status, _headers, _raw = await _request(
+                    server.port, "POST", "/v1/plans", body=bad_samples
+                )
+                assert status == 400
+            sim.close()
+
+        asyncio.run(scenario())
+
+
+class TestBackpressureAndCancellation:
+    def test_full_queue_429_with_retry_after(self):
+        backend = GatedBackend()
+
+        async def scenario():
+            sim = Simulator(backend=backend, cache=DecompositionCache(), max_workers=1)
+            async with _serve(sim, max_queue=1, dispatch_slots=1) as (
+                _service,
+                server,
+            ):
+                # First plan occupies the only dispatch slot (gated mid-eigh).
+                status, _h, _r = await _request(
+                    server.port,
+                    "POST",
+                    "/v1/plans",
+                    body=plan_to_payload(_plan(seed=1), 32),
+                )
+                assert status == 202
+                await asyncio.to_thread(backend.entered.wait, 10)
+                # Second plan fills the one queue slot.
+                status, _h, _r = await _request(
+                    server.port,
+                    "POST",
+                    "/v1/plans",
+                    body=plan_to_payload(_plan(seed=2), 32),
+                )
+                assert status == 202
+                # Third is rejected with the backpressure contract on the wire.
+                status, headers, raw = await _request(
+                    server.port,
+                    "POST",
+                    "/v1/plans",
+                    body=plan_to_payload(_plan(seed=3), 32),
+                )
+                assert status == 429
+                assert int(headers["retry-after"]) >= 1
+                body = json.loads(raw)
+                assert body["retry_after"] > 0
+                backend.release.set()
+            sim.close()
+
+        asyncio.run(scenario())
+
+    def test_delete_cancels_queued_request_409_result(self):
+        backend = GatedBackend()
+
+        async def scenario():
+            sim = Simulator(backend=backend, cache=DecompositionCache(), max_workers=1)
+            async with _serve(sim, max_queue=4, dispatch_slots=1) as (
+                _service,
+                server,
+            ):
+                status, _h, raw = await _request(
+                    server.port,
+                    "POST",
+                    "/v1/plans",
+                    body=plan_to_payload(_plan(seed=1), 32),
+                )
+                assert status == 202
+                await asyncio.to_thread(backend.entered.wait, 10)
+                # Queued behind the gated flight: cancellable before dispatch.
+                status, _h, raw = await _request(
+                    server.port,
+                    "POST",
+                    "/v1/plans",
+                    body=plan_to_payload(_plan(seed=2), 32),
+                )
+                assert status == 202
+                victim = json.loads(raw)["request_id"]
+                status, _h, raw = await _request(
+                    server.port, "DELETE", f"/v1/plans/{victim}"
+                )
+                assert status == 200
+                assert json.loads(raw) == {"request_id": victim, "cancelled": True}
+                # Cancelling twice is idempotent and reported as a no-op.
+                status, _h, raw = await _request(
+                    server.port, "DELETE", f"/v1/plans/{victim}"
+                )
+                assert status == 200
+                assert json.loads(raw)["cancelled"] is False
+                status, _h, raw = await _request(
+                    server.port, "GET", f"/v1/plans/{victim}/result"
+                )
+                assert status == 409
+                assert "cancelled" in json.loads(raw)["error"]
+                backend.release.set()
+            sim.close()
+
+        asyncio.run(scenario())
+
+
+class TestFailures:
+    def test_failed_flight_maps_to_500_with_fault_name(self, flaky_backend):
+        async def scenario():
+            sim = Simulator(
+                backend=flaky_backend(fail_at=1), cache=DecompositionCache()
+            )
+            async with _serve(sim, dispatch_slots=1) as (_service, server):
+                status, _h, raw = await _request(
+                    server.port,
+                    "POST",
+                    "/v1/plans",
+                    body=plan_to_payload(_plan(seed=1), 32),
+                )
+                assert status == 202
+                request_id = json.loads(raw)["request_id"]
+                status, _h, raw = await _request(
+                    server.port, "GET", f"/v1/plans/{request_id}/result"
+                )
+                assert status == 500
+                assert "InjectedFault" in json.loads(raw)["error"]
+                # The server survives: the next submission succeeds.
+                status, _h, raw = await _request(
+                    server.port,
+                    "POST",
+                    "/v1/plans",
+                    body=plan_to_payload(_plan(seed=2), 32),
+                )
+                assert status == 202
+                survivor = json.loads(raw)["request_id"]
+                status, _h, _raw = await _request(
+                    server.port, "GET", f"/v1/plans/{survivor}/result"
+                )
+                assert status == 200
+            sim.close()
+
+        asyncio.run(scenario())

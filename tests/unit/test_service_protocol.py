@@ -1,0 +1,182 @@
+"""Unit tests of the serving wire protocol (:mod:`repro.service.protocol`).
+
+The protocol's whole promise is bit-exactness: a plan that crosses the wire
+must hash to the same compiled-plan key and generate the same samples as the
+in-process original, and a result that crosses the wire must decode to
+arrays bit-identical to the in-process ``BatchResult``.  Every round-trip
+test here asserts exact equality, never closeness.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Simulator
+from repro.engine import DopplerSpec, SimulationPlan
+from repro.engine.cache import DecompositionCache
+from repro.engine.plancache import compiled_plan_cache_key
+from repro.exceptions import SpecificationError
+from repro.service import (
+    PROTOCOL_VERSION,
+    decode_array,
+    encode_array,
+    plan_from_payload,
+    plan_to_payload,
+    result_from_lines,
+    result_to_lines,
+)
+
+BASE = np.array(
+    [
+        [1.0, 0.37 - 0.21j, 0.05],
+        [0.37 + 0.21j, 1.8, 0.4j],
+        [0.05, -0.4j, 1.2],
+    ],
+    dtype=complex,
+)
+
+
+def _rich_plan():
+    """A plan exercising every serialized field: Doppler, labels, repairs."""
+    plan = SimulationPlan()
+    plan.add(BASE, seed=101, label="plain")
+    plan.add(
+        2.5 * BASE,
+        seed=202,
+        coloring_method="cholesky",
+        epsilon=1e-8,
+        sample_variance=0.75,
+        label="scaled",
+    )
+    plan.add(
+        BASE,
+        seed=303,
+        doppler=DopplerSpec(normalized_doppler=0.05, n_points=2048),
+        label="doppler",
+    )
+    return plan
+
+
+class TestArrayCodec:
+    def test_complex_round_trip_is_bit_exact(self, rng):
+        array = rng.standard_normal((4, 33)) + 1j * rng.standard_normal((4, 33))
+        decoded = decode_array(encode_array(array))
+        assert decoded.dtype == array.dtype
+        assert np.array_equal(decoded, array)
+
+    def test_non_contiguous_input_round_trips(self, rng):
+        array = rng.standard_normal((8, 8)).T[::2]  # strided view
+        decoded = decode_array(encode_array(array))
+        assert np.array_equal(decoded, array)
+
+
+class TestPlanPayload:
+    def test_round_trip_preserves_every_field(self):
+        plan = _rich_plan()
+        payload = plan_to_payload(plan, 128, client_id="c1")
+        # The payload must survive an actual JSON text round-trip.
+        payload = json.loads(json.dumps(payload))
+        decoded, n_samples = plan_from_payload(payload)
+        assert n_samples == 128
+        assert payload["client_id"] == "c1"
+        assert decoded.n_entries == plan.n_entries
+        for got, want in zip(decoded, plan):
+            assert np.array_equal(got.spec.matrix, want.spec.matrix)
+            assert got.seed == want.seed
+            assert got.coloring_method == want.coloring_method
+            assert got.psd_method == want.psd_method
+            assert got.epsilon == want.epsilon
+            assert got.sample_variance == want.sample_variance
+            assert got.label == want.label
+            if want.doppler is None:
+                assert got.doppler is None
+            else:
+                assert got.doppler.normalized_doppler == want.doppler.normalized_doppler
+                assert got.doppler.n_points == want.doppler.n_points
+
+    def test_round_trip_preserves_compiled_plan_hash(self):
+        """The decoded plan hashes to the same compiled-plan cache key."""
+        plan = _rich_plan()
+        payload = json.loads(json.dumps(plan_to_payload(plan, 64)))
+        decoded, _ = plan_from_payload(payload)
+        assert compiled_plan_cache_key(decoded) == compiled_plan_cache_key(plan)
+
+    def test_round_trip_generates_identical_samples(self):
+        plan = _rich_plan()
+        payload = json.loads(json.dumps(plan_to_payload(plan, 64)))
+        decoded, n_samples = plan_from_payload(payload)
+        sim_a = Simulator(cache=DecompositionCache())
+        sim_b = Simulator(cache=DecompositionCache())
+        try:
+            direct = sim_a.run(plan, n_samples)
+            wired = sim_b.run(decoded, n_samples)
+        finally:
+            sim_a.close()
+            sim_b.close()
+        for got, want in zip(wired.blocks, direct.blocks):
+            assert np.array_equal(got.samples, want.samples)
+
+    def test_rejects_bad_version(self):
+        payload = plan_to_payload(_rich_plan(), 64)
+        payload["version"] = 99
+        with pytest.raises(SpecificationError, match="version"):
+            plan_from_payload(payload)
+
+    def test_rejects_non_dict_and_missing_fields(self):
+        with pytest.raises(SpecificationError, match="JSON object"):
+            plan_from_payload([1, 2, 3])
+        with pytest.raises(SpecificationError, match="version"):
+            plan_from_payload({})
+        with pytest.raises(SpecificationError, match="malformed"):
+            plan_from_payload({"version": PROTOCOL_VERSION})
+        with pytest.raises(SpecificationError, match="non-empty"):
+            plan_from_payload(
+                {"version": PROTOCOL_VERSION, "n_samples": 8, "entries": []}
+            )
+
+    def test_rejects_malformed_entry_with_index(self):
+        payload = plan_to_payload(_rich_plan(), 64)
+        del payload["entries"][1]["matrix"]
+        with pytest.raises(SpecificationError, match="index 1"):
+            plan_from_payload(payload)
+
+
+class TestResultStream:
+    def _result(self):
+        plan = _rich_plan()
+        sim = Simulator(cache=DecompositionCache())
+        try:
+            return sim.run(plan, 48)
+        finally:
+            sim.close()
+
+    def test_round_trip_is_bit_identical(self):
+        result = self._result()
+        lines = list(result_to_lines(result))
+        decoded = result_from_lines(iter(lines))
+        assert decoded["header"]["n_entries"] == len(result.blocks)
+        assert decoded["header"]["backend"] == result.backend
+        assert decoded["header"]["compile_report"]["n_entries"] == 3
+        assert decoded["labels"] == ["plain", "scaled", "doppler"]
+        assert len(decoded["blocks"]) == len(result.blocks)
+        for got, want in zip(decoded["blocks"], result.blocks):
+            assert np.array_equal(got, want.samples)
+
+    def test_truncated_stream_rejected(self):
+        lines = list(result_to_lines(self._result()))
+        with pytest.raises(SpecificationError, match="truncated"):
+            result_from_lines(iter(lines[:-1]))  # no terminator
+        with pytest.raises(SpecificationError, match="truncated"):
+            result_from_lines(iter([lines[0], lines[-1]]))  # blocks missing
+
+    def test_out_of_order_and_unknown_records_rejected(self):
+        lines = list(result_to_lines(self._result()))
+        with pytest.raises(SpecificationError, match="block before header"):
+            result_from_lines(iter(lines[1:]))
+        with pytest.raises(SpecificationError, match="unknown record"):
+            result_from_lines(iter([json.dumps({"type": "surprise"})]))
+        with pytest.raises(SpecificationError, match="malformed result line"):
+            result_from_lines(iter(["{not json"]))

@@ -94,6 +94,7 @@ from .engine import (
     DecompositionCache,
     DopplerFilterCache,
     DopplerSpec,
+    FadingSpec,
     LinalgBackend,
     PlanEntry,
     SimulationEngine,
@@ -155,6 +156,7 @@ __all__ = [
     "SimulationEngine",
     "SimulationPlan",
     "DopplerSpec",
+    "FadingSpec",
     "available_backends",
     "default_engine",
     "get_backend",

@@ -36,6 +36,7 @@ ROOT_NAMES = frozenset(
         "compiled_plan_cache_key",
         "cache_key",
         "filter_key",
+        "fading_token",
         "_key_hash",
     }
 )

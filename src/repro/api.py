@@ -503,6 +503,7 @@ class Simulator:
         compensate_variance: bool = True,
         coloring_method: str = "eigen",
         psd_method: str = "clip",
+        fading=None,
         return_gaussian: bool = False,
     ) -> Union[EnvelopeBlock, GaussianBlock]:
         """Generate correlated Rayleigh envelopes for one specification.
@@ -554,6 +555,11 @@ class Simulator:
             defect of [6].
         coloring_method, psd_method:
             Algorithm variants (defaults are the paper's choices).
+        fading:
+            Optional fading model (see :mod:`repro.models.fading`): a model
+            name, a ``{"model", "shape", "shadowing_sigma_db"}`` mapping, or
+            a :class:`repro.models.FadingSpec`.  ``None`` (default) is the
+            paper's Rayleigh — byte-identical to the pre-model-zoo path.
         return_gaussian:
             Return the complex :class:`GaussianBlock` instead of envelopes.
         """
@@ -625,6 +631,7 @@ class Simulator:
                 seed=seed,
                 coloring_method=coloring_method,
                 psd_method=psd_method,
+                fading=fading,
             )
         else:
             # Doppler mode is the B = 1 case of the batched Doppler
@@ -642,6 +649,7 @@ class Simulator:
                     n_points=int(n_points),
                     compensate_variance=compensate_variance,
                 ),
+                fading=fading,
             )
         gaussian = self._engine.run(plan, n_samples).blocks[0]
 

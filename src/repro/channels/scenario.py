@@ -501,12 +501,15 @@ class ScenarioSweep:
         seeds: Optional[Sequence[SeedLike]] = None,
         coloring_method: str = "eigen",
         psd_method: str = "clip",
+        fading: Any = None,
     ):
         """Build a :class:`repro.engine.SimulationPlan` covering the sweep.
 
         Each entry carries its scenario's label and an independent seed
         derived from ``seed`` (see
-        :meth:`repro.engine.SimulationPlan.from_specs`).
+        :meth:`repro.engine.SimulationPlan.from_specs`).  ``fading``
+        optionally applies one fading model (a name, mapping, or
+        :class:`repro.models.FadingSpec`) to every swept scenario.
         """
         from ..engine import SimulationPlan
 
@@ -517,4 +520,5 @@ class ScenarioSweep:
             coloring_method=coloring_method,
             psd_method=psd_method,
             labels=self._labels,
+            fading=fading,
         )

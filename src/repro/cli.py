@@ -18,7 +18,15 @@ Subcommands
     the sweep runs the Doppler-mode analogue (``scaling-doppler-batch``):
     looped real-time generation vs. the batched IDFT substrate, with the
     Doppler filter-reuse counters (filters built vs. entries served)
-    reported alongside the speedups.
+    reported alongside the speedups.  With ``--model`` (plus ``--shape``
+    and optional ``--shadow-sigma``) the snapshot sweep applies one fading
+    model from the zoo to every entry and checks the batched samples
+    against the scalar reference oracle.
+``suite [name] [--list] [--file workload.json] [--samples n]``
+    Run one declarative fading-model workload through the batched engine:
+    a shipped named suite (one per registered model) or a workload JSON
+    file (schema in :mod:`repro.models.workloads`), printing a JSON
+    summary.
 ``serve [--host H] [--port P] [--max-queue Q] [--dispatch-slots S]``
     Run the envelope-serving HTTP front end over one warm ``Simulator``
     session (see the "Serving layer" section of ``docs/ARCHITECTURE.md``):
@@ -181,8 +189,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=128,
         help="IDFT block length M for --doppler (default: 128)",
     )
+    batch_parser.add_argument(
+        "--model",
+        default=None,
+        help="fading model applied to every entry (rayleigh, rician, "
+        "nakagami, weibull); the looped baseline is checked through the "
+        "scalar reference oracle",
+    )
+    batch_parser.add_argument(
+        "--shape",
+        type=float,
+        default=None,
+        help="shape parameter of --model (Rician K, Nakagami m, Weibull k)",
+    )
+    batch_parser.add_argument(
+        "--shadow-sigma",
+        type=float,
+        default=0.0,
+        help="log-normal shadowing spread in dB composed on top of --model "
+        "(default: 0, disabled)",
+    )
     _backend_argument(batch_parser)
     _cache_dir_argument(batch_parser)
+
+    suite_parser = subparsers.add_parser(
+        "suite",
+        help="run a named fading-model workload suite (or a workload JSON file)",
+        description=(
+            "Run one declarative workload through the batched engine: a "
+            "shipped named suite (one per fading model; see --list) or a "
+            "workload JSON file (see repro.models.workloads for the schema). "
+            "Prints a JSON summary with per-entry mean envelope powers and "
+            "the fading metadata the execute kernel stamped on every block."
+        ),
+    )
+    suite_parser.add_argument(
+        "suite",
+        nargs="?",
+        default=None,
+        help="named suite to run (see --list)",
+    )
+    suite_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_suites",
+        help="list the shipped workload suites and exit",
+    )
+    suite_parser.add_argument(
+        "--file",
+        type=Path,
+        default=None,
+        help="run a workload JSON file instead of a named suite",
+    )
+    suite_parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="override the workload's n_samples",
+    )
+    _backend_argument(suite_parser)
+    _cache_dir_argument(suite_parser)
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -384,6 +450,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "cache":
         return _run_cache_command(args.action, args.cache_dir)
 
+    if args.command == "suite":
+        import json
+
+        from .exceptions import ReproError
+        # Imported lazily: repro.models.workloads pulls in the engine, which
+        # itself imports repro.models.fading — see the package docstrings.
+        from .models import workloads
+
+        _attach_cache_dir(args.cache_dir)
+        if args.list_suites:
+            for name in workloads.available_suites():
+                print(f"{name}: {workloads.NAMED_SUITES[name]['description']}")
+            return 0
+        if (args.suite is None) == (args.file is None):
+            raise SystemExit(
+                "pass exactly one of a suite name or --file (or use --list)"
+            )
+        try:
+            workload = (
+                workloads.load_workload(args.file)
+                if args.file is not None
+                else workloads.get_suite(args.suite)
+            )
+            summary = workloads.run_suite(
+                workload, n_samples=args.samples, backend=args.backend
+            )
+        except ReproError as exc:
+            # Malformed workloads exit with the field-naming message, not a
+            # traceback — the CLI face of the coercion-error contract.
+            raise SystemExit(f"workload error: {exc}")
+        print(json.dumps(summary, indent=2))
+        return 0
+
     if args.command == "lint":
         from .analysis import main as lint_main
 
@@ -428,6 +527,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise SystemExit("--batch-sizes must contain positive integers")
         if args.branches < 1:
             raise SystemExit(f"--branches must be >= 1, got {args.branches}")
+        fading = None
+        if args.model is not None:
+            fading = {"model": args.model, "shadowing_sigma_db": args.shadow_sigma}
+            if args.shape is not None:
+                fading["shape"] = args.shape
+        elif args.shape is not None or args.shadow_sigma:
+            raise SystemExit("--shape and --shadow-sigma require --model")
+        if fading is not None:
+            from .exceptions import ReproError
+            from .models import coerce_fading
+
+            try:
+                # Validate up front so a bad spec exits with the
+                # field-naming message, not a traceback mid-sweep.
+                fading = coerce_fading(fading)
+            except ReproError as exc:
+                raise SystemExit(f"invalid fading model: {exc}")
         kwargs = {
             "batch_sizes": batch_sizes,
             "n_branches": args.branches,
@@ -438,6 +554,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.backend is not None:
             kwargs["backend"] = args.backend
         if args.doppler:
+            if fading is not None:
+                raise SystemExit(
+                    "--model applies to the snapshot sweep only; the Doppler "
+                    "sweep's looped baseline has no fading reference"
+                )
             if args.samples is not None:
                 raise SystemExit(
                     "--samples is not accepted with --doppler: the Doppler sweep's "
@@ -466,7 +587,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         n_samples = 64 if args.samples is None else args.samples
         if n_samples < 1:
             raise SystemExit(f"--samples must be >= 1, got {n_samples}")
-        result = run_batch(n_samples=n_samples, **kwargs)
+        result = run_batch(n_samples=n_samples, fading=fading, **kwargs)
         print(result.render())
         warm_hits = int(result.metrics.get("warm_cache_hits_total", 0))
         warm_misses = int(result.metrics.get("warm_cache_misses_total", 0))

@@ -74,7 +74,7 @@ from .cache import (
     default_decomposition_cache,
 )
 from .filters import DopplerFilterCache, FilterCacheStats, default_filter_cache
-from .plan import DopplerSpec, PlanEntry, SimulationPlan
+from .plan import DopplerSpec, FadingSpec, PlanEntry, SimulationPlan
 from .plancache import (
     CompiledPlanCache,
     PlanCacheStats,
@@ -112,6 +112,7 @@ __all__ = [
     "compiled_plan_cache_key",
     "default_plan_cache",
     "DopplerSpec",
+    "FadingSpec",
     "PlanEntry",
     "SimulationPlan",
     "CompiledGroup",

@@ -4,8 +4,10 @@ Compiling a :class:`repro.engine.plan.SimulationPlan` turns its declarative
 entries into ready-to-execute coloring matrices:
 
 1. entries are grouped by ``(N, coloring_method, psd_method, epsilon)`` —
-   plus ``(M, f_m, sigma_orig^2)`` for Doppler-mode entries — so each group
-   stacks into one ``(B, N, N)`` array;
+   plus ``(M, f_m, sigma_orig^2)`` for Doppler-mode entries and the fading
+   model family ``(model, has_shadowing)`` for non-Rayleigh entries — so
+   each group stacks into one ``(B, N, N)`` array and applies one stacked
+   post-coloring transform;
 2. within a group, covariance matrices are deduplicated by content hash and
    looked up in the :class:`repro.engine.cache.DecompositionCache`;
 3. the remaining *misses* are decomposed together by
@@ -151,6 +153,13 @@ class CompiledGroup:
         The shared Young–Beaulieu filter ``F[k]`` (Doppler groups only).
     doppler_output_variance:
         The Eq. (19) output variance ``sigma_g^2`` of that filter.
+    fading_family:
+        The group's fading-model family ``(model, has_shadowing)``, or
+        ``None`` for plain Rayleigh groups.  Grouping is uniform in the
+        family (it is part of :attr:`PlanEntry.group_key`); per-entry shape
+        parameters live on the entries, and the executor stacks them into
+        broadcast columns once per execution state
+        (:func:`repro.models.fading.build_fading_stacks`).
     """
 
     indices: Tuple[int, ...]
@@ -161,6 +170,7 @@ class CompiledGroup:
     doppler: Optional[DopplerSpec] = None
     doppler_filter: Optional[np.ndarray] = None
     doppler_output_variance: Optional[float] = None
+    fading_family: Optional[Tuple[str, bool]] = None
 
     @property
     def batch_size(self) -> int:
@@ -352,7 +362,7 @@ def _compile_plan_fresh(
     filter_cache_hits = 0
     groups: List[CompiledGroup] = []
     for group_key, indices in group_members.items():
-        _, coloring_method, psd_method, epsilon, _ = group_key
+        _, coloring_method, psd_method, epsilon, _, fading_family = group_key
         group_entries = tuple(entries[i] for i in indices)
 
         # 2. Deduplicate matrices by content hash; consult the cache once
@@ -436,6 +446,7 @@ def _compile_plan_fresh(
                 doppler=group_doppler,
                 doppler_filter=doppler_filter,
                 doppler_output_variance=output_variance,
+                fading_family=fading_family,
             )
         )
 

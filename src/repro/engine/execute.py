@@ -18,6 +18,12 @@ correlated samples:
   ``matmul`` (one BLAS gufunc dispatch for the whole ``(B, N, n)`` batch),
   normalized per entry by the effective sample variance — for Doppler
   groups the Eq. (19) filter-output variance;
+* groups with a non-trivial fading model (see :mod:`repro.models.fading`)
+  apply their post-coloring transform in place right after normalization —
+  before any Doppler remainder is banked — through stacked per-group
+  operands and state-owned scratch; ``entry.fading is None`` skips the
+  seam entirely, keeping plain Rayleigh byte-identical to the
+  pre-model-zoo fast path;
 * long records stream through :func:`stream_plan` in fixed-size blocks with
   persistent per-entry generators, so memory stays bounded at one block.
   Doppler groups produce samples in multiples of the IDFT length ``M`` and
@@ -46,6 +52,7 @@ import numpy as np
 
 from ..channels.idft_generator import batched_doppler_blocks
 from ..exceptions import GenerationError
+from ..models.fading import FadingStacks, apply_fading_block, build_fading_stacks
 from ..random import complex_gaussian, ensure_rng, spawn_rngs
 from ..types import GaussianBlock
 from .compile import CompiledGroup, CompiledPlan
@@ -116,6 +123,10 @@ class _ExecutionState:
         self._white: Dict[int, np.ndarray] = {}
         self._branch_rngs: Dict[int, List[np.random.Generator]] = {}
         self._norms: Dict[int, np.ndarray] = {}
+        self._fading: Dict[int, Optional[FadingStacks]] = {}
+        self._fading_scratch: Dict[
+            int, Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     def workspace(self, group_index: int) -> dict:
         """The group's ``batched_doppler_blocks`` scratch dict."""
@@ -147,12 +158,65 @@ class _ExecutionState:
             self._white[group_index] = array
         return array
 
+    def fading(
+        self, group_index: int, group: CompiledGroup
+    ) -> Optional[FadingStacks]:
+        """The group's stacked fading operands (``None`` = Rayleigh path)."""
+        try:
+            return self._fading[group_index]
+        except KeyError:
+            stacks = build_fading_stacks(group.entries)
+            self._fading[group_index] = stacks
+            return stacks
+
+    def fading_scratch(  # reprolint: workspace-constructor
+        self, group_index: int, shape: Tuple[int, ...]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reusable envelope/target/mask scratch for the envelope transforms.
+
+        Re-checked on shape because Doppler requests vary in block length.
+        """
+        scratch = self._fading_scratch.get(group_index)
+        if scratch is None or scratch[0].shape != shape:
+            scratch = (
+                np.empty(shape, dtype=np.float64),
+                np.empty(shape, dtype=np.float64),
+                np.empty(shape, dtype=np.bool_),
+            )
+            self._fading_scratch[group_index] = scratch
+        return scratch
+
 
 def _matmul_into(backend, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
     """Stacked coloring matmul written into ``out`` through the backend."""
     if backend is None:
         return np.matmul(a, b, out=out)
     return backend.matmul_into(a, b, out)
+
+
+def _apply_fading(  # reprolint: hot-path
+    state: _ExecutionState,
+    group_index: int,
+    group: CompiledGroup,
+    colored: np.ndarray,
+) -> None:
+    """Apply the group's fading transform to ``colored`` in place.
+
+    A no-op for plain Rayleigh groups (``stacks is None``), so the default
+    path never pays for the seam.  Envelope transforms (Nakagami, Weibull)
+    run through the state-owned float/mask scratch to keep the hot path
+    allocation-free.
+    """
+    stacks = state.fading(group_index, group)
+    if stacks is None:
+        return
+    if stacks.needs_scratch:
+        envelope, target, positive = state.fading_scratch(
+            group_index, colored.shape
+        )
+        apply_fading_block(colored, stacks, envelope, target, positive)
+    else:
+        apply_fading_block(colored, stacks)
 
 
 def _doppler_colored_blocks(
@@ -198,6 +262,10 @@ def _doppler_colored_blocks(
         colored = np.empty_like(fresh)
         _matmul_into(backend, group.coloring_stack, fresh, colored)
         colored /= state.norm(group_index, group)
+        # Fading applies before the remainder is banked, so the ring buffer
+        # only ever holds finished samples and any block split reads the
+        # same bytes as one long record.
+        _apply_fading(state, group_index, group, colored)
     if taken == 0:
         out = colored[:, :, :n_samples]
     else:
@@ -267,6 +335,7 @@ def _generate_block(
             colored = np.empty((batch_size, n_branches, n_samples), dtype=np.complex128)
             _matmul_into(backend, group.coloring_stack, white, colored)
             colored /= state.norm(group_index, group)
+            _apply_fading(state, group_index, group, colored)
         for position, (index, entry) in enumerate(zip(group.indices, group.entries)):
             decomposition = group.decompositions[position]
             if group.is_doppler:
@@ -289,6 +358,12 @@ def _generate_block(
                     "batch_size": batch_size,
                 }
             )
+            if entry.fading is not None:
+                metadata["fading"] = {
+                    "model": entry.fading.model,
+                    "shape": entry.fading.shape,
+                    "shadowing_sigma_db": entry.fading.shadowing_sigma_db,
+                }
             if entry.label is not None:
                 metadata["label"] = entry.label
             blocks[index] = GaussianBlock(

@@ -30,9 +30,10 @@ import numpy as np
 
 from ..core.covariance import CovarianceSpec
 from ..exceptions import SpecificationError
+from ..models.fading import FadingLike, FadingSpec, coerce_fading
 from ..types import SeedLike
 
-__all__ = ["DopplerSpec", "PlanEntry", "SimulationPlan"]
+__all__ = ["DopplerSpec", "FadingSpec", "PlanEntry", "SimulationPlan"]
 
 _COLORING_METHODS = ("eigen", "cholesky", "svd")
 _PSD_METHODS = ("clip", "epsilon", "higham")
@@ -142,6 +143,12 @@ class PlanEntry:
         real-time algorithm.  Feeding the same seed to a standalone
         :class:`repro.core.realtime.RealTimeRayleighGenerator` yields
         bit-identical samples.
+    fading:
+        Optional :class:`repro.models.fading.FadingSpec` selecting the
+        post-coloring channel model (Rician, Nakagami-m, Weibull, optional
+        log-normal shadowing).  ``None`` — including a trivial spec, which
+        is collapsed to ``None`` — is the byte-identical Rayleigh fast
+        path.  Composes with either generation mode (snapshot or Doppler).
     label:
         Optional caller-supplied identifier carried into result metadata.
     """
@@ -153,6 +160,7 @@ class PlanEntry:
     epsilon: float = 1e-6
     sample_variance: float = 1.0
     doppler: Optional[DopplerSpec] = None
+    fading: Optional[FadingSpec] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -189,6 +197,17 @@ class PlanEntry:
                     "Eq. (19) filter-output variance; leave sample_variance at 1.0 "
                     f"(got {self.sample_variance!r})"
                 )
+        if self.fading is not None:
+            if not isinstance(self.fading, FadingSpec):
+                raise SpecificationError(
+                    f"PlanEntry.fading must be a FadingSpec or None, got "
+                    f"{type(self.fading).__name__}"
+                )
+            if self.fading.is_trivial:
+                # Plain Rayleigh without shadowing IS the default path;
+                # collapsing keeps ``fading is None`` the single fast-path
+                # test and the cache/group keys canonical.
+                object.__setattr__(self, "fading", None)
 
     @property
     def n_branches(self) -> int:
@@ -232,21 +251,35 @@ class PlanEntry:
         return key
 
     @property
-    def group_key(self) -> Tuple[int, str, str, float, Optional[Tuple[int, float, float]]]:
+    def group_key(
+        self,
+    ) -> Tuple[
+        int,
+        str,
+        str,
+        float,
+        Optional[Tuple[int, float, float]],
+        Optional[Tuple[str, bool]],
+    ]:
         """Compilation group: entries sharing it stack into one batch.
 
         Doppler entries group by ``(N, M, f_m, sigma_orig^2)`` in addition to
         the algorithm options, so each group shares one Young–Beaulieu filter
         build and one stacked IDFT call; the ``compensate_variance`` flag is
-        per-entry and does not split groups.
+        per-entry and does not split groups.  Entries also group by fading
+        *family* (``(model, has_shadowing)``) so the executor applies one
+        stacked transform per group; the shape parameters (K, m, k) and
+        shadowing spreads are per-entry columns and do not split groups.
         """
         doppler_key = None if self.doppler is None else self.doppler.filter_key
+        fading_key = None if self.fading is None else self.fading.family
         return (
             self.n_branches,
             self.coloring_method,
             self.psd_method,
             float(self.epsilon),
             doppler_key,
+            fading_key,
         )
 
     def with_seed(self, seed: SeedLike) -> "PlanEntry":
@@ -294,6 +327,7 @@ class SimulationPlan:
         epsilon: float = 1e-6,
         sample_variance: float = 1.0,
         doppler: DopplerLike = None,
+        fading: FadingLike = None,
         label: Optional[str] = None,
     ) -> int:
         """Append one scenario and return its plan index.
@@ -302,7 +336,9 @@ class SimulationPlan:
         covariance matrix (branch powers read off the diagonal, as the
         generators do).  ``doppler`` may be a :class:`DopplerSpec`, a bare
         normalized Doppler frequency (defaults for block length and input
-        variance), or ``None`` for snapshot mode.
+        variance), or ``None`` for snapshot mode.  ``fading`` may be a
+        :class:`~repro.models.fading.FadingSpec`, a model name, a mapping
+        (the JSON schema), or ``None`` for Rayleigh.
         """
         if not isinstance(covariance, CovarianceSpec):
             covariance = CovarianceSpec.from_covariance_matrix(
@@ -316,6 +352,7 @@ class SimulationPlan:
             epsilon=epsilon,
             sample_variance=sample_variance,
             doppler=coerce_doppler(doppler),
+            fading=coerce_fading(fading),
             label=label,
         )
         self._entries.append(entry)
@@ -332,6 +369,7 @@ class SimulationPlan:
         epsilon: float = 1e-6,
         sample_variance: float = 1.0,
         doppler: DopplerLike = None,
+        fading: FadingLike = None,
         label: Optional[str] = None,
     ) -> int:
         """Append a physical scenario (any object with ``covariance_spec``)."""
@@ -349,6 +387,7 @@ class SimulationPlan:
             epsilon=epsilon,
             sample_variance=sample_variance,
             doppler=doppler,
+            fading=fading,
             label=label,
         )
 
@@ -364,6 +403,7 @@ class SimulationPlan:
         epsilon: float = 1e-6,
         sample_variance: float = 1.0,
         doppler: DopplerLike = None,
+        fading: FadingLike = None,
         labels: Optional[Sequence[Optional[str]]] = None,
     ) -> "SimulationPlan":
         """Build a plan from a sequence of specs with derived per-entry seeds.
@@ -383,6 +423,9 @@ class SimulationPlan:
         doppler:
             Doppler mode applied to every entry (``None``, a normalized
             Doppler frequency, or a :class:`DopplerSpec`).
+        fading:
+            Fading model applied to every entry (``None``, a model name, a
+            mapping, or a :class:`~repro.models.fading.FadingSpec`).
         """
         specs = list(specs)
         if seeds is not None:
@@ -407,6 +450,7 @@ class SimulationPlan:
             )
         plan = cls()
         doppler_spec = coerce_doppler(doppler)
+        fading_spec = coerce_fading(fading)
         for index, spec in enumerate(specs):
             plan.add(
                 spec,
@@ -416,6 +460,7 @@ class SimulationPlan:
                 epsilon=epsilon,
                 sample_variance=sample_variance,
                 doppler=doppler_spec,
+                fading=fading_spec,
                 label=None if labels is None else labels[index],
             )
         return plan

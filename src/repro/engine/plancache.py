@@ -41,9 +41,11 @@ Keying
 ------
 :func:`compiled_plan_cache_key` folds, per entry *in plan order*, the
 decomposition cache key (covariance bytes, coloring/PSD methods, epsilon,
-numeric tolerances, backend ``cache_token``) plus the white-sample variance
-and the full Doppler tuple (``M``, ``f_m``, ``sigma_orig^2``, the Eq. (19)
-compensation flag).  Seeds and labels are deliberately *excluded*: they do
+numeric tolerances, backend ``cache_token``) plus the white-sample variance,
+the full Doppler tuple (``M``, ``f_m``, ``sigma_orig^2``, the Eq. (19)
+compensation flag), and the fading-model token
+(:meth:`repro.models.fading.FadingSpec.fading_token`: model, shape
+parameter, shadowing spread).  Seeds and labels are deliberately *excluded*: they do
 not influence compilation, so a sweep that only re-seeds its scenarios
 warm-starts from the same artifact.  Because grouping is a pure function of
 the hashed fields and of entry order, two plans with equal keys compile to
@@ -96,8 +98,11 @@ __all__ = [
     "default_plan_cache",
 ]
 
-#: On-disk payload-layout version of compiled-plan artifacts.
-_DISK_FORMAT_VERSION = 1
+#: On-disk payload-layout version of compiled-plan artifacts.  Version 2
+#: folds the per-entry fading token into the key (the version is part of
+#: the key prefix, so pre-fading v1 artifacts simply never hit again —
+#: clean invalidation, no migration).
+_DISK_FORMAT_VERSION = 2
 
 #: Default byte bound of the in-memory tier when a disk tier is attached.
 DEFAULT_MEMORY_MAX_BYTES = 256 * 1024 * 1024
@@ -114,7 +119,8 @@ def compiled_plan_cache_key(
     Two plans receive the same key exactly when :func:`compile_plan` would
     produce structurally identical compiled plans for them: every
     compilation input — per-entry covariance bytes, algorithm options,
-    numeric tolerances, sample variance, Doppler parameters, and the
+    numeric tolerances, sample variance, Doppler parameters, fading-model
+    token, and the
     backend's :attr:`~repro.engine.backends.LinalgBackend.cache_token` — is
     folded in, in plan order.  Seeds and labels are excluded (they are
     execution-time inputs), so re-seeded sweeps share one artifact.
@@ -136,8 +142,12 @@ def compiled_plan_cache_key(
                 doppler.compensate_variance,
             )
         )
+        fading = entry.fading
+        fading_token = None if fading is None else fading.fading_token()
         hasher.update(
-            repr((float(entry.sample_variance), doppler_token)).encode("utf8")
+            repr(
+                (float(entry.sample_variance), doppler_token, fading_token)
+            ).encode("utf8")
         )
     return hasher.hexdigest()
 
@@ -283,6 +293,8 @@ def _compiled_from_artifact(
         doppler = group_entries[0].doppler
         if (doppler is None) != (group_meta["filter"] is None):
             return None
+        fading = group_entries[0].fading
+        fading_family = None if fading is None else fading.family
         if doppler is None:
             doppler_filter = None
             output_variance = None
@@ -304,6 +316,7 @@ def _compiled_from_artifact(
                 doppler=doppler,
                 doppler_filter=doppler_filter,
                 doppler_output_variance=output_variance,
+                fading_family=fading_family,
             )
         )
     if covered != plan.n_entries:
@@ -436,6 +449,10 @@ def _rebind_memory_entry(
         covered += len(group.indices)
         doppler = group_entries[0].doppler
         if (doppler is None) != (group.doppler is None):
+            return None
+        fading = group_entries[0].fading
+        fading_family = None if fading is None else fading.family
+        if fading_family != group.fading_family:
             return None
         groups.append(
             dataclasses.replace(group, entries=group_entries, doppler=doppler)

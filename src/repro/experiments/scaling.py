@@ -44,6 +44,7 @@ from ..engine import (
     SimulationEngine,
     SimulationPlan,
 )
+from ..models import coerce_fading, reference_fading_samples
 from ..validation.metrics import relative_frobenius_error
 from . import paper_values as pv
 from .reporting import ExperimentResult, Table
@@ -186,6 +187,7 @@ def run_batch(
     n_samples: int = 64,
     repeats: int = 3,
     backend: str = "numpy",
+    fading=None,
 ) -> ExperimentResult:
     """Run the batched-engine vs. looped-generation sweep.
 
@@ -193,6 +195,14 @@ def run_batch(
     (:mod:`repro.engine.backends`); the looped baseline always runs the
     plain numpy single-spec path, so the bit-identity acceptance criterion
     doubles as a backend parity check.
+
+    ``fading`` optionally applies one fading model (a name, mapping, or
+    :class:`repro.models.FadingSpec`) to every plan entry.  The looped
+    baseline then runs the plain Rayleigh generator and transforms its
+    samples through the scalar reference oracle
+    (:func:`repro.models.reference_fading_samples`); acceptance is
+    byte-identity for exact models (``rician``, shadowing) and the model's
+    declared ``rtol`` otherwise (``nakagami``, ``weibull``).
 
     For every batch size ``B`` the same scenarios (distinct matrices,
     independent derived seeds) are generated four ways:
@@ -230,10 +240,20 @@ def run_batch(
     total_warm_hits = 0
     total_warm_misses = 0
     total_cold_misses = 0
+    fading_spec = coerce_fading(fading)
+    if fading_spec is None or fading_spec.descriptor.exact:
+        matches = np.array_equal
+    else:
+        rtol = fading_spec.descriptor.rtol
+
+        def matches(reference, candidate):
+            return bool(np.allclose(candidate, reference, rtol=rtol, atol=1e-15))
 
     for batch_size in batch_sizes:
         specs = batch_sweep_specs(batch_size, n_branches)
-        plan = SimulationPlan.from_specs(specs, seed=seed + batch_size)
+        plan = SimulationPlan.from_specs(
+            specs, seed=seed + batch_size, fading=fading_spec
+        )
         entry_seeds = [entry.seed for entry in plan]
 
         # Looped baseline: per-spec generators with caching disabled (the
@@ -267,12 +287,31 @@ def run_batch(
             lambda: engine.run(compiled, n_samples), repeats
         )
 
+        # The acceptance reference: looped Rayleigh samples, pushed through
+        # the scalar fading oracle when a model is in play (untimed — the
+        # timing columns compare the Rayleigh-generation cost both paths
+        # share, the transform cost shows up only in the batched columns).
+        if fading_spec is None:
+            references = [looped.samples for looped in looped_blocks]
+        else:
+            references = [
+                reference_fading_samples(
+                    looped.samples,
+                    spec.gaussian_variances,
+                    fading_spec,
+                    seed=entry_seed,
+                )
+                for looped, spec, entry_seed in zip(
+                    looped_blocks, specs, entry_seeds
+                )
+            ]
+
         identical = all(
-            np.array_equal(looped.samples, batched.samples)
-            and np.array_equal(looped.samples, rerun.samples)
-            and np.array_equal(looped.samples, direct.samples)
-            for looped, batched, rerun, direct in zip(
-                looped_blocks, cold.blocks, warm.blocks, executed.blocks
+            matches(reference, batched.samples)
+            and matches(reference, rerun.samples)
+            and matches(reference, direct.samples)
+            for reference, batched, rerun, direct in zip(
+                references, cold.blocks, warm.blocks, executed.blocks
             )
         )
         all_identical &= identical
@@ -335,6 +374,15 @@ def run_batch(
             "n_samples": n_samples,
             "seed": seed,
             "backend": backend,
+            "fading": (
+                None
+                if fading_spec is None
+                else {
+                    "model": fading_spec.model,
+                    "shape": fading_spec.shape,
+                    "shadowing_sigma_db": fading_spec.shadowing_sigma_db,
+                }
+            ),
         },
         metrics=metrics,
         passed=all_identical,

@@ -21,9 +21,10 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..engine import DopplerSpec, SimulationPlan
+from ..engine import DopplerSpec, FadingSpec, SimulationPlan
 from ..engine.result import BatchResult
 from ..exceptions import SpecificationError
+from ..models.fading import coerce_fading
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -61,6 +62,17 @@ def _doppler_to_payload(doppler: DopplerSpec) -> Dict[str, Any]:
     }
 
 
+def _fading_to_payload(fading: FadingSpec) -> Dict[str, Any]:
+    # JSON emits the shortest repr of each double, so the shape and sigma
+    # round-trip bit-exactly and the decoded spec hashes to the same
+    # fading_token — plans differing only in fading never coalesce.
+    return {
+        "model": fading.model,
+        "shape": None if fading.shape is None else float(fading.shape),
+        "shadowing_sigma_db": float(fading.shadowing_sigma_db),
+    }
+
+
 def plan_to_payload(
     plan: SimulationPlan, n_samples: int, *, client_id: Optional[str] = None
 ) -> Dict[str, Any]:
@@ -83,6 +95,11 @@ def plan_to_payload(
                     None
                     if entry.doppler is None
                     else _doppler_to_payload(entry.doppler)
+                ),
+                "fading": (
+                    None
+                    if entry.fading is None
+                    else _fading_to_payload(entry.fading)
                 ),
                 "label": entry.label,
             }
@@ -150,6 +167,7 @@ def plan_from_payload(payload: Dict[str, Any]) -> Tuple[SimulationPlan, int]:
                 epsilon=float(raw.get("epsilon", 1e-6)),
                 sample_variance=float(raw.get("sample_variance", 1.0)),
                 doppler=doppler,
+                fading=coerce_fading(raw.get("fading")),
                 label=raw.get("label"),
             )
         except SpecificationError:

@@ -1,5 +1,7 @@
 """Unit tests for the command line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -347,3 +349,72 @@ class TestBatchDopplerMode:
     def test_doppler_rejects_tiny_block(self):
         with pytest.raises(SystemExit):
             main(["batch", "--doppler", "--points", "4", "--repeats", "1"])
+
+
+class TestFadingModelFlags:
+    """``batch --model`` and the ``suite`` subcommand (the model zoo CLI)."""
+
+    def test_batch_model_runs_and_reports(self, capsys):
+        code = main(
+            ["batch", "--batch-sizes", "1,4", "--samples", "16", "--repeats", "1",
+             "--model", "rician", "--shape", "3.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rician" in out
+
+    def test_batch_model_missing_shape_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="fading.shape"):
+            main(["batch", "--batch-sizes", "1", "--model", "nakagami"])
+
+    def test_batch_unknown_model_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="fading.model"):
+            main(["batch", "--batch-sizes", "1", "--model", "rice"])
+
+    def test_batch_shape_without_model_rejected(self):
+        with pytest.raises(SystemExit, match="--model"):
+            main(["batch", "--batch-sizes", "1", "--shape", "2.0"])
+        with pytest.raises(SystemExit, match="--model"):
+            main(["batch", "--batch-sizes", "1", "--shadow-sigma", "3.0"])
+
+    def test_batch_model_conflicts_with_doppler(self):
+        with pytest.raises(SystemExit, match="snapshot"):
+            main(["batch", "--doppler", "--model", "rician", "--shape", "2.0",
+                  "--repeats", "1"])
+
+    def test_suite_list_names_every_model(self, capsys):
+        assert main(["suite", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rayleigh", "rician", "nakagami", "weibull", "shadowed"):
+            assert name in out
+
+    def test_suite_runs_named_workload(self, capsys):
+        code = main(["suite", "rician-los", "--samples", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["suite"] == "rician-los"
+        assert summary["n_samples"] == 64
+        assert all(entry["fading"]["model"] == "rician" for entry in summary["entries"])
+
+    def test_suite_unknown_name_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="workload error"):
+            main(["suite", "no-such-suite"])
+
+    def test_suite_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["suite"])
+        workload = tmp_path / "w.json"
+        workload.write_text("{}")
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["suite", "rician-los", "--file", str(workload)])
+
+    def test_suite_file_errors_name_the_field(self, tmp_path):
+        workload = tmp_path / "w.json"
+        workload.write_text(json.dumps({
+            "name": "bad", "n_samples": 8, "seed": 1,
+            "fading": {"model": "weibull"},
+            "entries": [{"powers": [1.0, 2.0], "rho": 0.5}],
+        }))
+        with pytest.raises(SystemExit, match="fading.shape"):
+            main(["suite", "--file", str(workload)])

@@ -39,7 +39,7 @@ class TestPlanEntry:
 
     def test_group_key_contents(self, spec):
         entry = PlanEntry(spec=spec, coloring_method="svd", psd_method="epsilon")
-        assert entry.group_key == (2, "svd", "epsilon", 1e-6, None)
+        assert entry.group_key == (2, "svd", "epsilon", 1e-6, None, None)
 
     def test_with_seed_copies(self, spec):
         entry = PlanEntry(spec=spec, seed=1)
@@ -76,7 +76,7 @@ class TestDopplerSpec:
 
     def test_doppler_entry_group_key(self, spec):
         entry = PlanEntry(spec=spec, doppler=DopplerSpec(0.05, n_points=64))
-        assert entry.group_key == (2, "eigen", "clip", 1e-6, (64, 0.05, 0.5))
+        assert entry.group_key == (2, "eigen", "clip", 1e-6, (64, 0.05, 0.5), None)
 
     def test_doppler_entry_rejects_custom_sample_variance(self, spec):
         with pytest.raises(SpecificationError, match="sample variance"):
@@ -107,8 +107,8 @@ class TestDopplerSpec:
         plan.add(spec, doppler=DopplerSpec(0.05, n_points=64))
         plan.add(spec, doppler=DopplerSpec(0.05, n_points=64))
         sizes = plan.group_sizes()
-        assert sizes[(2, "eigen", "clip", 1e-6, None)] == 1
-        assert sizes[(2, "eigen", "clip", 1e-6, (64, 0.05, 0.5))] == 2
+        assert sizes[(2, "eigen", "clip", 1e-6, None, None)] == 1
+        assert sizes[(2, "eigen", "clip", 1e-6, (64, 0.05, 0.5), None)] == 2
 
 
 class TestSimulationPlan:
@@ -155,9 +155,9 @@ class TestSimulationPlan:
         plan.add(spec, coloring_method="svd")
         plan.add(np.eye(3, dtype=complex))
         sizes = plan.group_sizes()
-        assert sizes[(2, "eigen", "clip", 1e-6, None)] == 1
-        assert sizes[(2, "svd", "clip", 1e-6, None)] == 1
-        assert sizes[(3, "eigen", "clip", 1e-6, None)] == 1
+        assert sizes[(2, "eigen", "clip", 1e-6, None, None)] == 1
+        assert sizes[(2, "svd", "clip", 1e-6, None, None)] == 1
+        assert sizes[(3, "eigen", "clip", 1e-6, None, None)] == 1
 
     def test_iteration_and_len(self, spec):
         plan = SimulationPlan()

@@ -229,6 +229,33 @@ class TestRoutes:
 
         asyncio.run(scenario())
 
+    def test_malformed_fading_maps_to_400_not_500(self):
+        """A bad fading spec is a client error naming the offending field."""
+
+        async def scenario():
+            sim = Simulator(cache=DecompositionCache())
+            async with _serve(sim) as (_service, server):
+                cases = [
+                    ({"model": "nakagami"}, "fading.shape"),
+                    ({"model": "rice", "shape": 2.0}, "fading.model"),
+                    ({"model": "rician", "k_factor": 2.0}, "k_factor"),
+                    (
+                        {"model": "rician", "shape": 2.0, "shadowing_sigma_db": -1},
+                        "fading.shadowing_sigma_db",
+                    ),
+                ]
+                for fading, needle in cases:
+                    payload = plan_to_payload(_plan(), 32)
+                    payload["entries"][0]["fading"] = fading
+                    status, _headers, raw = await _request(
+                        server.port, "POST", "/v1/plans", body=payload
+                    )
+                    assert status == 400
+                    assert needle in json.loads(raw)["error"]
+            sim.close()
+
+        asyncio.run(scenario())
+
 
 class TestBackpressureAndCancellation:
     def test_full_queue_429_with_retry_after(self):

@@ -180,3 +180,94 @@ class TestResultStream:
             result_from_lines(iter([json.dumps({"type": "surprise"})]))
         with pytest.raises(SpecificationError, match="malformed result line"):
             result_from_lines(iter(["{not json"]))
+
+
+class TestFadingOnTheWire:
+    """Fading specs must cross the wire bit-exactly (invariant 6).
+
+    Anything lossy here is silently catastrophic: a spec that decodes to a
+    different float would hash to a different compiled-plan key (cache
+    misses), or — worse — to the *same* key as a genuinely different spec
+    (coalescing two requests whose results differ).
+    """
+
+    def _faded_plan(self):
+        plan = SimulationPlan()
+        plan.add(BASE, seed=11, fading={"model": "rician", "shape": 4.0})
+        # A shortest-repr-hostile shape: 0.1 has no exact binary expansion.
+        plan.add(BASE, seed=12, fading={"model": "nakagami", "shape": 0.6 + 0.1})
+        plan.add(
+            BASE,
+            seed=13,
+            doppler=DopplerSpec(normalized_doppler=0.05, n_points=64),
+            fading={"model": "weibull", "shape": 1.7, "shadowing_sigma_db": 5.5},
+        )
+        plan.add(BASE, seed=14)  # fading=None round-trips as null
+        return plan
+
+    def test_round_trip_preserves_fading_specs(self):
+        plan = self._faded_plan()
+        payload = json.loads(json.dumps(plan_to_payload(plan, 32)))
+        decoded, _ = plan_from_payload(payload)
+        for got, want in zip(decoded, plan):
+            assert got.fading == want.fading  # dataclass equality: exact floats
+
+    def test_round_trip_preserves_compiled_plan_hash(self):
+        plan = self._faded_plan()
+        payload = json.loads(json.dumps(plan_to_payload(plan, 32)))
+        decoded, _ = plan_from_payload(payload)
+        assert compiled_plan_cache_key(decoded) == compiled_plan_cache_key(plan)
+
+    def test_round_trip_generates_identical_samples(self):
+        plan = self._faded_plan()
+        payload = json.loads(json.dumps(plan_to_payload(plan, 48)))
+        decoded, n_samples = plan_from_payload(payload)
+        sim_a = Simulator(cache=DecompositionCache())
+        sim_b = Simulator(cache=DecompositionCache())
+        try:
+            direct = sim_a.run(plan, n_samples)
+            wired = sim_b.run(decoded, n_samples)
+        finally:
+            sim_a.close()
+            sim_b.close()
+        for got, want in zip(wired.blocks, direct.blocks):
+            assert np.array_equal(got.samples, want.samples)
+
+    def test_malformed_fading_names_field_and_entry(self):
+        payload = plan_to_payload(self._faded_plan(), 32)
+        payload["entries"][1]["fading"] = {"model": "nakagami"}  # missing shape
+        with pytest.raises(SpecificationError, match="fading.shape"):
+            plan_from_payload(payload)
+        payload["entries"][1]["fading"] = {"model": "rice", "shape": 2.0}
+        with pytest.raises(SpecificationError, match="fading.model"):
+            plan_from_payload(payload)
+
+    def test_same_plan_different_models_never_coalesce(self):
+        """The service request key must split on every fading difference."""
+        from repro.service import request_key
+
+        def key(fading):
+            plan = SimulationPlan()
+            plan.add(BASE, seed=21, fading=fading)
+            return request_key(plan, 64)
+
+        keys = {
+            key(None),
+            key({"model": "rician", "shape": 2.0}),
+            key({"model": "rician", "shape": 3.0}),
+            key({"model": "nakagami", "shape": 2.0}),
+            key({"model": "weibull", "shape": 2.0}),
+            key({"model": "rayleigh", "shadowing_sigma_db": 4.0}),
+        }
+        assert None not in keys  # integer seeds: all requests are keyable
+        assert len(keys) == 6
+
+    def test_identical_faded_requests_still_coalesce(self):
+        from repro.service import request_key
+
+        def key():
+            plan = SimulationPlan()
+            plan.add(BASE, seed=21, fading={"model": "rician", "shape": 2.0})
+            return request_key(plan, 64)
+
+        assert key() == key()

@@ -56,7 +56,6 @@ from .engine import (
     BatchResult,
     CompiledPlan,
     CompiledPlanCache,
-    CompileReport,
     DecompositionCache,
     DopplerFilterCache,
     LinalgBackend,
@@ -126,6 +125,8 @@ def _merge_results(
     workers because the compiles ran concurrently, and ``execute_seconds``
     is the caller-observed wall clock of the whole pool.
     """
+    from .shard import merge_compile_reports
+
     blocks: List[GaussianBlock] = []
     for partial in partials:
         blocks.extend(partial.blocks)
@@ -133,26 +134,7 @@ def _merge_results(
     # metadata maps blocks back to the caller's plan entries.
     for index, block in enumerate(blocks):
         block.metadata["plan_index"] = index
-    report = CompileReport(
-        n_entries=sum(p.compile_report.n_entries for p in partials),
-        n_groups=sum(p.compile_report.n_groups for p in partials),
-        n_unique_matrices=sum(p.compile_report.n_unique_matrices for p in partials),
-        cache_hits=sum(p.compile_report.cache_hits for p in partials),
-        cache_misses=sum(p.compile_report.cache_misses for p in partials),
-        compile_seconds=max(p.compile_report.compile_seconds for p in partials),
-        doppler_filters_built=sum(
-            p.compile_report.doppler_filters_built for p in partials
-        ),
-        doppler_entries=sum(p.compile_report.doppler_entries for p in partials),
-        doppler_filter_cache_hits=sum(
-            p.compile_report.doppler_filter_cache_hits for p in partials
-        ),
-        plan_cache_hits=sum(p.compile_report.plan_cache_hits for p in partials),
-        plan_memory_hits=sum(p.compile_report.plan_memory_hits for p in partials),
-        plan_inflight_hits=sum(
-            p.compile_report.plan_inflight_hits for p in partials
-        ),
-    )
+    report = merge_compile_reports([p.compile_report for p in partials])
     return BatchResult(
         blocks=tuple(blocks),
         n_samples=int(n_samples),

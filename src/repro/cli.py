@@ -34,6 +34,16 @@ Subcommands
     delivery, with a bounded submission queue (``429`` + ``Retry-After``
     under backpressure), per-client fair scheduling, and in-flight
     request coalescing.
+``shard --shards K --cache-dir DIR [--entries B] [...]``
+    Run a deterministic sweep as ``K`` independent worker subprocesses
+    sharing one artifact ``cache_dir`` (see the "Sharding layer" section
+    of ``docs/ARCHITECTURE.md``): the first worker compiles the shared
+    decompositions/filters/plan artifacts cold, the rest warm-hit them
+    through the disk tiers.  Streams per-shard progress, prints per-tier
+    cache-hit totals, exits non-zero if any slice failed, and resumes a
+    partially failed run with ``--retry-failed``.  ``--check`` verifies
+    the merged result byte-for-byte against an in-process solo run
+    (standing invariant 7).
 ``cache {stats,clear} [--cache-dir DIR]``
     Inspect or empty the persistent artifact cache — all three store
     namespaces: decompositions, Doppler filters, and compiled plans —
@@ -289,6 +299,72 @@ def build_parser() -> argparse.ArgumentParser:
     _backend_argument(serve_parser)
     _cache_dir_argument(serve_parser)
 
+    shard_parser = subparsers.add_parser(
+        "shard",
+        help="run a sweep as subprocess shards over one shared artifact cache",
+        description=(
+            "Partition a deterministic sweep plan into slices and execute "
+            "them as independent worker subprocesses sharing one cache_dir. "
+            "The first worker compiles the shared artifacts cold; the rest "
+            "warm-hit the decomposition/filter/plan disk tiers. The merged "
+            "result is bit-identical to a single-process run (standing "
+            "invariant 7; verify in-process with --check)."
+        ),
+    )
+    shard_parser.add_argument(
+        "--shards", type=int, default=2, help="worker subprocesses K (default: 2)"
+    )
+    shard_parser.add_argument(
+        "--entries", type=int, default=8, help="sweep entries B (default: 8)"
+    )
+    shard_parser.add_argument(
+        "--branches", type=int, default=4, help="branches N per entry (default: 4)"
+    )
+    shard_parser.add_argument(
+        "--samples", type=int, default=64, help="time samples per branch (default: 64)"
+    )
+    shard_parser.add_argument("--seed", type=int, default=None)
+    shard_parser.add_argument(
+        "--doppler-every",
+        type=int,
+        default=0,
+        help="make every k-th entry a Doppler entry sharing one filter "
+        "(default: 0, snapshot-only)",
+    )
+    shard_parser.add_argument(
+        "--fm",
+        type=float,
+        default=0.05,
+        help="normalized Doppler f_m for --doppler-every entries (default: 0.05)",
+    )
+    shard_parser.add_argument(
+        "--points",
+        type=int,
+        default=64,
+        help="IDFT block length M for --doppler-every entries (default: 64)",
+    )
+    shard_parser.add_argument(
+        "--work-dir",
+        type=Path,
+        default=None,
+        help="directory for slice payloads and worker outputs (default: a "
+        "fresh temporary directory; reuse one to enable --retry-failed)",
+    )
+    shard_parser.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="reuse completed slice outputs already in --work-dir and only "
+        "re-run slices that failed",
+    )
+    shard_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the plan solo in-process and verify the merged "
+        "result is byte-identical (standing invariant 7)",
+    )
+    _backend_argument(shard_parser)
+    _cache_dir_argument(shard_parser)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent artifact cache"
     )
@@ -394,6 +470,105 @@ def _run_cache_command(action: str, cache_dir: Optional[Path]) -> int:
     return 0
 
 
+def _run_shard_command(args) -> int:
+    """Implement ``repro-experiments shard`` (see the parser description)."""
+    from .experiments.scaling import shard_sweep_plan
+    from .shard import run_sharded
+
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.entries < 1:
+        raise SystemExit(f"--entries must be >= 1, got {args.entries}")
+    if args.samples < 1:
+        raise SystemExit(f"--samples must be >= 1, got {args.samples}")
+    if args.retry_failed and args.work_dir is None:
+        raise SystemExit("--retry-failed needs --work-dir (the run to resume)")
+    if args.doppler_every:
+        from .engine import DopplerSpec
+        from .exceptions import ReproError
+
+        try:
+            DopplerSpec(normalized_doppler=args.fm, n_points=args.points)
+        except ReproError as exc:
+            raise SystemExit(f"invalid --fm/--points combination: {exc}")
+    resolved = _resolved_cache_dir(args.cache_dir)
+    seed = 20050413 if args.seed is None else args.seed
+    plan = shard_sweep_plan(
+        args.entries,
+        args.branches,
+        seed,
+        doppler_every=args.doppler_every,
+        normalized_doppler=args.fm,
+        n_points=args.points,
+    )
+
+    def progress(index: int, line: str) -> None:
+        print(f"[shard {index}] {line}", flush=True)
+
+    outcome = run_sharded(
+        plan,
+        args.samples,
+        n_shards=args.shards,
+        cache_dir=resolved,
+        backend=args.backend,
+        work_dir=args.work_dir,
+        retry_failed=args.retry_failed,
+        progress=progress,
+    )
+    totals = outcome.tier_totals()
+    print(
+        f"sharded sweep: {len(plan)} entries over {len(outcome.slices)} shards "
+        f"in {outcome.wall_seconds:.2f}s (cache_dir={resolved})"
+    )
+    print(
+        "  decompositions: "
+        f"{totals.get('cache_misses', 0)} computed, "
+        f"{totals.get('decompositions_disk_hits', 0)} served from the shared disk tier"
+    )
+    print(
+        "  doppler filters: "
+        f"{totals.get('filters_misses', 0)} built, "
+        f"{totals.get('filters_disk_hits', 0)} shared disk hits"
+    )
+    print(
+        "  compiled plans: "
+        f"{totals.get('plan_cache_hits', 0)} whole-plan warm hits, "
+        f"{totals.get('plans_disk_misses', 0)} cold compiles"
+    )
+    if outcome.failed:
+        failed = ", ".join(str(index) for index in outcome.failed)
+        print(
+            f"FAILED slices: {failed} — surviving slices merged; resume with "
+            f"--retry-failed --work-dir {outcome.work_dir}"
+        )
+        return 1
+    merged = outcome.merged
+    assert merged is not None
+    print(f"merged result: {len(merged.blocks)} blocks x {merged.n_samples} samples")
+    if args.check:
+        from .engine import (
+            DecompositionCache,
+            DopplerFilterCache,
+            SimulationEngine,
+        )
+
+        # A fully detached solo engine: the reference must not touch the
+        # shared cache_dir (or an env-attached process-wide cache).
+        reference = SimulationEngine(
+            cache=DecompositionCache(),
+            filter_cache=DopplerFilterCache(),
+            backend=args.backend,
+        ).run(plan, args.samples)
+        identical = len(reference.blocks) == len(merged.blocks) and all(
+            ref.samples.tobytes() == got.samples.tobytes()
+            for ref, got in zip(reference.blocks, merged.blocks)
+        )
+        print(f"bit-identical to solo run: {'OK' if identical else 'MISMATCH'}")
+        if not identical:
+            return 1
+    return 0
+
+
 def _run_ids(requested: List[str]) -> List[str]:
     if len(requested) == 1 and requested[0] == "all":
         return list_experiments()
@@ -449,6 +624,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "cache":
         return _run_cache_command(args.action, args.cache_dir)
+
+    if args.command == "shard":
+        return _run_shard_command(args)
 
     if args.command == "suite":
         import json

@@ -47,6 +47,16 @@ exceeds the bound.  The running total is maintained incrementally and
 recalibrated by directory scans, so populating *n* entries costs ``O(n)``
 stat calls overall rather than ``O(n^2)``.
 
+Eviction passes are coordinated *across processes* by an advisory file
+lock (``.evict.lock`` per namespace): readers hold it shared around each
+entry load, eviction passes hold it exclusive (non-blocking — a contended
+pass is skipped, someone else is already evicting), so workers hammering
+one shared ``cache_dir`` (the sharded sweep runner, :mod:`repro.shard`)
+never observe an artifact unlinked mid-read.  The lock is best-effort
+coordination: without :mod:`fcntl` the store runs uncoordinated and a
+lost race stays what it always was — a quarantine-or-miss, never an
+error.
+
 All filesystem I/O happens outside the store lock — only counter and
 bookkeeping updates take it — so a client's memory-tier lookups never queue
 behind another thread's file read.  An unusable directory (a regular file
@@ -63,11 +73,17 @@ import os
 import tempfile
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
+
+try:  # pragma: no cover - always present on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "ArtifactStore",
@@ -89,6 +105,60 @@ TMP_SWEEP_AGE_SECONDS = 3600.0
 #: Reserved ``.npz`` member names; client array names must not use them.
 _META_MEMBER = "__meta__"
 _DIGEST_MEMBER = "__digest__"
+
+#: Name of the per-namespace advisory lock file coordinating eviction
+#: passes with readers across processes (not an entry: no ``.npz`` suffix,
+#: so it is invisible to lookups and usage scans; ``clear`` removes it
+#: along with everything else).
+_EVICTION_LOCK_NAME = ".evict.lock"
+
+
+@contextmanager
+def _advisory_lock(
+    disk_dir: Path, *, exclusive: bool, blocking: bool = True
+) -> Iterator[bool]:
+    """Advisory file lock over one namespace directory; yields *acquired*.
+
+    Readers take the lock shared around a single entry load; eviction
+    passes take it exclusive (non-blocking — a contended pass is simply
+    skipped, another process is already evicting), so a concurrent worker
+    sharing the ``cache_dir`` never unlinks an artifact mid-read.  This is
+    coordination, not correctness: on a platform without :mod:`fcntl`, or
+    when the lock file cannot be opened, the caller proceeds uncoordinated
+    and a racing eviction degrades the read to a quarantine-or-miss, never
+    an error.  A worker killed while holding the lock releases it with its
+    file descriptors, so crashed shards cannot wedge the shared store.
+    """
+    if fcntl is None or not disk_dir.is_dir():
+        yield True
+        return
+    try:
+        fd = os.open(
+            str(disk_dir / _EVICTION_LOCK_NAME),
+            os.O_RDWR | os.O_CREAT,
+            0o644,
+        )
+    except OSError:
+        yield True
+        return
+    acquired = False
+    try:
+        flags = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        if not blocking:
+            flags |= fcntl.LOCK_NB
+        try:
+            fcntl.flock(fd, flags)
+            acquired = True
+        except OSError:
+            pass
+        yield acquired
+    finally:
+        if acquired:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+        os.close(fd)
 
 #: ``dump(payload) -> (arrays, meta) | None``: split a payload into named
 #: arrays plus JSON-serializable metadata, or ``None`` when the payload
@@ -444,8 +514,14 @@ class ArtifactStore:
         if disk_dir is None:
             return None
         path = disk_dir / f"{key}.npz"
-        present = path.exists()
-        payload = self._read(path, key) if present else None
+        # Shared advisory lock around the single-entry read: a concurrent
+        # eviction pass (exclusive holder) of another process sharing the
+        # cache_dir cannot unlink the file mid-load.  Uncoordinated
+        # platforms degrade gracefully — a lost race is a quarantine-or-
+        # miss, never an error.
+        with _advisory_lock(disk_dir, exclusive=False):
+            present = path.exists()
+            payload = self._read(path, key) if present else None
         if payload is None:
             if present:
                 self._quarantine(path)
@@ -528,63 +604,91 @@ class ArtifactStore:
             self._evict(disk_dir)
         return written
 
-    def _evict(self, disk_dir: Path) -> None:
+    def _evict(self, disk_dir: Path) -> bool:
         """Scan the tier, recalibrate the byte total, drop LRU files past the bound.
 
         Runs only when the running total is unknown or exceeds the bound —
         not on every spill.  The scan doubles as recalibration against other
         processes sharing the directory and sweeps stale ``.tmp`` and
         ``.quarantine`` leftovers.
+
+        The whole pass holds the namespace's advisory lock *exclusive* and
+        *non-blocking*: concurrent readers (shared holders) are never
+        interrupted mid-load, and a pass contended by another process's
+        eviction is skipped — that process is already recalibrating, and
+        this store's stale running total re-triggers a pass on the next
+        spill.  Returns whether the pass ran.
         """
-        files: List[Tuple[float, int, Path]] = []
-        total = 0
-        now = time.time()
-        try:
-            listing = list(disk_dir.iterdir()) if disk_dir.is_dir() else []
-        except OSError:
-            listing = []
-        for path in listing:
+        with _advisory_lock(disk_dir, exclusive=True, blocking=False) as acquired:
+            if not acquired:
+                return False
+            files: List[Tuple[float, int, Path]] = []
+            total = 0
+            now = time.time()
             try:
-                stat = path.stat()
+                listing = list(disk_dir.iterdir()) if disk_dir.is_dir() else []
             except OSError:
-                continue
-            if path.suffix in (".tmp", ".quarantine"):
-                # Invisible to lookups and to the byte bound; sweep once
-                # clearly not an in-flight write / fresh postmortem.
-                if now - stat.st_mtime > TMP_SWEEP_AGE_SECONDS:
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
-                continue
-            if path.suffix != ".npz":
-                continue
-            files.append((stat.st_mtime, stat.st_size, path))
-            total += stat.st_size
-        evicted = []
-        for _, size, path in sorted(files):
-            if total <= self._max_bytes:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            evicted.append(path.stem)  # file name is the key
-            total -= size
+                listing = []
+            for path in listing:
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if path.suffix in (".tmp", ".quarantine"):
+                    # Invisible to lookups and to the byte bound; sweep once
+                    # clearly not an in-flight write / fresh postmortem.
+                    if now - stat.st_mtime > TMP_SWEEP_AGE_SECONDS:
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
+                    continue
+                if path.suffix != ".npz":
+                    continue
+                files.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            evicted = []
+            for _, size, path in sorted(files):
+                if total <= self._max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                evicted.append(path.stem)  # file name is the key
+                total -= size
         with self._lock:
             if self._dir != disk_dir:
-                return  # tier detached or redirected while scanning
+                return True  # tier detached or redirected while scanning
             for key in evicted:
                 self._no_spill.discard(key)
             self._evictions += len(evicted)
             self._total = total
+        return True
+
+    def evict_pass(self) -> bool:
+        """Run one LRU eviction/recalibration pass now (maintenance).
+
+        The same pass :meth:`put` triggers once the running total passes
+        the bound, exposed so maintenance callers — the CLI, tests, a
+        shared-``cache_dir`` coordinator after its workers finish — can
+        re-establish the byte bound without spilling anything.  Returns
+        whether a pass ran (``False`` when detached or when another
+        process held the eviction lock).
+        """
+        with self._lock:
+            disk_dir = self._dir
+        if disk_dir is None:
+            return False
+        return self._evict(disk_dir)
 
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
     def clear(self) -> int:
         """Remove every file of this namespace (``.tmp`` and ``.quarantine``
-        leftovers included); returns the number of *entries* removed.
+        leftovers and the advisory lock file included); returns the number
+        of *entries* removed.
 
         Like every other operation, the filesystem walk happens outside the
         lock — only the bookkeeping update takes it — so concurrent
@@ -602,7 +706,10 @@ class ArtifactStore:
         except OSError:
             listing = []
         for path in listing:
-            if path.suffix not in (".npz", ".tmp", ".quarantine"):
+            if (
+                path.suffix not in (".npz", ".tmp", ".quarantine")
+                and path.name != _EVICTION_LOCK_NAME
+            ):
                 continue
             try:
                 path.unlink()

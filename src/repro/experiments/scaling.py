@@ -54,6 +54,7 @@ __all__ = [
     "run_batch",
     "run_doppler_batch",
     "batch_sweep_specs",
+    "shard_sweep_plan",
     "exponential_correlation_covariance",
 ]
 
@@ -167,6 +168,45 @@ def batch_sweep_specs(batch_size: int, n_branches: int = 4):
         matrix = base * np.sqrt(np.outer(powers, powers))
         specs.append(CovarianceSpec.from_covariance_matrix(matrix))
     return specs
+
+
+def shard_sweep_plan(
+    n_entries: int,
+    n_branches: int = 4,
+    seed: int = 20050413,
+    *,
+    doppler_every: int = 0,
+    normalized_doppler: float = 0.05,
+    n_points: int = 64,
+    fading=None,
+) -> SimulationPlan:
+    """A deterministic labelled sweep plan for the sharded runner.
+
+    Builds on :func:`batch_sweep_specs` (every matrix unique, so shards
+    share decompositions only through the disk tier, never by accident)
+    with per-entry seeds ``seed + index`` and labels ``sweep-<index>``.
+    With ``doppler_every=k`` every ``k``-th entry becomes a Doppler entry
+    sharing one filter key — the mixed-workload shape the `shard` CLI,
+    ``bench_shard_scaling``, and the cross-process property suite all run.
+    """
+    if n_entries < 1:
+        raise ValueError(f"n_entries must be >= 1, got {n_entries}")
+    specs = batch_sweep_specs(n_entries, n_branches)
+    plan = SimulationPlan()
+    for index, spec in enumerate(specs):
+        doppler = None
+        if doppler_every and index % doppler_every == doppler_every - 1:
+            doppler = DopplerSpec(
+                normalized_doppler=normalized_doppler, n_points=n_points
+            )
+        plan.add(
+            spec,
+            seed=seed + index,
+            doppler=doppler,
+            fading=fading,
+            label=f"sweep-{index}",
+        )
+    return plan
 
 
 def _best_time(kernel, repeats: int):

@@ -9,6 +9,12 @@ line (sample count, backend, the full :class:`CompileReport`), one line
 per entry carrying its complex sample block as a base64 ``.npy`` payload
 (exact bytes, no text round-trip), and one terminator line — a shape the
 HTTP front end maps 1:1 onto chunked transfer encoding.
+
+Seeds travel losslessly too: ``None`` and integers as themselves (the
+original version-1 shape), and live :class:`numpy.random.Generator` seeds
+as their bit-generator state, which restores to a generator drawing the
+identical stream — the sharding layer (:mod:`repro.shard`) reuses this
+entry encoding for its :class:`~repro.shard.PlanSlice` payloads.
 """
 
 from __future__ import annotations
@@ -30,6 +36,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "plan_to_payload",
     "plan_from_payload",
+    "seed_to_payload",
+    "seed_from_payload",
     "encode_array",
     "decode_array",
     "result_to_lines",
@@ -51,6 +59,77 @@ def decode_array(encoded: str) -> np.ndarray:
     """Inverse of :func:`encode_array` — bit-identical round-trip."""
     buffer = io.BytesIO(base64.b64decode(encoded.encode("ascii")))
     return np.load(buffer, allow_pickle=False)
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert a bit-generator state dict to pure JSON types.
+
+    Generator states are dicts of strings and (arbitrary-precision) ints
+    for the PCG64/Philox/SFC64 families; MT19937 carries its key as a
+    uint32 ndarray, which JSON round-trips as a list of ints — the state
+    setters of every numpy bit generator accept sequences back.
+    """
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def seed_to_payload(seed: Any) -> Any:
+    """Encode one plan-entry seed as a JSON-able value.
+
+    ``None`` and integers pass through unchanged (the original version-1
+    wire shape, so existing clients are unaffected); a
+    :class:`numpy.random.Generator` is captured as its bit-generator state,
+    which restores to a generator producing the *identical* stream — the
+    sharding layer relies on this to slice plans carrying live generators
+    without perturbing a single sample.
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.Generator):
+        return {
+            "kind": "generator",
+            "state": _jsonable(seed.bit_generator.state),
+        }
+    raise SpecificationError(
+        f"entry seed of type {type(seed).__name__} is not wire-serializable "
+        "(use None, an int, or a numpy Generator)"
+    )
+
+
+def seed_from_payload(raw: Any) -> Any:
+    """Inverse of :func:`seed_to_payload`.
+
+    A decoded generator draws the exact stream the encoded one would have
+    drawn from the capture point onward.
+    """
+    if raw is None:
+        return None
+    if isinstance(raw, dict):
+        if raw.get("kind") != "generator" or not isinstance(raw.get("state"), dict):
+            raise SpecificationError(f"malformed seed payload: {raw!r}")
+        state = raw["state"]
+        name = state.get("bit_generator")
+        bit_generator_cls = getattr(np.random, str(name), None)
+        if bit_generator_cls is None:
+            raise SpecificationError(f"unknown bit generator {name!r} in seed payload")
+        generator = np.random.Generator(bit_generator_cls())
+        try:
+            generator.bit_generator.state = state
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecificationError(f"malformed generator state: {exc}") from exc
+        return generator
+    return int(raw)
 
 
 def _doppler_to_payload(doppler: DopplerSpec) -> Dict[str, Any]:
@@ -86,7 +165,7 @@ def plan_to_payload(
                     "re": matrix.real.tolist(),
                     "im": matrix.imag.tolist(),
                 },
-                "seed": None if entry.seed is None else int(entry.seed),
+                "seed": seed_to_payload(entry.seed),
                 "coloring_method": entry.coloring_method,
                 "psd_method": entry.psd_method,
                 "epsilon": float(entry.epsilon),
@@ -158,10 +237,9 @@ def plan_from_payload(payload: Dict[str, Any]) -> Tuple[SimulationPlan, int]:
                     ),
                 )
             )
-            seed = raw.get("seed")
             plan.add(
                 real + 1j * imag,
-                seed=None if seed is None else int(seed),
+                seed=seed_from_payload(raw.get("seed")),
                 coloring_method=str(raw.get("coloring_method", "eigen")),
                 psd_method=str(raw.get("psd_method", "clip")),
                 epsilon=float(raw.get("epsilon", 1e-6)),

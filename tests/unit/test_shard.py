@@ -1,0 +1,397 @@
+"""Unit tests for the sharding layer (:mod:`repro.shard`).
+
+Covers the pure pieces in-process — partitioning, the wire round-trip of
+:class:`PlanSlice` payloads (including the regression demanded by ISSUE 10:
+non-trivial :class:`FadingSpec`\\ s and non-int seeds survive the trip, and
+slices never coalesce onto an unrelated plan's compiled-plan cache entry),
+result merging, and the CLI surface.  The subprocess orchestration itself is
+exercised by ``tests/property/test_property_shard.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import CompileReport, DopplerSpec, FadingSpec, SimulationPlan
+from repro.engine.plancache import compiled_plan_cache_key
+from repro.engine.result import BatchResult
+from repro.exceptions import SpecificationError
+from repro.service.protocol import seed_from_payload, seed_to_payload
+from repro.shard import (
+    PlanSlice,
+    merge_compile_reports,
+    merge_results,
+    partition_plan,
+    slice_from_payload,
+    slice_to_payload,
+)
+from repro.types import GaussianBlock
+
+_BASE = np.array([[1.0, 0.4 + 0.1j], [0.4 - 0.1j, 2.0]], dtype=complex)
+
+
+def _sweep_plan(n_entries: int) -> SimulationPlan:
+    plan = SimulationPlan()
+    for index in range(n_entries):
+        plan.add(_BASE * (1.0 + index), seed=100 + index, label=f"entry-{index}")
+    return plan
+
+
+class TestPartitionPlan:
+    def test_contiguous_balanced_slices(self):
+        plan = _sweep_plan(10)
+        slices = partition_plan(plan, 3)
+        assert [s.index for s in slices] == [0, 1, 2]
+        assert all(s.n_shards == 3 for s in slices)
+        sizes = [s.n_entries for s in slices]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+        # Contiguous tiling: starts are the running sum of sizes, and the
+        # entries land in original order with seeds/labels intact.
+        cursor = 0
+        for plan_slice in slices:
+            assert plan_slice.start == cursor
+            for offset, entry in enumerate(plan_slice.plan):
+                original = plan[cursor + offset]
+                assert entry.seed == original.seed
+                assert entry.label == original.label
+            cursor += plan_slice.n_entries
+
+    def test_more_shards_than_entries_drops_empties(self):
+        slices = partition_plan(_sweep_plan(5), 8)
+        assert len(slices) == 5
+        assert all(s.n_entries == 1 for s in slices)
+        assert all(s.n_shards == 5 for s in slices)
+
+    def test_single_shard_is_whole_plan(self):
+        plan = _sweep_plan(4)
+        (only,) = partition_plan(plan, 1)
+        assert only.start == 0
+        assert only.n_entries == len(plan)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SpecificationError):
+            partition_plan(_sweep_plan(3), 0)
+        with pytest.raises(SpecificationError):
+            partition_plan(SimulationPlan(), 2)
+
+
+class TestSliceWireRoundTrip:
+    """Regression (ISSUE 10 satellite): fading specs and non-int seeds
+    survive the slice payload, and decoded slices key-purely address the
+    compiled-plan cache."""
+
+    def _fancy_plan(self) -> SimulationPlan:
+        plan = SimulationPlan()
+        plan.add(_BASE, seed=None, label="plain")
+        plan.add(
+            2.0 * _BASE,
+            seed=np.int64(7),
+            fading=FadingSpec(model="rician", shape=3.5),
+            label="rician",
+        )
+        plan.add(
+            _BASE,
+            seed=11,
+            fading=FadingSpec(model="weibull", shape=1.75, shadowing_sigma_db=2.0),
+            doppler=DopplerSpec(normalized_doppler=0.05, n_points=64),
+            label="shadowed-doppler",
+        )
+        plan.add(
+            3.0 * _BASE,
+            seed=np.random.Generator(np.random.PCG64(1234)),
+            label="generator",
+        )
+        return plan
+
+    def test_round_trip_preserves_fading_and_seeds(self):
+        plan = self._fancy_plan()
+        (plan_slice,) = partition_plan(plan, 1)
+        # Through real JSON text, not just dict equality: the payload must
+        # be exactly what a worker reads off disk.
+        wire = json.dumps(slice_to_payload(plan_slice, 96), sort_keys=True)
+        decoded, n_samples = slice_from_payload(json.loads(wire))
+
+        assert n_samples == 96
+        assert (decoded.index, decoded.n_shards, decoded.start) == (0, 1, 0)
+        assert len(decoded.plan) == len(plan)
+        for entry, original in zip(decoded.plan, plan):
+            assert entry.label == original.label
+            assert (entry.doppler is None) == (original.doppler is None)
+            if original.fading is None:
+                assert entry.fading is None
+            else:
+                assert entry.fading.model == original.fading.model
+                assert entry.fading.shape == original.fading.shape
+                assert (
+                    entry.fading.shadowing_sigma_db
+                    == original.fading.shadowing_sigma_db
+                )
+                assert entry.fading.fading_token() == original.fading.fading_token()
+
+        assert decoded.plan[0].seed is None
+        assert decoded.plan[1].seed == 7
+        assert decoded.plan[2].seed == 11
+        # The generator seed restores to the *identical* stream.
+        reference = np.random.Generator(np.random.PCG64(1234))
+        restored = decoded.plan[3].seed
+        assert isinstance(restored, np.random.Generator)
+        assert (
+            restored.standard_normal(16).tobytes()
+            == reference.standard_normal(16).tobytes()
+        )
+
+    def test_decoded_slice_hashes_to_the_same_plan_key(self):
+        plan = self._fancy_plan()
+        for plan_slice in partition_plan(plan, 2):
+            wire = json.dumps(slice_to_payload(plan_slice, 64))
+            decoded, _ = slice_from_payload(json.loads(wire))
+            assert compiled_plan_cache_key(decoded.plan) == compiled_plan_cache_key(
+                plan_slice.plan
+            )
+
+    def test_slices_never_coalesce_with_each_other_or_unrelated_plans(self):
+        plan = self._fancy_plan()
+        first, second = partition_plan(plan, 2)
+        key_first = compiled_plan_cache_key(first.plan)
+        key_second = compiled_plan_cache_key(second.plan)
+        assert key_first != key_second
+
+        # An unrelated plan differing *only* in fading must key apart from
+        # both slices — fading_token purity keeps the plans/ tier honest.
+        unrelated = SimulationPlan()
+        for entry in first.plan:
+            unrelated.add(
+                entry.spec,
+                seed=entry.seed,
+                label=entry.label,
+                doppler=entry.doppler,
+                fading=FadingSpec(model="nakagami", shape=2.0),
+            )
+        key_unrelated = compiled_plan_cache_key(unrelated)
+        assert key_unrelated not in (key_first, key_second)
+
+        # Seeds and labels are execution-time inputs: a re-seeded copy of a
+        # slice *should* share its compiled artifact.
+        reseeded = SimulationPlan()
+        for entry in second.plan:
+            reseeded.add(
+                entry.spec,
+                seed=9999,
+                label="renamed",
+                doppler=entry.doppler,
+                fading=entry.fading,
+            )
+        assert compiled_plan_cache_key(reseeded) == key_second
+
+    def test_malformed_payloads_rejected(self):
+        plan = _sweep_plan(2)
+        (plan_slice,) = partition_plan(plan, 1)
+        good = slice_to_payload(plan_slice, 32)
+
+        with pytest.raises(SpecificationError):
+            slice_from_payload("not a dict")
+        bad_version = dict(good, version=99)
+        with pytest.raises(SpecificationError):
+            slice_from_payload(bad_version)
+        no_slice = {key: value for key, value in good.items() if key != "slice"}
+        with pytest.raises(SpecificationError):
+            slice_from_payload(no_slice)
+        bad_meta = dict(good, slice={"index": "x"})
+        with pytest.raises(SpecificationError):
+            slice_from_payload(bad_meta)
+
+
+class TestSeedPayloads:
+    def test_none_and_ints_pass_through(self):
+        assert seed_to_payload(None) is None
+        assert seed_to_payload(5) == 5
+        assert seed_to_payload(np.int64(6)) == 6
+        assert type(seed_to_payload(np.int64(6))) is int
+        assert seed_from_payload(None) is None
+        assert seed_from_payload(7) == 7
+
+    def test_generator_state_round_trips_every_family(self):
+        for bit_generator in (np.random.PCG64, np.random.MT19937, np.random.SFC64):
+            source = np.random.Generator(bit_generator(42))
+            source.standard_normal(3)  # advance: mid-stream states too
+            payload = json.loads(json.dumps(seed_to_payload(source)))
+            restored = seed_from_payload(payload)
+            assert (
+                restored.standard_normal(8).tobytes()
+                == source.standard_normal(8).tobytes()
+            )
+
+    def test_unsupported_seed_types_rejected(self):
+        with pytest.raises(SpecificationError):
+            seed_to_payload("twelve")
+        with pytest.raises(SpecificationError):
+            seed_to_payload(3.5)
+
+    def test_malformed_generator_payloads_rejected(self):
+        with pytest.raises(SpecificationError):
+            seed_from_payload({"kind": "generator"})
+        with pytest.raises(SpecificationError):
+            seed_from_payload(
+                {"kind": "generator", "state": {"bit_generator": "NoSuchRNG"}}
+            )
+
+
+def _report(n_entries: int, **overrides) -> CompileReport:
+    fields = dict(
+        n_entries=n_entries,
+        n_groups=1,
+        n_unique_matrices=n_entries,
+        cache_hits=0,
+        cache_misses=n_entries,
+        compile_seconds=0.25,
+    )
+    fields.update(overrides)
+    return CompileReport(**fields)
+
+
+def _partial(plan_slice: PlanSlice, n_samples: int = 8, **report_overrides) -> BatchResult:
+    blocks = []
+    for offset in range(plan_slice.n_entries):
+        entry_index = plan_slice.start + offset
+        blocks.append(
+            GaussianBlock(
+                samples=np.full((2, n_samples), entry_index, dtype=complex),
+                variances=np.ones(2),
+                metadata={"plan_index": offset, "label": f"entry-{entry_index}"},
+            )
+        )
+    return BatchResult(
+        blocks=tuple(blocks),
+        n_samples=n_samples,
+        compile_report=_report(plan_slice.n_entries, **report_overrides),
+        execute_seconds=0.1,
+        backend="numpy",
+    )
+
+
+class TestMergeResults:
+    def test_out_of_order_partials_merge_plan_ordered(self):
+        slices = partition_plan(_sweep_plan(7), 3)
+        partials = [_partial(s) for s in slices]
+        shuffled = [slices[2], slices[0], slices[1]]
+        merged = merge_results(
+            shuffled,
+            [partials[2], partials[0], partials[1]],
+            n_samples=8,
+            wall_seconds=1.5,
+            backend="numpy",
+        )
+        assert len(merged.blocks) == 7
+        for index, block in enumerate(merged.blocks):
+            # Whole-plan metadata restored and payloads in original order.
+            assert block.metadata["plan_index"] == index
+            assert block.samples[0, 0] == index
+        assert merged.n_samples == 8
+        assert merged.execute_seconds == 1.5
+
+    def test_compile_counters_summed_and_seconds_maxed(self):
+        slices = partition_plan(_sweep_plan(6), 2)
+        partials = [
+            _partial(slices[0], plan_cache_hits=1, compile_seconds=0.5),
+            _partial(slices[1], doppler_filters_built=2, compile_seconds=2.0),
+        ]
+        merged = merge_results(slices, partials, n_samples=8)
+        report = merged.compile_report
+        assert report.n_entries == 6
+        assert report.cache_misses == 6
+        assert report.plan_cache_hits == 1
+        assert report.doppler_filters_built == 2
+        assert report.compile_seconds == 2.0
+
+    def test_gap_and_overlap_rejected(self):
+        slices = partition_plan(_sweep_plan(6), 3)
+        partials = [_partial(s) for s in slices]
+        with pytest.raises(SpecificationError, match="missing or overlapping"):
+            merge_results(
+                [slices[0], slices[2]], [partials[0], partials[2]], n_samples=8
+            )
+        overlapping = PlanSlice(
+            index=1, n_shards=3, start=1, plan=slices[1].plan
+        )
+        with pytest.raises(SpecificationError, match="missing or overlapping"):
+            merge_results(
+                [slices[0], overlapping, slices[2]],
+                [partials[0], _partial(overlapping), partials[2]],
+                n_samples=8,
+            )
+
+    def test_block_count_mismatch_rejected(self):
+        slices = partition_plan(_sweep_plan(4), 2)
+        short = _partial(slices[0])
+        short = BatchResult(
+            blocks=short.blocks[:-1],
+            n_samples=short.n_samples,
+            compile_report=short.compile_report,
+            execute_seconds=short.execute_seconds,
+            backend=short.backend,
+        )
+        with pytest.raises(SpecificationError, match="blocks"):
+            merge_results(slices, [short, _partial(slices[1])], n_samples=8)
+
+    def test_length_mismatch_and_empty_rejected(self):
+        slices = partition_plan(_sweep_plan(4), 2)
+        with pytest.raises(SpecificationError):
+            merge_results(slices, [_partial(slices[0])], n_samples=8)
+        with pytest.raises(SpecificationError):
+            merge_results([], [], n_samples=8)
+        with pytest.raises(SpecificationError):
+            merge_compile_reports([])
+
+
+class TestShardCLI:
+    def test_shard_command_parses_with_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["shard"])
+        assert args.command == "shard"
+        assert args.shards == 2
+        assert args.entries == 8
+        assert args.samples == 64
+        assert not args.retry_failed
+        assert not args.check
+
+    def test_shard_command_parses_overrides(self, tmp_path):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "shard",
+                "--shards", "4",
+                "--entries", "12",
+                "--branches", "3",
+                "--samples", "96",
+                "--doppler-every", "3",
+                "--work-dir", str(tmp_path / "work"),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--retry-failed",
+                "--check",
+            ]
+        )
+        assert args.shards == 4
+        assert args.entries == 12
+        assert args.doppler_every == 3
+        assert args.retry_failed and args.check
+
+    def test_retry_failed_requires_work_dir(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="work-dir"):
+            main(["shard", "--retry-failed", "--cache-dir", str(tmp_path)])
+
+    def test_invalid_counts_rejected(self, tmp_path):
+        from repro.cli import main
+
+        for argv in (
+            ["shard", "--shards", "0"],
+            ["shard", "--entries", "0"],
+            ["shard", "--samples", "0"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv + ["--cache-dir", str(tmp_path)])
